@@ -1,0 +1,31 @@
+//! Criterion bench: static Brandes baselines (the speedup denominators of
+//! Tables 3/4 and the MP-vs-MO contrast of Figure 5's bootstrap).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ebc_core::brandes::{brandes, brandes_with_predecessors};
+use ebc_gen::standins::{standin, StandinKind};
+use std::hint::black_box;
+
+fn bench_brandes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("brandes");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for n in [250usize, 1000] {
+        let s = standin(StandinKind::Synthetic(n), 1, 42);
+        group.bench_with_input(
+            BenchmarkId::new("MO_pred_free", n),
+            &s.graph,
+            |b, g| b.iter(|| black_box(brandes(g))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("MP_pred_lists", n),
+            &s.graph,
+            |b, g| b.iter(|| black_box(brandes_with_predecessors(g))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_brandes);
+criterion_main!(benches);

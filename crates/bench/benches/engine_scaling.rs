@@ -1,0 +1,35 @@
+//! Criterion bench: parallel engine map-phase critical path against worker
+//! count (the measured core of Figure 7's strong scaling).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ebc_core::state::Update;
+use ebc_engine::ClusterEngine;
+use ebc_gen::standins::{standin, StandinKind};
+use ebc_gen::streams::addition_stream;
+
+fn bench_engine(c: &mut Criterion) {
+    let s = standin(StandinKind::Synthetic(2_000), 1, 42);
+    let adds = addition_stream(&s.graph, 16, 7);
+    let mut group = c.benchmark_group("cluster_apply_2k");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for p in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("workers", p), &p, |b, &p| {
+            b.iter_batched(
+                || ClusterEngine::bootstrap(&s.graph, p).expect("bootstrap"),
+                |mut cluster| {
+                    for &(u, v) in &adds {
+                        cluster.apply(Update::add(u, v)).expect("valid");
+                    }
+                    cluster
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

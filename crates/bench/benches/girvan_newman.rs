@@ -1,0 +1,27 @@
+//! Criterion bench: Girvan–Newman peeling, incremental vs recompute
+//! (Figure 9's measured core).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ebc_gen::standins::{standin, StandinKind};
+use ebc_gn::{girvan_newman_incremental, girvan_newman_recompute};
+use std::hint::black_box;
+
+fn bench_gn(c: &mut Criterion) {
+    let s = standin(StandinKind::Synthetic(500), 1, 42);
+    let mut group = c.benchmark_group("girvan_newman_500");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for k in [10usize, 50] {
+        group.bench_with_input(BenchmarkId::new("incremental", k), &k, |b, &k| {
+            b.iter(|| black_box(girvan_newman_incremental(&s.graph, k)))
+        });
+        group.bench_with_input(BenchmarkId::new("recompute", k), &k, |b, &k| {
+            b.iter(|| black_box(girvan_newman_recompute(&s.graph, k)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gn);
+criterion_main!(benches);

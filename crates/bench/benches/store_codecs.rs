@@ -1,0 +1,51 @@
+//! Criterion bench: out-of-core record I/O — paper codec (11 B/vertex) vs
+//! wide codec (20 B/vertex), plus the constant-cost `dd == 0` peek that
+//! §5.1's skip optimisation rests on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ebc_core::bd::BdStore;
+use ebc_store::{CodecKind, DiskBdStore};
+use std::hint::black_box;
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("ebc_bench_codecs");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+fn bench_codecs(c: &mut Criterion) {
+    const N: usize = 10_000;
+    let d: Vec<u32> = (0..N).map(|i| (i % 12) as u32).collect();
+    let sigma: Vec<u64> = (0..N).map(|i| (i % 900 + 1) as u64).collect();
+    let delta: Vec<f64> = (0..N).map(|i| i as f64 * 0.5).collect();
+
+    let mut group = c.benchmark_group("disk_store_10k_vertices");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for codec in [CodecKind::Paper, CodecKind::Wide] {
+        let label = format!("{codec:?}");
+        let path = tmp(&format!("bench_{label}.bd"));
+        let mut store = DiskBdStore::create(&path, N, codec).unwrap();
+        for s in 0..8u32 {
+            store.add_source(s, d.clone(), sigma.clone(), delta.clone()).unwrap();
+        }
+        group.bench_function(BenchmarkId::new("full_record_rewrite", &label), |b| {
+            b.iter(|| {
+                store
+                    .update_with(3, &mut |view| {
+                        view.delta[0] += 1.0;
+                        true
+                    })
+                    .unwrap()
+            })
+        });
+        group.bench_function(BenchmarkId::new("dd0_peek", &label), |b| {
+            b.iter(|| black_box(store.peek_pair(3, 17, 4093).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_codecs);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! **Figure 5** — CDF of the speedup over Brandes for the framework's three
+//! configurations (MP: memory + predecessor lists, MO: memory, DO: disk) on
+//! synthetic graphs (1k, 10k) and real graphs (wikielections stands in for
+//! the paper's pair), under edge additions.
+//!
+//! Rendered as decile rows; the headline result is MO ≥ MP everywhere
+//! (removing predecessor lists *speeds up* updates) and DO within a small
+//! factor of MO.
+
+use ebc_bench::{
+    addition_updates, dataset, print_cdf, speedups, synthetic_rows, time_brandes, update_times,
+    Args, Variant,
+};
+use ebc_gen::standins::StandinKind;
+
+fn main() {
+    let args = Args::parse();
+    println!(
+        "Figure 5: speedup CDF over Brandes, 3 variants, {} additions (deciles)\n",
+        args.updates
+    );
+    // The DO rows bootstrap an O(n²) disk file per variant; default to the
+    // 1k-scale graphs (the paper's full set needs --full and patience).
+    let mut rows = synthetic_rows(&args);
+    if !args.full {
+        rows.truncate(1);
+    }
+    rows.push(dataset(StandinKind::WikiElections, &args));
+    for s in rows {
+        let (_, tb) = time_brandes(&s.graph);
+        let adds = addition_updates(&s.graph, args.updates, args.seed);
+        for variant in [Variant::Mp, Variant::Do, Variant::Mo] {
+            let times = update_times(&s.graph, &adds, variant);
+            let sp = speedups(tb, &times);
+            print_cdf(&format!("{}-{}", s.name, variant.label()), &sp);
+        }
+        println!();
+    }
+    println!("Expected shape (paper): MO dominates MP at every decile; DO is slower than");
+    println!("MO (disk-bound) but still 10-50x over Brandes at the median.");
+}

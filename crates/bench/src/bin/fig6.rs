@@ -1,0 +1,60 @@
+//! **Figure 6** — CDF of speedup over Brandes when the framework runs on the
+//! parallel engine (the paper's MapReduce cluster): (a) additions/synthetic,
+//! (b) removals/synthetic, (c) additions/real, (d) removals/real.
+//!
+//! As in the paper, Brandes' single-machine time is compared against the
+//! *cumulative* execution time across all workers (map busy times + reduce),
+//! and each worker is assigned ~1k sources.
+
+use ebc_bench::{
+    addition_updates, mean, print_cdf, real_rows, removal_updates, synthetic_rows, time_brandes,
+    Args,
+};
+use ebc_core::state::Update;
+use ebc_engine::ClusterEngine;
+use ebc_gen::standins::Standin;
+use ebc_graph::EdgeOp;
+
+fn main() {
+    let args = Args::parse();
+    println!(
+        "Figure 6: speedup CDF on the parallel engine (cumulative worker time), \
+         {} updates\n",
+        args.updates
+    );
+    let synth = synthetic_rows(&args);
+    let real = real_rows(&args);
+    for (panel, rows, op) in [
+        ("(a) additions, synthetic", &synth, EdgeOp::Add),
+        ("(b) removals, synthetic", &synth, EdgeOp::Remove),
+        ("(c) additions, real", &real, EdgeOp::Add),
+        ("(d) removals, real", &real, EdgeOp::Remove),
+    ] {
+        println!("{panel}");
+        for s in rows {
+            let sp = panel_speedups(s, op, &args);
+            print_cdf(&s.name, &sp);
+        }
+        println!();
+    }
+}
+
+fn panel_speedups(s: &Standin, op: EdgeOp, args: &Args) -> Vec<f64> {
+    let (_, tb) = time_brandes(&s.graph);
+    // one mapper per ~1k sources, as in the paper's setup
+    let p = (s.graph.n() / 1000).max(1);
+    let mut cluster = ClusterEngine::bootstrap(&s.graph, p).expect("bootstrap cluster");
+    let updates = match op {
+        EdgeOp::Add => addition_updates(&s.graph, args.updates, args.seed),
+        EdgeOp::Remove => removal_updates(&s.graph, args.updates, args.seed + 1),
+    };
+    let mut sp = Vec::with_capacity(updates.len());
+    for (o, u, v) in updates {
+        let rep = cluster.apply(Update { op: o, u, v }).expect("valid update");
+        let (_, merge) = cluster.reduce();
+        let cumulative = (rep.cumulative + merge).as_secs_f64().max(1e-9);
+        sp.push(tb.as_secs_f64() / cumulative);
+    }
+    eprintln!("  [{} p={p} mean speedup {:.0}]", s.name, mean(&sp));
+    sp
+}

@@ -1,0 +1,67 @@
+//! **Figure 8** — online capability: inter-arrival time of the last 100
+//! edges of slashdot and facebook against the time the framework needs to
+//! produce updated betweenness, for several mapper counts.
+//!
+//! Prints the two series (arrival gap, update time per p) per arriving edge;
+//! an update is *online* when its update time stays below the gap.
+
+use ebc_bench::{dataset, Args};
+use ebc_core::state::BetweennessState;
+use ebc_engine::online::{simulate_modeled, OnlineReport};
+use ebc_gen::standins::StandinKind;
+use ebc_gen::streams::replay_growth;
+use std::time::Duration;
+
+fn main() {
+    let args = Args::parse();
+    println!("Figure 8: inter-arrival vs update time on the streamed tail\n");
+    run(StandinKind::Slashdot, &[1, 10], 4.0, &args);
+    run(StandinKind::Facebook, &[1, 10, 50], 0.8, &args);
+}
+
+fn run(kind: StandinKind, ps: &[usize], gap_factor: f64, args: &Args) {
+    let s = dataset(kind, args);
+    let tail = args.updates.min(s.arrival_order.len() / 2).max(10);
+    // calibrate arrivals exactly like table5
+    let (boot, probe_stream) =
+        replay_growth(&s.arrival_order, s.graph.n(), tail, 1.0, 1.4, args.seed);
+    let mut probe = BetweennessState::init(&boot);
+    let t1 = simulate_modeled(&mut probe, &probe_stream, 1, Duration::ZERO)
+        .expect("probe")
+        .mean_update_time()
+        .max(1e-6);
+    let (boot, stream) =
+        replay_growth(&s.arrival_order, s.graph.n(), tail, t1 * gap_factor, 1.4, args.seed);
+
+    let reports: Vec<(usize, OnlineReport)> = ps
+        .iter()
+        .map(|&p| {
+            let mut st = BetweennessState::init(&boot);
+            let r = simulate_modeled(&mut st, &stream, p, Duration::from_micros(50))
+                .expect("modeled replay");
+            (p, r)
+        })
+        .collect();
+
+    println!("--- {} (tail of {} edges; times in seconds)", s.name, tail);
+    print!("{:>6} {:>14}", "edge", "inter-arrival");
+    for (p, _) in &reports {
+        print!(" {:>12}", format!("upds,{p}map"));
+    }
+    println!();
+    for i in 0..stream.len() {
+        print!("{:>6} {:>14.4}", i, reports[0].1.events[i].gap);
+        for (_, r) in &reports {
+            print!(" {:>12.4}", r.events[i].update_time);
+        }
+        println!();
+    }
+    for (p, r) in &reports {
+        println!(
+            "  p={p}: {:.1}% missed, avg delay {:.3}s",
+            r.pct_missed(),
+            r.avg_delay
+        );
+    }
+    println!();
+}

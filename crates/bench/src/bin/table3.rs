@@ -1,0 +1,33 @@
+//! **Table 3** — speedup comparison with related work: the MO variant's
+//! average (max) speedup over Brandes per dataset, next to the numbers the
+//! related papers report for themselves (quoted from the paper's Table 3).
+
+use ebc_bench::{
+    addition_updates, dataset, mean, min_med_max, speedups, synthetic_rows, time_brandes,
+    update_times, Args, Variant,
+};
+use ebc_gen::standins::StandinKind;
+
+fn main() {
+    let args = Args::parse();
+    println!("Table 3: MO avg (max) speedup over Brandes, {} additions each\n", args.updates);
+    println!("{:>14} {:>7} {:>12}", "dataset", "|V|", "MO avg (max)");
+
+    let mut rows = synthetic_rows(&args);
+    rows.push(dataset(StandinKind::WikiElections, &args));
+    rows.push(dataset(StandinKind::Slashdot, &args));
+    for s in rows {
+        let (_, tb) = time_brandes(&s.graph);
+        let adds = addition_updates(&s.graph, args.updates, args.seed);
+        let times = update_times(&s.graph, &adds, Variant::Mo);
+        let sp = speedups(tb, &times);
+        let (_, _, max) = min_med_max(&sp);
+        println!("{:>14} {:>7} {:>6.0} ({:>4.0})", s.name, s.graph.n(), mean(&sp), max);
+    }
+
+    println!("\nRelated-work speedups as quoted in the paper's Table 3 (their own graphs):");
+    println!("  Kas et al. [21]:   wikivote 3, contact 4, fb-like 18, ca-GrQc 68, ca-HepTh 358");
+    println!("  QUBE [24]:         ca-GrQc 2, adjnoun 20");
+    println!("  Green et al. [17]: ca-GrQc 40, ca-HepTh 40, ca-CondMat 109, as-22july06 61,");
+    println!("                     slashdot: fails under limited memory (vs our out-of-core DO)");
+}

@@ -1,0 +1,47 @@
+//! **Table 4** — summary of key speedup results: min / median / max speedup
+//! of the framework over Brandes for edge addition and edge removal, on
+//! every dataset.
+//!
+//! The paper's Table 4 measures the DO (disk) configuration against a Java
+//! Brandes baseline. Our Rust Brandes baseline is one to two orders of
+//! magnitude faster while disk latency is physical, so the *ratio* for DO
+//! compresses even though absolute DO update times match the paper's —
+//! see EXPERIMENTS.md. We therefore report the in-memory MO ratios (the
+//! algorithmic speedup) here and leave the MO-vs-DO storage gap to
+//! Figure 5, which shows it explicitly.
+
+use ebc_bench::{
+    addition_updates, min_med_max, real_rows, removal_updates, speedups, synthetic_rows,
+    time_brandes, update_times, Args, Variant,
+};
+
+fn main() {
+    let args = Args::parse();
+    println!(
+        "Table 4: MO speedup over Brandes, {} updates each direction\n",
+        args.updates
+    );
+    println!(
+        "{:>14} | {:>24} | {:>24}",
+        "dataset", "addition min/med/max", "removal min/med/max"
+    );
+    for s in synthetic_rows(&args).into_iter().chain(real_rows(&args)) {
+        let (_, tb) = time_brandes(&s.graph);
+        let adds = addition_updates(&s.graph, args.updates, args.seed);
+        let add_sp = speedups(tb, &update_times(&s.graph, &adds, Variant::Mo));
+        let (a_min, a_med, a_max) = min_med_max(&add_sp);
+        let rems = removal_updates(&s.graph, args.updates, args.seed + 1);
+        let rem_sp = speedups(tb, &update_times(&s.graph, &rems, Variant::Mo));
+        let (r_min, r_med, r_max) = min_med_max(&rem_sp);
+        println!(
+            "{:>14} | {:>7.0} {:>7.0} {:>8.0} | {:>7.0} {:>7.0} {:>8.0}",
+            s.name, a_min, a_med, a_max, r_min, r_med, r_max
+        );
+    }
+    println!("\nPaper's Table 4 (paper-scale graphs, DO on a Hadoop cluster):");
+    println!("  1k add 3/12/23 rem 2/10/19; 10k add 16/34/62 rem 2/35/155");
+    println!("  100k add 21/49/96 rem 4/45/134; 1000k add 5/10/20 rem 1/12/78");
+    println!("  wikielections add 9/47/95 rem 1/45/92; slashdot add 15/25/121 rem 8/24/127");
+    println!("  facebook add 10/66/462 rem 1/102/243; epinions add 24/56/138 rem 2/45/90");
+    println!("  dblp add 3/8/15 rem 3/8/429; amazon add 2/4/15 rem 2/3/5");
+}

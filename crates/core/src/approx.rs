@@ -1,0 +1,144 @@
+//! Source-sampling approximation of betweenness centrality.
+//!
+//! The paper's introduction surveys randomized approximations (Brandes &
+//! Pich 2007; Riondato & Kornaropoulos 2014) as the usual escape hatch from
+//! Brandes' `O(nm)` cost, and notes their accuracy "can decrease considerably
+//! with the increase in graph size" — one of the motivations for exact
+//! incremental maintenance. This module implements the classic
+//! source-sampling estimator so experiments can quantify that trade-off
+//! against the exact framework:
+//!
+//! * sample `k` sources uniformly without replacement,
+//! * run one predecessor-free Brandes iteration per sampled source,
+//! * scale the accumulated dependencies by `n / k`.
+//!
+//! The estimator is unbiased for both vertex and edge betweenness; its error
+//! concentrates like `O(sqrt(log n / k) · diam)` (Brandes & Pich).
+
+use crate::brandes::{single_source_update_with, BrandesScratch};
+use crate::scores::Scores;
+use ebc_graph::{Graph, VertexId};
+
+/// Deterministic splitmix64 step (tiny, dependency-free PRNG — sampling
+/// quality needs nothing stronger here).
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Sample `k` distinct sources uniformly (partial Fisher–Yates).
+pub fn sample_sources(n: usize, k: usize, seed: u64) -> Vec<VertexId> {
+    let mut ids: Vec<VertexId> = (0..n as VertexId).collect();
+    let k = k.min(n);
+    let mut state = seed;
+    for i in 0..k {
+        let j = i + (splitmix64(&mut state) % (n - i) as u64) as usize;
+        ids.swap(i, j);
+    }
+    ids.truncate(k);
+    ids
+}
+
+/// Approximate VBC and EBC from `k` sampled sources, scaled by `n/k`.
+///
+/// `k = n` degenerates to exact (unscaled) Brandes.
+pub fn approx_betweenness(g: &Graph, k: usize, seed: u64) -> Scores {
+    let n = g.n();
+    let mut scores = Scores::zeros_for(g);
+    if n == 0 || k == 0 {
+        return scores;
+    }
+    let sources = sample_sources(n, k, seed);
+    let mut scratch = BrandesScratch::new(n);
+    for &s in &sources {
+        let _ = single_source_update_with(g, s, &mut scores, &mut scratch);
+    }
+    let scale = n as f64 / sources.len() as f64;
+    for x in &mut scores.vbc {
+        *x *= scale;
+    }
+    for x in &mut scores.ebc {
+        *x *= scale;
+    }
+    scores
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brandes::brandes;
+
+    fn test_graph() -> Graph {
+        // two hubs bridged: clear centrality structure
+        let mut g = Graph::with_vertices(12);
+        for leaf in 1..6 {
+            g.add_edge(0, leaf).unwrap();
+        }
+        for leaf in 7..12 {
+            g.add_edge(6, leaf).unwrap();
+        }
+        g.add_edge(0, 6).unwrap();
+        g
+    }
+
+    #[test]
+    fn sampling_all_sources_is_exact() {
+        let g = test_graph();
+        let exact = brandes(&g);
+        let approx = approx_betweenness(&g, g.n(), 7);
+        assert!(exact.max_vbc_diff(&approx) < 1e-9);
+        assert!(exact.max_ebc_diff(&approx, &g) < 1e-9);
+    }
+
+    #[test]
+    fn sample_sources_distinct_and_in_range() {
+        let s = sample_sources(50, 20, 3);
+        assert_eq!(s.len(), 20);
+        let set: std::collections::HashSet<_> = s.iter().collect();
+        assert_eq!(set.len(), 20);
+        assert!(s.iter().all(|&v| (v as usize) < 50));
+        // k > n clamps
+        assert_eq!(sample_sources(5, 100, 3).len(), 5);
+    }
+
+    #[test]
+    fn estimator_is_roughly_unbiased() {
+        let g = test_graph();
+        let exact = brandes(&g);
+        // average many independent estimates; the mean must approach exact
+        let mut acc = Scores::zeros_for(&g);
+        let runs = 200;
+        for seed in 0..runs {
+            acc.merge_from(&approx_betweenness(&g, 4, seed));
+        }
+        for x in &mut acc.vbc {
+            *x /= runs as f64;
+        }
+        let worst = acc.max_vbc_diff(&exact);
+        // exact hub VBC is ~70; the averaged estimate should be within ~15%
+        let scale = exact.vbc.iter().cloned().fold(0.0, f64::max).max(1.0);
+        assert!(worst / scale < 0.15, "bias too large: {worst} vs scale {scale}");
+    }
+
+    #[test]
+    fn half_sampling_ranks_the_bridge_first() {
+        let g = test_graph();
+        let approx = approx_betweenness(&g, 6, 11);
+        let top = approx.top_edge(&g).unwrap().0;
+        assert_eq!(top, ebc_graph::EdgeKey::new(0, 6), "bridge must rank first");
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let empty = Graph::new();
+        let s = approx_betweenness(&empty, 5, 1);
+        assert!(s.vbc.is_empty());
+        let g = test_graph();
+        let zero = approx_betweenness(&g, 0, 1);
+        assert!(zero.vbc.iter().all(|&x| x == 0.0));
+    }
+}

@@ -1,0 +1,288 @@
+//! The `BD[·]` betweenness-data abstraction.
+//!
+//! For every source `s` the framework keeps three fixed-width arrays —
+//! distance `d`, shortest-path count `σ`, dependency `δ` — and nothing else
+//! (no predecessor lists, §3 "Memory optimisation"). This module defines the
+//! storage contract those arrays live behind:
+//!
+//! * [`MemoryBdStore`] — everything resident (the paper's MO configuration);
+//! * the `ebc-store` crate implements the out-of-core columnar layout (DO).
+//!
+//! The trait surface is shaped by the two access patterns of Algorithm 1:
+//!
+//! 1. [`BdStore::peek_pair`] reads only the two endpoint distances so a
+//!    source with `dd == 0` can be skipped without touching `σ`/`δ`
+//!    (the paper's §5.1 skip, "constant offset" seek on disk);
+//! 2. [`BdStore::update_with`] hands the full mutable `BD[s]` view to the
+//!    update kernel and persists it only if the kernel reports a change.
+
+use ebc_graph::{FxHashMap, VertexId, UNREACHABLE};
+use std::fmt;
+
+/// Mutable view over one source's `BD[s]` arrays.
+///
+/// All three slices have length `n` (the number of vertices) and are indexed
+/// by vertex id, exactly like the paper's columnar record.
+pub struct SourceViewMut<'a> {
+    /// Distances from the source; [`UNREACHABLE`] when disconnected.
+    pub d: &'a mut [u32],
+    /// Shortest-path counts from the source.
+    pub sigma: &'a mut [u64],
+    /// Accumulated dependencies `δ_s(·)`.
+    pub delta: &'a mut [f64],
+}
+
+/// Errors surfaced by `BD` storage backends.
+#[derive(Debug)]
+pub enum BdError {
+    /// The requested source is not managed by this store (wrong partition).
+    UnknownSource(VertexId),
+    /// A source was added twice.
+    DuplicateSource(VertexId),
+    /// Arrays of the wrong length were supplied.
+    ShapeMismatch { expected: usize, got: usize },
+    /// Backend I/O failure (out-of-core stores).
+    Io(std::io::Error),
+    /// Backend-specific corruption or format error.
+    Corrupt(String),
+}
+
+impl fmt::Display for BdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BdError::UnknownSource(s) => write!(f, "source {s} not in this store"),
+            BdError::DuplicateSource(s) => write!(f, "source {s} already present"),
+            BdError::ShapeMismatch { expected, got } => {
+                write!(f, "expected arrays of length {expected}, got {got}")
+            }
+            BdError::Io(e) => write!(f, "bd store io error: {e}"),
+            BdError::Corrupt(msg) => write!(f, "bd store corrupt: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BdError {}
+
+impl From<std::io::Error> for BdError {
+    fn from(e: std::io::Error) -> Self {
+        BdError::Io(e)
+    }
+}
+
+/// Result alias for store operations.
+pub type BdResult<T> = Result<T, BdError>;
+
+/// Callback that mutates one source view and reports whether it changed
+/// anything (`false` lets out-of-core backends skip the write-back).
+pub type SourceFn<'a> = &'a mut dyn FnMut(SourceViewMut<'_>) -> bool;
+
+/// Storage contract for the per-source `BD[s]` records of one partition.
+pub trait BdStore: Send {
+    /// Number of vertex slots in every record.
+    fn n(&self) -> usize;
+
+    /// The sources managed by this store, in deterministic order.
+    fn sources(&self) -> Vec<VertexId>;
+
+    /// Number of sources managed by this store.
+    fn num_sources(&self) -> usize;
+
+    /// Read the distances of `a` and `b` under source `s` without
+    /// materialising the full record (the `dd == 0` fast path).
+    fn peek_pair(&mut self, s: VertexId, a: VertexId, b: VertexId) -> BdResult<(u32, u32)>;
+
+    /// Run `f` over the mutable view of source `s`, persisting the record if
+    /// `f` returns `true`. Returns that flag.
+    fn update_with(&mut self, s: VertexId, f: SourceFn<'_>) -> BdResult<bool>;
+
+    /// Append one vertex slot (`d = UNREACHABLE`, `σ = 0`, `δ = 0`) to every
+    /// record — called when a new vertex joins the graph.
+    fn grow_vertex(&mut self) -> BdResult<()>;
+
+    /// Register a brand-new source with its freshly computed record.
+    fn add_source(
+        &mut self,
+        s: VertexId,
+        d: Vec<u32>,
+        sigma: Vec<u64>,
+        delta: Vec<f64>,
+    ) -> BdResult<()>;
+}
+
+/// Fully in-memory `BD` store — the paper's *MO* configuration.
+pub struct MemoryBdStore {
+    n: usize,
+    order: Vec<VertexId>,
+    index: FxHashMap<VertexId, usize>,
+    d: Vec<Vec<u32>>,
+    sigma: Vec<Vec<u64>>,
+    delta: Vec<Vec<f64>>,
+}
+
+impl MemoryBdStore {
+    /// Empty store for records of `n` vertices.
+    pub fn new(n: usize) -> Self {
+        MemoryBdStore {
+            n,
+            order: Vec::new(),
+            index: FxHashMap::default(),
+            d: Vec::new(),
+            sigma: Vec::new(),
+            delta: Vec::new(),
+        }
+    }
+
+    /// Approximate resident bytes (for the experiments' memory reporting).
+    pub fn resident_bytes(&self) -> usize {
+        self.order.len() * self.n * (4 + 8 + 8)
+    }
+
+    fn slot(&self, s: VertexId) -> BdResult<usize> {
+        self.index.get(&s).copied().ok_or(BdError::UnknownSource(s))
+    }
+}
+
+impl BdStore for MemoryBdStore {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn sources(&self) -> Vec<VertexId> {
+        self.order.clone()
+    }
+
+    fn num_sources(&self) -> usize {
+        self.order.len()
+    }
+
+    fn peek_pair(&mut self, s: VertexId, a: VertexId, b: VertexId) -> BdResult<(u32, u32)> {
+        let slot = self.slot(s)?;
+        Ok((self.d[slot][a as usize], self.d[slot][b as usize]))
+    }
+
+    fn update_with(&mut self, s: VertexId, f: SourceFn<'_>) -> BdResult<bool> {
+        let slot = self.slot(s)?;
+        let view = SourceViewMut {
+            d: &mut self.d[slot],
+            sigma: &mut self.sigma[slot],
+            delta: &mut self.delta[slot],
+        };
+        Ok(f(view))
+    }
+
+    fn grow_vertex(&mut self) -> BdResult<()> {
+        self.n += 1;
+        for slot in 0..self.order.len() {
+            self.d[slot].push(UNREACHABLE);
+            self.sigma[slot].push(0);
+            self.delta[slot].push(0.0);
+        }
+        Ok(())
+    }
+
+    fn add_source(
+        &mut self,
+        s: VertexId,
+        d: Vec<u32>,
+        sigma: Vec<u64>,
+        delta: Vec<f64>,
+    ) -> BdResult<()> {
+        if self.index.contains_key(&s) {
+            return Err(BdError::DuplicateSource(s));
+        }
+        if d.len() != self.n || sigma.len() != self.n || delta.len() != self.n {
+            return Err(BdError::ShapeMismatch { expected: self.n, got: d.len() });
+        }
+        self.index.insert(s, self.order.len());
+        self.order.push(s);
+        self.d.push(d);
+        self.sigma.push(sigma);
+        self.delta.push(delta);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store_with_two_sources() -> MemoryBdStore {
+        let mut st = MemoryBdStore::new(3);
+        st.add_source(0, vec![0, 1, 2], vec![1, 1, 1], vec![2.0, 1.0, 0.0]).unwrap();
+        st.add_source(1, vec![1, 0, 1], vec![1, 1, 1], vec![0.0, 2.0, 0.0]).unwrap();
+        st
+    }
+
+    #[test]
+    fn peek_reads_distances() {
+        let mut st = store_with_two_sources();
+        assert_eq!(st.peek_pair(0, 1, 2).unwrap(), (1, 2));
+        assert_eq!(st.peek_pair(1, 0, 2).unwrap(), (1, 1));
+    }
+
+    #[test]
+    fn unknown_source_rejected() {
+        let mut st = store_with_two_sources();
+        assert!(matches!(st.peek_pair(9, 0, 1), Err(BdError::UnknownSource(9))));
+        assert!(matches!(
+            st.update_with(9, &mut |_| false),
+            Err(BdError::UnknownSource(9))
+        ));
+    }
+
+    #[test]
+    fn update_mutates_in_place() {
+        let mut st = store_with_two_sources();
+        let dirty = st
+            .update_with(0, &mut |view| {
+                view.d[2] = 7;
+                view.sigma[2] = 5;
+                view.delta[2] = 3.5;
+                true
+            })
+            .unwrap();
+        assert!(dirty);
+        assert_eq!(st.peek_pair(0, 2, 2).unwrap(), (7, 7));
+        st.update_with(0, &mut |view| {
+            assert_eq!(view.sigma[2], 5);
+            assert_eq!(view.delta[2], 3.5);
+            false
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn grow_vertex_extends_records() {
+        let mut st = store_with_two_sources();
+        st.grow_vertex().unwrap();
+        assert_eq!(st.n(), 4);
+        assert_eq!(st.peek_pair(0, 3, 0).unwrap(), (UNREACHABLE, 0));
+        st.update_with(1, &mut |view| {
+            assert_eq!(view.d.len(), 4);
+            assert_eq!(view.sigma[3], 0);
+            assert_eq!(view.delta[3], 0.0);
+            false
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn duplicate_and_misshapen_sources_rejected() {
+        let mut st = store_with_two_sources();
+        assert!(matches!(
+            st.add_source(0, vec![0; 3], vec![0; 3], vec![0.0; 3]),
+            Err(BdError::DuplicateSource(0))
+        ));
+        assert!(matches!(
+            st.add_source(2, vec![0; 2], vec![0; 2], vec![0.0; 2]),
+            Err(BdError::ShapeMismatch { expected: 3, got: 2 })
+        ));
+    }
+
+    #[test]
+    fn sources_in_insertion_order() {
+        let st = store_with_two_sources();
+        assert_eq!(st.sources(), vec![0, 1]);
+        assert_eq!(st.num_sources(), 2);
+    }
+}

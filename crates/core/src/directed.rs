@@ -1,0 +1,151 @@
+//! Directed betweenness centrality.
+//!
+//! The paper's framework "can also work on directed graphs by following
+//! outlinks in the search phase and inlinks in the backtracking phase" (§3).
+//! This module provides the directed static baseline — the bootstrap such a
+//! deployment would use — with the same predecessor-free, pull-in-adjacency-
+//! order accumulation as the undirected [`brandes`](crate::brandes::brandes):
+//! the search follows outlinks, and the backtracking pulls each vertex's
+//! dependency from its out-neighbours one level deeper (which is exactly the
+//! inlink relation read from the other side).
+
+use crate::scores::Scores;
+use ebc_graph::{DiGraph, VertexId, UNREACHABLE};
+
+/// Per-source iteration on a directed graph, accumulating VBC and per-arc
+/// EBC contributions into `scores`. Returns the `BD[s]` arrays.
+pub fn single_source_directed(
+    g: &DiGraph,
+    s: VertexId,
+    scores: &mut Scores,
+) -> (Vec<u32>, Vec<u64>, Vec<f64>) {
+    let n = g.n();
+    let mut dist = vec![UNREACHABLE; n];
+    let mut sigma = vec![0u64; n];
+    let mut delta = vec![0.0f64; n];
+    let mut order: Vec<VertexId> = Vec::with_capacity(n);
+    dist[s as usize] = 0;
+    sigma[s as usize] = 1;
+    order.push(s);
+    let mut head = 0;
+    while head < order.len() {
+        let v = order[head];
+        head += 1;
+        let dv = dist[v as usize];
+        for h in g.out_neighbors(v) {
+            let w = h.to as usize;
+            if dist[w] == UNREACHABLE {
+                dist[w] = dv + 1;
+                order.push(h.to);
+            }
+            if dist[w] == dv + 1 {
+                sigma[w] = sigma[w].saturating_add(sigma[v as usize]);
+            }
+        }
+    }
+    for idx in (0..order.len()).rev() {
+        let w = order[idx];
+        let dw = dist[w as usize];
+        let sw = sigma[w as usize] as f64;
+        let mut dep = 0.0;
+        for h in g.out_neighbors(w) {
+            let x = h.to as usize;
+            if dist[x] == dw + 1 {
+                let c = sw / sigma[x] as f64 * (1.0 + delta[x]);
+                dep += c;
+                scores.ebc[h.eid as usize] += c;
+            }
+        }
+        delta[w as usize] = dep;
+        if w != s {
+            scores.vbc[w as usize] += dep;
+        }
+    }
+    (dist, sigma, delta)
+}
+
+/// Directed Brandes: exact vertex and arc betweenness over ordered pairs
+/// `(s, t)` connected by directed shortest paths. `O(nm)` time.
+pub fn brandes_directed(g: &DiGraph) -> Scores {
+    let mut scores = Scores::zeros(g.n(), g.arc_slots());
+    for s in g.vertices() {
+        let _ = single_source_directed(g, s, &mut scores);
+    }
+    scores
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn directed_path_counts_one_direction_only() {
+        // 0 -> 1 -> 2: only the forward pairs exist.
+        let g = DiGraph::from_arcs([(0, 1), (1, 2)]);
+        let s = brandes_directed(&g);
+        // vertex 1 is interior only for the ordered pair (0, 2)
+        assert_eq!(s.vbc, vec![0.0, 1.0, 0.0]);
+        let e01 = g.arc_id(0, 1).unwrap();
+        // arc (0,1) carries pairs (0,1) and (0,2)
+        assert_eq!(s.ebc[e01 as usize], 2.0);
+    }
+
+    #[test]
+    fn directed_cycle_is_symmetric() {
+        let g = DiGraph::from_arcs([(0, 1), (1, 2), (2, 0)]);
+        let s = brandes_directed(&g);
+        // every vertex is interior to exactly one ordered pair (the long way
+        // around), e.g. 1 interior to (0, 2)? 0->1->2 is the only 0~>2 path.
+        for v in 0..3 {
+            assert_eq!(s.vbc[v], 1.0, "vbc[{v}]");
+        }
+    }
+
+    #[test]
+    fn antiparallel_arcs_score_independently() {
+        let g = DiGraph::from_arcs([(0, 1), (1, 0), (1, 2), (2, 1)]);
+        let s = brandes_directed(&g);
+        let f = g.arc_id(0, 1).unwrap();
+        let b = g.arc_id(1, 0).unwrap();
+        // forward arc carries (0,1),(0,2); backward carries (1,0),(2,0)
+        assert_eq!(s.ebc[f as usize], 2.0);
+        assert_eq!(s.ebc[b as usize], 2.0);
+        assert_eq!(s.vbc[1], 2.0);
+    }
+
+    #[test]
+    fn dag_diamond_splits_paths() {
+        // 0 -> {1,2} -> 3: two shortest 0~>3 paths.
+        let g = DiGraph::from_arcs([(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let s = brandes_directed(&g);
+        assert_eq!(s.vbc[1], 0.5);
+        assert_eq!(s.vbc[2], 0.5);
+        assert_eq!(s.vbc[3], 0.0);
+    }
+
+    #[test]
+    fn matches_undirected_when_symmetrised() {
+        // A digraph with every edge in both directions must reproduce the
+        // undirected scores exactly.
+        let edges = [(0u32, 1u32), (1, 2), (2, 3), (3, 0), (0, 2)];
+        let mut dg = DiGraph::with_vertices(4);
+        let mut ug = ebc_graph::Graph::with_vertices(4);
+        for (u, v) in edges {
+            dg.add_arc(u, v).unwrap();
+            dg.add_arc(v, u).unwrap();
+            ug.add_edge(u, v).unwrap();
+        }
+        let ds = brandes_directed(&dg);
+        let us = crate::brandes::brandes(&ug);
+        for v in 0..4 {
+            assert!((ds.vbc[v] - us.vbc[v]).abs() < 1e-9, "vbc[{v}]");
+        }
+        // arc pair (u->v) + (v->u) must sum to the undirected edge's EBC
+        for (u, v) in edges {
+            let fwd = ds.ebc[dg.arc_id(u, v).unwrap() as usize];
+            let bwd = ds.ebc[dg.arc_id(v, u).unwrap() as usize];
+            let und = us.ebc_of(&ug, u, v).unwrap();
+            assert!((fwd + bwd - und).abs() < 1e-9, "edge ({u},{v})");
+        }
+    }
+}

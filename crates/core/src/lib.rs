@@ -1,0 +1,43 @@
+//! # ebc-core
+//!
+//! The primary contribution of *"Scalable Online Betweenness Centrality in
+//! Evolving Graphs"* (Kourtellis, De Francisci Morales, Bonchi — ICDE 2016):
+//! an incremental algorithm that keeps **both vertex and edge betweenness
+//! centrality** up to date while edges are **added and removed**, one update
+//! at a time, using only three fixed-width per-vertex arrays per source
+//! (`BD[s] = {d, σ, δ}` — distance, shortest-path count, dependency) and **no
+//! predecessor lists**, for `O(n²)` total space.
+//!
+//! ## Layout
+//!
+//! * [`brandes`] — the static baselines: predecessor-free Brandes (the
+//!   paper's *MO* variant, also used as step 1 of the framework) and the
+//!   classic predecessor-list Brandes (*MP*), both producing VBC and EBC
+//!   simultaneously (Brandes 2008).
+//! * [`bd`] — the `BD[s]` betweenness-data abstraction: a [`bd::BdStore`]
+//!   trait with an in-memory implementation (the out-of-core implementation
+//!   lives in the `ebc-store` crate).
+//! * [`incremental`] — the per-source update kernel (Algorithms 1–10 of the
+//!   paper, re-derived in a uniform pull-based formulation; see `DESIGN.md`).
+//! * [`state`] — [`BetweennessState`]: the end-to-end framework of Figure 1
+//!   (bootstrap once, then stream updates).
+//! * [`scores`] — score containers and merge (reduce) operations.
+//! * [`verify`] — recompute-from-scratch oracles for tests and experiments.
+
+pub mod approx;
+pub mod bd;
+pub mod brandes;
+pub mod directed;
+pub mod incremental;
+pub mod ranking;
+pub mod scores;
+pub mod state;
+pub mod verify;
+
+pub use approx::approx_betweenness;
+pub use bd::{BdStore, MemoryBdStore, SourceViewMut};
+pub use brandes::{brandes, brandes_with_predecessors, single_source_update};
+pub use directed::brandes_directed;
+pub use incremental::{update_source, UpdateConfig, UpdateStats, Workspace};
+pub use scores::Scores;
+pub use state::{BetweennessState, StateError, Update};

@@ -1,0 +1,155 @@
+//! Centrality-ranking utilities.
+//!
+//! The paper's closing application is "online detection and prediction of
+//! emerging leaders and communities in social networks" (§7): what users of
+//! the framework consume is rarely the raw scores but the *ranking* they
+//! induce and how it shifts as the graph evolves. This module provides the
+//! standard comparators:
+//!
+//! * [`top_k`] — the current leaders (deterministic tie-breaking by id);
+//! * [`jaccard_top_k`] — set overlap between two top-k lists;
+//! * [`kendall_tau`] — rank correlation of two full score vectors;
+//! * [`RankTracker`] — turnover monitoring across updates.
+
+/// Indices of the `k` largest scores, ties broken toward smaller index.
+pub fn top_k(scores: &[f64], k: usize) -> Vec<u32> {
+    let mut idx: Vec<u32> = (0..scores.len() as u32).collect();
+    idx.sort_by(|&a, &b| {
+        scores[b as usize]
+            .partial_cmp(&scores[a as usize])
+            .expect("scores must not be NaN")
+            .then(a.cmp(&b))
+    });
+    idx.truncate(k);
+    idx
+}
+
+/// Jaccard similarity of the top-`k` sets of two score vectors
+/// (`|A∩B| / |A∪B|`); 1.0 when both are empty.
+pub fn jaccard_top_k(a: &[f64], b: &[f64], k: usize) -> f64 {
+    let sa: std::collections::HashSet<u32> = top_k(a, k).into_iter().collect();
+    let sb: std::collections::HashSet<u32> = top_k(b, k).into_iter().collect();
+    let union = sa.union(&sb).count();
+    if union == 0 {
+        return 1.0;
+    }
+    sa.intersection(&sb).count() as f64 / union as f64
+}
+
+/// Kendall tau-a rank correlation between two same-length score vectors
+/// (`O(n²)` pair scan — intended for evaluation, not hot paths).
+pub fn kendall_tau(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "score vectors must be the same length");
+    let n = a.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let mut concordant = 0i64;
+    let mut discordant = 0i64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let da = a[i] - a[j];
+            let db = b[i] - b[j];
+            let s = da * db;
+            if s > 0.0 {
+                concordant += 1;
+            } else if s < 0.0 {
+                discordant += 1;
+            }
+        }
+    }
+    let pairs = (n * (n - 1) / 2) as f64;
+    (concordant - discordant) as f64 / pairs
+}
+
+/// Tracks top-k turnover across a stream of score snapshots.
+#[derive(Debug, Clone)]
+pub struct RankTracker {
+    k: usize,
+    current: Vec<u32>,
+    /// Total number of entries that entered the top-k across all observed
+    /// transitions.
+    pub entries: usize,
+    /// Number of snapshots observed.
+    pub snapshots: usize,
+}
+
+impl RankTracker {
+    /// Track the top `k` ranks.
+    pub fn new(k: usize) -> Self {
+        RankTracker { k, current: Vec::new(), entries: 0, snapshots: 0 }
+    }
+
+    /// Observe a new snapshot; returns `(entered, left)` vertex ids.
+    pub fn observe(&mut self, scores: &[f64]) -> (Vec<u32>, Vec<u32>) {
+        let next = top_k(scores, self.k);
+        let entered: Vec<u32> =
+            next.iter().copied().filter(|v| !self.current.contains(v)).collect();
+        let left: Vec<u32> =
+            self.current.iter().copied().filter(|v| !next.contains(v)).collect();
+        if self.snapshots > 0 {
+            self.entries += entered.len();
+        }
+        self.current = next;
+        self.snapshots += 1;
+        (entered, left)
+    }
+
+    /// The current top-k.
+    pub fn current(&self) -> &[u32] {
+        &self.current
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top_k_orders_and_breaks_ties() {
+        let scores = [1.0, 5.0, 5.0, 0.0, 3.0];
+        assert_eq!(top_k(&scores, 3), vec![1, 2, 4]);
+        assert_eq!(top_k(&scores, 0), Vec::<u32>::new());
+        assert_eq!(top_k(&scores, 99).len(), 5);
+    }
+
+    #[test]
+    fn jaccard_extremes() {
+        let a = [3.0, 2.0, 1.0, 0.0];
+        let b = [0.0, 1.0, 2.0, 3.0];
+        assert_eq!(jaccard_top_k(&a, &a, 2), 1.0);
+        assert_eq!(jaccard_top_k(&a, &b, 2), 0.0);
+        assert_eq!(jaccard_top_k(&[], &[], 3), 1.0);
+    }
+
+    #[test]
+    fn kendall_bounds() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let rev = [4.0, 3.0, 2.0, 1.0];
+        assert_eq!(kendall_tau(&a, &a), 1.0);
+        assert_eq!(kendall_tau(&a, &rev), -1.0);
+        assert_eq!(kendall_tau(&[1.0], &[2.0]), 1.0);
+    }
+
+    #[test]
+    fn kendall_partial_agreement() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [1.0, 3.0, 2.0]; // one discordant pair of three
+        let tau = kendall_tau(&a, &b);
+        assert!((tau - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tracker_counts_turnover() {
+        let mut t = RankTracker::new(2);
+        let (e, l) = t.observe(&[5.0, 4.0, 1.0]);
+        assert_eq!(e, vec![0, 1]);
+        assert!(l.is_empty());
+        let (e, l) = t.observe(&[5.0, 0.0, 9.0]); // 2 displaces 1
+        assert_eq!(e, vec![2]);
+        assert_eq!(l, vec![1]);
+        assert_eq!(t.entries, 1);
+        assert_eq!(t.snapshots, 2);
+        assert_eq!(t.current(), &[2, 0]);
+    }
+}

@@ -1,0 +1,144 @@
+//! Oracle tests on structured graph families — each family stresses a
+//! different case of the update algorithm: deep levels (paths), wide levels
+//! (stars), many equal-length path multiplicities (grids, hypercubes),
+//! bridges (barbells), and bipartite layering.
+
+use ebc_core::state::{BetweennessState, Update};
+use ebc_core::verify::assert_matches_scratch;
+use ebc_graph::Graph;
+
+const TOL: f64 = 1e-6;
+
+fn check_family(g: Graph, label: &str) {
+    // Exercise: remove a quarter of the edges (every 4th in sorted order),
+    // then re-add them, verifying after every step.
+    let victims: Vec<(u32, u32)> =
+        g.sorted_edges().into_iter().step_by(4).collect();
+    let mut st = BetweennessState::init(&g);
+    for (i, &(u, v)) in victims.iter().enumerate() {
+        st.apply(Update::remove(u, v)).unwrap();
+        assert_matches_scratch(st.graph(), st.scores(), TOL, &format!("{label} rm {i}"));
+    }
+    for (i, &(u, v)) in victims.iter().enumerate() {
+        st.apply(Update::add(u, v)).unwrap();
+        assert_matches_scratch(st.graph(), st.scores(), TOL, &format!("{label} re-add {i}"));
+    }
+}
+
+fn path(n: u32) -> Graph {
+    Graph::from_edges((0..n - 1).map(|i| (i, i + 1)))
+}
+
+#[test]
+fn deep_path() {
+    check_family(path(24), "path24");
+}
+
+#[test]
+fn star() {
+    let g = Graph::from_edges((1..16u32).map(|leaf| (0, leaf)));
+    check_family(g, "star16");
+}
+
+#[test]
+fn binary_tree() {
+    let g = Graph::from_edges((1..31u32).map(|v| ((v - 1) / 2, v)));
+    check_family(g, "btree31");
+}
+
+#[test]
+fn grid_5x5() {
+    let mut edges = Vec::new();
+    let idx = |r: u32, c: u32| r * 5 + c;
+    for r in 0..5 {
+        for c in 0..5 {
+            if c + 1 < 5 {
+                edges.push((idx(r, c), idx(r, c + 1)));
+            }
+            if r + 1 < 5 {
+                edges.push((idx(r, c), idx(r + 1, c)));
+            }
+        }
+    }
+    check_family(Graph::from_edges(edges), "grid5x5");
+}
+
+#[test]
+fn hypercube_q4() {
+    let mut edges = Vec::new();
+    for v in 0..16u32 {
+        for bit in 0..4 {
+            let w = v ^ (1 << bit);
+            if v < w {
+                edges.push((v, w));
+            }
+        }
+    }
+    check_family(Graph::from_edges(edges), "q4");
+}
+
+#[test]
+fn barbell() {
+    // two K5s joined by a 3-path: bridge edges dominate betweenness
+    let mut edges = Vec::new();
+    for i in 0..5u32 {
+        for j in (i + 1)..5 {
+            edges.push((i, j));
+            edges.push((i + 8, j + 8));
+        }
+    }
+    edges.extend([(4, 5), (5, 6), (6, 7), (7, 8)]);
+    check_family(Graph::from_edges(edges), "barbell");
+}
+
+#[test]
+fn complete_bipartite_k34() {
+    let mut edges = Vec::new();
+    for a in 0..3u32 {
+        for b in 3..7u32 {
+            edges.push((a, b));
+        }
+    }
+    check_family(Graph::from_edges(edges), "k34");
+}
+
+#[test]
+fn cycle_even_and_odd() {
+    for n in [12u32, 13] {
+        let g = Graph::from_edges((0..n).map(|i| (i, (i + 1) % n)));
+        check_family(g, &format!("cycle{n}"));
+    }
+}
+
+#[test]
+fn wheel() {
+    let n = 12u32;
+    let mut edges: Vec<(u32, u32)> = (1..=n).map(|i| (0, i)).collect();
+    edges.extend((1..=n).map(|i| (i, if i == n { 1 } else { i + 1 })));
+    check_family(Graph::from_edges(edges), "wheel12");
+}
+
+#[test]
+fn two_cliques_single_bridge_rewire() {
+    // the bridge removal disconnects; re-adding merges — both directions of
+    // the hardest structural cases, repeatedly.
+    let mut edges = Vec::new();
+    for i in 0..6u32 {
+        for j in (i + 1)..6 {
+            edges.push((i, j));
+            edges.push((i + 6, j + 6));
+        }
+    }
+    edges.push((0, 6));
+    let g = Graph::from_edges(edges);
+    let mut st = BetweennessState::init(&g);
+    for round in 0..3 {
+        st.apply(Update::remove(0, 6)).unwrap();
+        assert_matches_scratch(st.graph(), st.scores(), TOL, &format!("split {round}"));
+        st.apply(Update::add(2, 8)).unwrap();
+        assert_matches_scratch(st.graph(), st.scores(), TOL, &format!("remerge {round}"));
+        st.apply(Update::remove(2, 8)).unwrap();
+        st.apply(Update::add(0, 6)).unwrap();
+        assert_matches_scratch(st.graph(), st.scores(), TOL, &format!("restore {round}"));
+    }
+}

@@ -1,0 +1,366 @@
+//! The shared-nothing cluster engine (paper §5.2 and Figure 4).
+//!
+//! Each worker models one machine: it owns a **replica of the graph**
+//! (the paper replicates `G` and `ES` to every machine via distributed
+//! cache), a **private `BD` store** covering its source partition `Π_i`
+//! (in memory, or its own on-disk file — "the disk access workload is
+//! distributed in a balanced fashion across multiple disks"), and a
+//! **partial score vector** (the map output
+//! `⟨id, pbc_s(id)⟩ ∀ id, ∀ s ∈ Π_i`). The reduce step sums partials.
+
+use crate::partition::partition_ranges;
+use ebc_core::bd::{BdError, BdStore, MemoryBdStore};
+use ebc_core::brandes::{single_source_update_with, BrandesScratch};
+use ebc_core::incremental::{update_source, UpdateConfig, Workspace};
+use ebc_core::scores::Scores;
+use ebc_core::state::Update;
+use ebc_graph::{EdgeOp, Graph, GraphError, VertexId};
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Errors from the cluster engine.
+#[derive(Debug)]
+pub enum EngineError {
+    /// Graph replica rejected the update.
+    Graph(GraphError),
+    /// A worker's store failed.
+    Store(BdError),
+    /// An addition referenced a vertex more than one past the maximum id.
+    SparseVertex(VertexId),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Graph(e) => write!(f, "graph error: {e}"),
+            EngineError::Store(e) => write!(f, "store error: {e}"),
+            EngineError::SparseVertex(v) => write!(f, "vertex {v} skips ids"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<GraphError> for EngineError {
+    fn from(e: GraphError) -> Self {
+        EngineError::Graph(e)
+    }
+}
+
+impl From<BdError> for EngineError {
+    fn from(e: BdError) -> Self {
+        EngineError::Store(e)
+    }
+}
+
+/// Timing breakdown of one parallel update (the quantities of §5.3).
+#[derive(Debug, Clone)]
+pub struct ApplyReport {
+    /// Wall-clock time of the slowest worker (the map phase critical path).
+    pub map_wall: Duration,
+    /// Per-worker busy times.
+    pub per_worker: Vec<Duration>,
+    /// Sum of all worker busy times (the "cumulative execution time" the
+    /// paper compares against Brandes in Figure 6).
+    pub cumulative: Duration,
+}
+
+struct Worker<S: BdStore> {
+    id: usize,
+    graph: Graph,
+    store: S,
+    partial: Scores,
+    ws: Workspace,
+    scratch: BrandesScratch,
+    cfg: UpdateConfig,
+}
+
+impl<S: BdStore> Worker<S> {
+    /// Bootstrap this worker's partition: one Brandes iteration per owned
+    /// source, accumulating into the partial scores (step 1 of Figure 4).
+    fn bootstrap(&mut self, sources: impl Iterator<Item = VertexId>) -> Result<(), EngineError> {
+        for s in sources {
+            let r = single_source_update_with(&self.graph, s, &mut self.partial, &mut self.scratch);
+            self.store.add_source(s, r.d, r.sigma, r.delta)?;
+        }
+        Ok(())
+    }
+
+    /// Map task for one update: refresh own replica, then run the kernel for
+    /// every owned source (skipping `dd == 0` via the cheap peek).
+    fn apply(&mut self, update: Update, new_source: Option<VertexId>) -> Result<Duration, EngineError> {
+        let t0 = Instant::now();
+        let Update { op, u, v } = update;
+        let removed_eid = match op {
+            EdgeOp::Add => {
+                let hi = u.max(v);
+                if hi as usize > self.graph.n() {
+                    return Err(EngineError::SparseVertex(hi));
+                }
+                if (hi as usize) == self.graph.n() {
+                    self.graph.add_vertex();
+                    self.store.grow_vertex()?;
+                    self.ws.grow(self.graph.n());
+                }
+                self.graph.add_edge(u, v)?;
+                None
+            }
+            EdgeOp::Remove => Some(self.graph.remove_edge(u, v)?),
+        };
+        self.partial.ensure_shape(self.graph.n(), self.graph.edge_slots());
+        let graph = &self.graph;
+        let partial = &mut self.partial;
+        let ws = &mut self.ws;
+        let cfg = &self.cfg;
+        for s in self.store.sources() {
+            let (a, b) = self.store.peek_pair(s, u, v)?;
+            if a == b {
+                ws.stats.sources_skipped += 1;
+                continue;
+            }
+            self.store.update_with(s, &mut |view| {
+                update_source(graph, s, op, u, v, view, partial, ws, cfg)
+            })?;
+        }
+        if let Some(s_new) = new_source {
+            let r = single_source_update_with(
+                &self.graph,
+                s_new,
+                &mut self.partial,
+                &mut self.scratch,
+            );
+            self.store.add_source(s_new, r.d, r.sigma, r.delta)?;
+        }
+        if let Some(eid) = removed_eid {
+            self.partial.ebc[eid as usize] = 0.0;
+        }
+        Ok(t0.elapsed())
+    }
+}
+
+/// A simulated shared-nothing cluster of `p` workers.
+pub struct ClusterEngine<S: BdStore = MemoryBdStore> {
+    workers: Vec<Worker<S>>,
+    n: usize,
+    edge_slots: usize,
+}
+
+impl ClusterEngine<MemoryBdStore> {
+    /// Bootstrap a `p`-worker cluster with in-memory stores.
+    pub fn bootstrap(graph: &Graph, p: usize) -> Result<Self, EngineError> {
+        Self::bootstrap_with(graph, p, UpdateConfig::default(), |_worker, n| {
+            Ok(MemoryBdStore::new(n))
+        })
+    }
+}
+
+impl<S: BdStore> ClusterEngine<S> {
+    /// Bootstrap with a custom per-worker store factory (e.g. one
+    /// [`ebc_store::DiskBdStore`] file per worker, mirroring one disk per
+    /// machine). Bootstrap runs the Brandes partitions in parallel.
+    pub fn bootstrap_with(
+        graph: &Graph,
+        p: usize,
+        cfg: UpdateConfig,
+        mut store_factory: impl FnMut(usize, usize) -> Result<S, EngineError>,
+    ) -> Result<Self, EngineError> {
+        let n = graph.n();
+        let ranges = partition_ranges(n, p);
+        let mut workers = Vec::with_capacity(ranges.len());
+        for (id, _) in ranges.iter().enumerate() {
+            workers.push(Worker {
+                id,
+                graph: graph.clone(),
+                store: store_factory(id, n)?,
+                partial: Scores::zeros_for(graph),
+                ws: Workspace::new(n),
+                scratch: BrandesScratch::new(n),
+                cfg: cfg.clone(),
+            });
+        }
+        let results: Vec<Result<(), EngineError>> = std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (worker, range) in workers.iter_mut().zip(ranges.iter()) {
+                let range = range.clone();
+                handles.push(scope.spawn(move || worker.bootstrap(range)));
+            }
+            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        });
+        for r in results {
+            r?;
+        }
+        Ok(ClusterEngine { workers, n, edge_slots: graph.edge_slots() })
+    }
+
+    /// Number of workers.
+    pub fn num_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Number of vertices in the replicas.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Apply one update on all workers in parallel (the map phase). The
+    /// slowest worker's busy time is the update's wall-clock critical path.
+    pub fn apply(&mut self, update: Update) -> Result<ApplyReport, EngineError> {
+        // New vertices: exactly one worker adopts the new source — the one
+        // with the smallest partition (keeps partitions balanced over time).
+        let mut new_source = None;
+        if update.op == EdgeOp::Add {
+            let hi = update.u.max(update.v);
+            if hi as usize > self.n {
+                return Err(EngineError::SparseVertex(hi));
+            }
+            if (hi as usize) == self.n {
+                new_source = Some(hi);
+                self.n += 1;
+            }
+        }
+        let adopter = self
+            .workers
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, w)| w.store.num_sources())
+            .map(|(i, _)| i)
+            .expect("at least one worker");
+        let results: Vec<Result<Duration, EngineError>> = std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for worker in self.workers.iter_mut() {
+                let adopt = if worker.id == adopter { new_source } else { None };
+                handles.push(scope.spawn(move || worker.apply(update, adopt)));
+            }
+            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        });
+        let mut per_worker = Vec::with_capacity(results.len());
+        for r in results {
+            per_worker.push(r?);
+        }
+        self.edge_slots = self.workers[0].graph.edge_slots();
+        let map_wall = per_worker.iter().copied().max().unwrap_or_default();
+        let cumulative = per_worker.iter().sum();
+        Ok(ApplyReport { map_wall, per_worker, cumulative })
+    }
+
+    /// Reduce phase: sum the per-worker partial scores into global scores.
+    /// Returns the scores and the merge time `t_M` of §5.3.
+    pub fn reduce(&self) -> (Scores, Duration) {
+        let t0 = Instant::now();
+        let mut total = Scores::zeros(self.n, self.edge_slots);
+        for w in &self.workers {
+            total.merge_from(&w.partial);
+        }
+        (total, t0.elapsed())
+    }
+
+    /// A reference to some worker's graph replica (all replicas are
+    /// identical).
+    pub fn graph(&self) -> &Graph {
+        &self.workers[0].graph
+    }
+
+    /// Sum of per-worker source counts (sanity: equals current n).
+    pub fn total_sources(&self) -> usize {
+        self.workers.iter().map(|w| w.store.num_sources()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ebc_core::state::BetweennessState;
+    use ebc_core::verify::assert_matches_scratch;
+    use ebc_gen::models::holme_kim;
+
+    #[test]
+    fn cluster_matches_single_state() {
+        let g = holme_kim(40, 3, 0.4, 7);
+        let mut cluster = ClusterEngine::bootstrap(&g, 4).unwrap();
+        let mut single = BetweennessState::init(&g);
+        // bootstrap equivalence
+        let (scores, _) = cluster.reduce();
+        assert!(scores.max_vbc_diff(single.scores()) < 1e-9);
+
+        let updates = [
+            Update::add(0, 25),
+            Update::add(3, 17),
+            Update::remove(0, 25),
+            Update::add(10, 30),
+        ];
+        for u in updates {
+            cluster.apply(u).unwrap();
+            single.apply(u).unwrap();
+            let (scores, _) = cluster.reduce();
+            assert!(scores.max_vbc_diff(single.scores()) < 1e-9, "VBC after {u:?}");
+            assert!(
+                scores.max_ebc_diff(single.scores(), single.graph()) < 1e-9,
+                "EBC after {u:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn cluster_handles_removals_that_disconnect() {
+        let mut g = Graph::with_vertices(6);
+        for (u, v) in [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)] {
+            g.add_edge(u, v).unwrap();
+        }
+        let mut cluster = ClusterEngine::bootstrap(&g, 3).unwrap();
+        cluster.apply(Update::remove(2, 3)).unwrap();
+        let (scores, _) = cluster.reduce();
+        assert_matches_scratch(cluster.graph(), &scores, 1e-6, "disconnect");
+    }
+
+    #[test]
+    fn cluster_adopts_new_vertices_balanced() {
+        let g = holme_kim(20, 2, 0.3, 3);
+        let mut cluster = ClusterEngine::bootstrap(&g, 3).unwrap();
+        assert_eq!(cluster.total_sources(), 20);
+        cluster.apply(Update::add(5, 20)).unwrap(); // new vertex 20
+        cluster.apply(Update::add(20, 21)).unwrap(); // and 21
+        assert_eq!(cluster.total_sources(), 22);
+        let (scores, _) = cluster.reduce();
+        assert_matches_scratch(cluster.graph(), &scores, 1e-6, "growth");
+    }
+
+    #[test]
+    fn single_worker_cluster_is_degenerate_case() {
+        let g = holme_kim(15, 2, 0.2, 5);
+        let mut cluster = ClusterEngine::bootstrap(&g, 1).unwrap();
+        cluster.apply(Update::add(0, 9)).unwrap();
+        let (scores, _) = cluster.reduce();
+        assert_matches_scratch(cluster.graph(), &scores, 1e-6, "p=1");
+    }
+
+    #[test]
+    fn more_workers_than_sources() {
+        let mut g = Graph::with_vertices(3);
+        g.add_edge(0, 1).unwrap();
+        g.add_edge(1, 2).unwrap();
+        let mut cluster = ClusterEngine::bootstrap(&g, 8).unwrap();
+        cluster.apply(Update::add(0, 2)).unwrap();
+        let (scores, _) = cluster.reduce();
+        assert_matches_scratch(cluster.graph(), &scores, 1e-6, "p>n");
+    }
+
+    #[test]
+    fn apply_report_shapes() {
+        let g = holme_kim(25, 2, 0.3, 9);
+        let mut cluster = ClusterEngine::bootstrap(&g, 4).unwrap();
+        let rep = cluster.apply(Update::add(0, 13)).unwrap();
+        assert_eq!(rep.per_worker.len(), 4);
+        assert!(rep.map_wall >= *rep.per_worker.iter().max().unwrap());
+        assert!(rep.cumulative >= rep.map_wall);
+    }
+
+    #[test]
+    fn sparse_vertex_rejected() {
+        let g = holme_kim(10, 2, 0.3, 9);
+        let mut cluster = ClusterEngine::bootstrap(&g, 2).unwrap();
+        assert!(matches!(
+            cluster.apply(Update::add(0, 99)),
+            Err(EngineError::SparseVertex(99))
+        ));
+    }
+}

@@ -1,0 +1,33 @@
+//! # ebc-engine
+//!
+//! The parallel and online embodiment of the framework (paper §5.2–§5.4).
+//!
+//! The paper's key observation is that the incremental computation is
+//! *embarrassingly parallel over sources*: `BD[·]` is range-partitioned over
+//! `p` shared-nothing machines (`Π_i`), every machine holds a replica of the
+//! graph and processes each arriving update for its own sources only, and
+//! partial betweenness scores are summed in a reduce step (Figure 4 shows
+//! the MapReduce rendition).
+//!
+//! This crate reproduces that architecture with worker threads standing in
+//! for machines:
+//!
+//! * [`partition`] — the `Π_i` source-range math;
+//! * [`cluster`] — [`cluster::ClusterEngine`]: per-worker graph replicas and
+//!   private `BD` stores (in memory, or one disk file per worker), map
+//!   (process update on own partition) and reduce (sum partials) phases with
+//!   wall-clock instrumentation;
+//! * [`online`] — the online-updates experiment (§5.3, Figure 8, Table 5):
+//!   replay a timestamped stream and record, per update, the inter-arrival
+//!   gap, the processing time, queueing delays, and missed deadlines. Both
+//!   *measured* mode (real threads) and *modeled* mode (the paper's
+//!   `t_U = t_S·n/p + t_M` projection, for worker counts beyond the local
+//!   core count) are provided.
+
+pub mod cluster;
+pub mod online;
+pub mod partition;
+
+pub use cluster::{ApplyReport, ClusterEngine, EngineError};
+pub use online::{simulate_modeled, simulate_online, OnlineEvent, OnlineReport};
+pub use partition::partition_ranges;

@@ -1,0 +1,60 @@
+//! Source-range partitioning (`Π_i`, paper Figure 4).
+//!
+//! The paper generates "an input for each mapper `i` that represents a
+//! partition `Π_i` of the graph ... two integers that represent the first
+//! and last ID of the range of sources for which the particular mapper is
+//! responsible". Ranges are balanced to within one source.
+
+use std::ops::Range;
+
+/// Split `0..n` into `p` contiguous near-equal ranges (the first `n % p`
+/// ranges get one extra source). Empty ranges are produced when `p > n`.
+pub fn partition_ranges(n: usize, p: usize) -> Vec<Range<u32>> {
+    let p = p.max(1);
+    let base = n / p;
+    let extra = n % p;
+    let mut out = Vec::with_capacity(p);
+    let mut start = 0usize;
+    for i in 0..p {
+        let len = base + usize::from(i < extra);
+        out.push(start as u32..(start + len) as u32);
+        start += len;
+    }
+    debug_assert_eq!(start, n);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_all_sources_exactly_once() {
+        for (n, p) in [(10, 3), (100, 7), (5, 5), (3, 8), (0, 4), (1000, 1)] {
+            let ranges = partition_ranges(n, p);
+            assert_eq!(ranges.len(), p);
+            let mut covered = vec![false; n];
+            for r in &ranges {
+                for v in r.clone() {
+                    assert!(!covered[v as usize], "source {v} covered twice");
+                    covered[v as usize] = true;
+                }
+            }
+            assert!(covered.iter().all(|&c| c), "n={n} p={p}");
+        }
+    }
+
+    #[test]
+    fn balanced_within_one() {
+        let ranges = partition_ranges(103, 10);
+        let sizes: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+        let min = *sizes.iter().min().unwrap();
+        let max = *sizes.iter().max().unwrap();
+        assert!(max - min <= 1, "{sizes:?}");
+    }
+
+    #[test]
+    fn zero_workers_clamped() {
+        assert_eq!(partition_ranges(4, 0).len(), 1);
+    }
+}

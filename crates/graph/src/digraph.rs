@@ -1,0 +1,273 @@
+//! Directed simple graph.
+//!
+//! The paper's framework "can also work on directed graphs by following
+//! outlinks in the search phase and inlinks in the backtracking phase"
+//! (§3). This type provides the directed substrate: dense vertex ids, both
+//! out- and in-adjacency, and stable edge slots exactly like the undirected
+//! [`Graph`](crate::Graph).
+
+use crate::fxhash::FxHashMap;
+use crate::graph::{EdgeId, GraphError, Half, VertexId};
+use std::fmt;
+
+/// Directed edge key: source in the high half, target in the low half.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ArcKey(pub u64);
+
+impl ArcKey {
+    /// Key for the arc `u -> v`.
+    #[inline]
+    pub fn new(u: VertexId, v: VertexId) -> Self {
+        ArcKey(((u as u64) << 32) | v as u64)
+    }
+
+    /// The `(from, to)` endpoints.
+    #[inline]
+    pub fn endpoints(self) -> (VertexId, VertexId) {
+        ((self.0 >> 32) as VertexId, (self.0 & 0xffff_ffff) as VertexId)
+    }
+}
+
+impl fmt::Display for ArcKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (u, v) = self.endpoints();
+        write!(f, "({u}->{v})")
+    }
+}
+
+/// A dynamic, directed, simple graph with dense ids and stable arc slots.
+#[derive(Clone, Default)]
+pub struct DiGraph {
+    out_adj: Vec<Vec<Half>>,
+    in_adj: Vec<Vec<Half>>,
+    index: FxHashMap<ArcKey, EdgeId>,
+    slots: Vec<Option<ArcKey>>,
+    free: Vec<EdgeId>,
+}
+
+impl DiGraph {
+    /// Empty directed graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Directed graph with `n` isolated vertices.
+    pub fn with_vertices(n: usize) -> Self {
+        DiGraph { out_adj: vec![Vec::new(); n], in_adj: vec![Vec::new(); n], ..Default::default() }
+    }
+
+    /// Build from arcs, growing the vertex set and skipping duplicates and
+    /// self-loops.
+    pub fn from_arcs<I: IntoIterator<Item = (VertexId, VertexId)>>(arcs: I) -> Self {
+        let mut g = DiGraph::new();
+        for (u, v) in arcs {
+            if u == v {
+                continue;
+            }
+            g.ensure_vertex(u.max(v));
+            let _ = g.add_arc(u, v);
+        }
+        g
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.out_adj.len()
+    }
+
+    /// Number of arcs.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Number of arc slots ever allocated.
+    #[inline]
+    pub fn arc_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Ensure vertices `0..=v` exist.
+    pub fn ensure_vertex(&mut self, v: VertexId) {
+        if (v as usize) >= self.out_adj.len() {
+            self.out_adj.resize(v as usize + 1, Vec::new());
+            self.in_adj.resize(v as usize + 1, Vec::new());
+        }
+    }
+
+    /// Add a vertex and return its id.
+    pub fn add_vertex(&mut self) -> VertexId {
+        self.out_adj.push(Vec::new());
+        self.in_adj.push(Vec::new());
+        (self.out_adj.len() - 1) as VertexId
+    }
+
+    fn check_vertex(&self, v: VertexId) -> Result<(), GraphError> {
+        if (v as usize) < self.out_adj.len() {
+            Ok(())
+        } else {
+            Err(GraphError::UnknownVertex(v))
+        }
+    }
+
+    /// Add the arc `u -> v`.
+    pub fn add_arc(&mut self, u: VertexId, v: VertexId) -> Result<EdgeId, GraphError> {
+        if u == v {
+            return Err(GraphError::SelfLoop(u));
+        }
+        self.check_vertex(u)?;
+        self.check_vertex(v)?;
+        let key = ArcKey::new(u, v);
+        if self.index.contains_key(&key) {
+            return Err(GraphError::DuplicateEdge(u, v));
+        }
+        let eid = match self.free.pop() {
+            Some(id) => {
+                self.slots[id as usize] = Some(key);
+                id
+            }
+            None => {
+                self.slots.push(Some(key));
+                (self.slots.len() - 1) as EdgeId
+            }
+        };
+        self.index.insert(key, eid);
+        self.out_adj[u as usize].push(Half { to: v, eid });
+        self.in_adj[v as usize].push(Half { to: u, eid });
+        Ok(eid)
+    }
+
+    /// Remove the arc `u -> v`.
+    pub fn remove_arc(&mut self, u: VertexId, v: VertexId) -> Result<EdgeId, GraphError> {
+        if u == v {
+            return Err(GraphError::SelfLoop(u));
+        }
+        self.check_vertex(u)?;
+        self.check_vertex(v)?;
+        let key = ArcKey::new(u, v);
+        let eid = match self.index.remove(&key) {
+            Some(eid) => eid,
+            None => return Err(GraphError::MissingEdge(u, v)),
+        };
+        self.slots[eid as usize] = None;
+        self.free.push(eid);
+        let pos = self.out_adj[u as usize].iter().position(|h| h.to == v).expect("in sync");
+        self.out_adj[u as usize].swap_remove(pos);
+        let pos = self.in_adj[v as usize].iter().position(|h| h.to == u).expect("in sync");
+        self.in_adj[v as usize].swap_remove(pos);
+        Ok(eid)
+    }
+
+    /// True if the arc `u -> v` exists.
+    #[inline]
+    pub fn has_arc(&self, u: VertexId, v: VertexId) -> bool {
+        self.index.contains_key(&ArcKey::new(u, v))
+    }
+
+    /// Out-neighbour halves of `v`.
+    #[inline]
+    pub fn out_neighbors(&self, v: VertexId) -> &[Half] {
+        &self.out_adj[v as usize]
+    }
+
+    /// In-neighbour halves of `v` (`Half::to` is the arc's source).
+    #[inline]
+    pub fn in_neighbors(&self, v: VertexId) -> &[Half] {
+        &self.in_adj[v as usize]
+    }
+
+    /// Out-degree.
+    pub fn out_degree(&self, v: VertexId) -> usize {
+        self.out_adj[v as usize].len()
+    }
+
+    /// In-degree.
+    pub fn in_degree(&self, v: VertexId) -> usize {
+        self.in_adj[v as usize].len()
+    }
+
+    /// Iterator over vertex ids.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        0..self.out_adj.len() as VertexId
+    }
+
+    /// Iterator over arcs as `(key, slot)`.
+    pub fn arcs(&self) -> impl Iterator<Item = (ArcKey, EdgeId)> + '_ {
+        self.index.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Slot of the arc `u -> v`, if present.
+    pub fn arc_id(&self, u: VertexId, v: VertexId) -> Option<EdgeId> {
+        self.index.get(&ArcKey::new(u, v)).copied()
+    }
+}
+
+impl fmt::Debug for DiGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DiGraph(n={}, m={})", self.n(), self.m())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arcs_are_directed() {
+        let mut g = DiGraph::with_vertices(3);
+        g.add_arc(0, 1).unwrap();
+        assert!(g.has_arc(0, 1));
+        assert!(!g.has_arc(1, 0));
+        assert_eq!(g.out_degree(0), 1);
+        assert_eq!(g.in_degree(1), 1);
+        assert_eq!(g.in_degree(0), 0);
+        // antiparallel arc is a distinct edge
+        g.add_arc(1, 0).unwrap();
+        assert_eq!(g.m(), 2);
+    }
+
+    #[test]
+    fn remove_updates_both_adjacencies() {
+        let mut g = DiGraph::with_vertices(3);
+        g.add_arc(0, 1).unwrap();
+        g.add_arc(0, 2).unwrap();
+        g.remove_arc(0, 1).unwrap();
+        assert_eq!(g.out_degree(0), 1);
+        assert_eq!(g.in_degree(1), 0);
+        assert!(g.has_arc(0, 2));
+    }
+
+    #[test]
+    fn slots_recycled() {
+        let mut g = DiGraph::with_vertices(3);
+        let e = g.add_arc(0, 1).unwrap();
+        g.remove_arc(0, 1).unwrap();
+        let e2 = g.add_arc(1, 2).unwrap();
+        assert_eq!(e, e2);
+        assert_eq!(g.arc_slots(), 1);
+    }
+
+    #[test]
+    fn errors_match_undirected_semantics() {
+        let mut g = DiGraph::with_vertices(2);
+        assert_eq!(g.add_arc(0, 0), Err(GraphError::SelfLoop(0)));
+        assert_eq!(g.add_arc(0, 9), Err(GraphError::UnknownVertex(9)));
+        g.add_arc(0, 1).unwrap();
+        assert_eq!(g.add_arc(0, 1), Err(GraphError::DuplicateEdge(0, 1)));
+        assert_eq!(g.remove_arc(1, 0), Err(GraphError::MissingEdge(1, 0)));
+    }
+
+    #[test]
+    fn from_arcs_builder() {
+        let g = DiGraph::from_arcs([(0, 1), (1, 2), (2, 0), (0, 1), (1, 1)]);
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 3);
+    }
+
+    #[test]
+    fn arc_key_display() {
+        assert_eq!(ArcKey::new(3, 5).to_string(), "(3->5)");
+        assert_eq!(ArcKey::new(3, 5).endpoints(), (3, 5));
+    }
+}

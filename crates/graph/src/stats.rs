@@ -1,0 +1,292 @@
+//! Graph statistics used by Table 2 of the paper: average degree, clustering
+//! coefficient, and effective diameter.
+
+use crate::graph::{Graph, VertexId};
+use crate::traversal::distance_histogram;
+
+/// Summary statistics for a graph, matching the columns of Table 2.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// Number of vertices.
+    pub n: usize,
+    /// Number of edges.
+    pub m: usize,
+    /// Average degree `2m/n` (paper column "AD").
+    pub avg_degree: f64,
+    /// Average local clustering coefficient (paper column "CC").
+    pub clustering_coefficient: f64,
+    /// 90th-percentile effective diameter (paper column "ED"), estimated from
+    /// BFS over a sample of sources with linear interpolation.
+    pub effective_diameter: f64,
+}
+
+impl GraphStats {
+    /// Compute stats using at most `diameter_samples` BFS sources (pass
+    /// `usize::MAX` for an exact computation on small graphs).
+    pub fn compute(g: &Graph, diameter_samples: usize) -> Self {
+        GraphStats {
+            n: g.n(),
+            m: g.m(),
+            avg_degree: g.average_degree(),
+            clustering_coefficient: average_clustering(g),
+            effective_diameter: effective_diameter(g, diameter_samples),
+        }
+    }
+}
+
+/// Local clustering coefficient of a single vertex: the fraction of pairs of
+/// neighbours that are themselves connected (0 for degree < 2).
+pub fn local_clustering(g: &Graph, v: VertexId) -> f64 {
+    let nbrs = g.neighbors(v);
+    let k = nbrs.len();
+    if k < 2 {
+        return 0.0;
+    }
+    let mut links = 0usize;
+    for i in 0..k {
+        for j in (i + 1)..k {
+            if g.has_edge(nbrs[i].to, nbrs[j].to) {
+                links += 1;
+            }
+        }
+    }
+    2.0 * links as f64 / (k * (k - 1)) as f64
+}
+
+/// Average local clustering coefficient over all vertices (Watts–Strogatz
+/// definition, the one KONECT reports in the paper's Table 2).
+pub fn average_clustering(g: &Graph) -> f64 {
+    if g.n() == 0 {
+        return 0.0;
+    }
+    let total: f64 = g.vertices().map(|v| local_clustering(g, v)).sum();
+    total / g.n() as f64
+}
+
+/// 90th-percentile effective diameter with linear interpolation, estimated
+/// from BFS distance histograms of up to `samples` evenly spaced sources.
+///
+/// For a connected graph and `samples >= n` this is exact. The paper's ED
+/// column comes from KONECT, which uses the same percentile definition.
+pub fn effective_diameter(g: &Graph, samples: usize) -> f64 {
+    if g.n() == 0 {
+        return 0.0;
+    }
+    let step = (g.n() / samples.min(g.n()).max(1)).max(1);
+    let mut hist: Vec<u64> = Vec::new();
+    let mut sampled = 0usize;
+    for v in (0..g.n()).step_by(step) {
+        let h = distance_histogram(g, v as VertexId);
+        if h.len() > hist.len() {
+            hist.resize(h.len(), 0);
+        }
+        for (d, c) in h.iter().enumerate() {
+            hist[d] += *c as u64;
+        }
+        sampled += 1;
+        if sampled >= samples {
+            break;
+        }
+    }
+    // hist[0] counts the sources themselves; effective diameter considers
+    // distances between distinct pairs, so drop distance 0.
+    if hist.len() <= 1 {
+        return 0.0;
+    }
+    let total: u64 = hist[1..].iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let target = 0.9 * total as f64;
+    let mut cum = 0u64;
+    for (d, &c) in hist.iter().enumerate().skip(1) {
+        let prev = cum as f64;
+        cum += c;
+        if cum as f64 >= target {
+            // Interpolate within level d: fraction of the level needed.
+            let need = target - prev;
+            let frac = if c == 0 { 0.0 } else { need / c as f64 };
+            return (d - 1) as f64 + frac;
+        }
+    }
+    (hist.len() - 1) as f64
+}
+
+/// Degree histogram: `hist[d]` = number of vertices with degree `d`.
+pub fn degree_histogram(g: &Graph) -> Vec<usize> {
+    let mut hist = Vec::new();
+    for v in g.vertices() {
+        let d = g.degree(v);
+        if d >= hist.len() {
+            hist.resize(d + 1, 0);
+        }
+        hist[d] += 1;
+    }
+    hist
+}
+
+/// Degree assortativity (Pearson correlation of endpoint degrees over all
+/// edges). Social graphs are typically assortative (> 0), technological and
+/// preferential-attachment graphs disassortative (< 0) — one of the §6.1
+/// structural axes. Returns 0 for graphs without two edges or with constant
+/// degrees.
+pub fn degree_assortativity(g: &Graph) -> f64 {
+    if g.m() < 2 {
+        return 0.0;
+    }
+    // Pearson over the multiset of ordered edge endpoint pairs (each edge
+    // contributes both (du,dv) and (dv,du), making the estimator symmetric).
+    let mut sx = 0.0;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    let mut cnt = 0.0;
+    for (key, _) in g.edges() {
+        let (u, v) = key.endpoints();
+        let (du, dv) = (g.degree(u) as f64, g.degree(v) as f64);
+        for (a, b) in [(du, dv), (dv, du)] {
+            sx += a;
+            sxx += a * a;
+            sxy += a * b;
+            cnt += 1.0;
+        }
+    }
+    let mean = sx / cnt;
+    let var = sxx / cnt - mean * mean;
+    if var <= 0.0 {
+        return 0.0;
+    }
+    (sxy / cnt - mean * mean) / var
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle_plus_tail() -> Graph {
+        // 0-1-2 triangle, 2-3 tail
+        let mut g = Graph::with_vertices(4);
+        g.add_edge(0, 1).unwrap();
+        g.add_edge(1, 2).unwrap();
+        g.add_edge(0, 2).unwrap();
+        g.add_edge(2, 3).unwrap();
+        g
+    }
+
+    #[test]
+    fn local_clustering_values() {
+        let g = triangle_plus_tail();
+        assert!((local_clustering(&g, 0) - 1.0).abs() < 1e-12);
+        assert!((local_clustering(&g, 1) - 1.0).abs() < 1e-12);
+        // vertex 2 has neighbours {0,1,3}; only (0,1) connected => 1/3
+        assert!((local_clustering(&g, 2) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(local_clustering(&g, 3), 0.0);
+    }
+
+    #[test]
+    fn average_clustering_value() {
+        let g = triangle_plus_tail();
+        let expect = (1.0 + 1.0 + 1.0 / 3.0 + 0.0) / 4.0;
+        assert!((average_clustering(&g) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clique_clustering_is_one() {
+        let mut g = Graph::with_vertices(5);
+        for i in 0..5 {
+            for j in (i + 1)..5 {
+                g.add_edge(i, j).unwrap();
+            }
+        }
+        assert!((average_clustering(&g) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn effective_diameter_clique_is_under_one() {
+        let mut g = Graph::with_vertices(4);
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                g.add_edge(i, j).unwrap();
+            }
+        }
+        let ed = effective_diameter(&g, usize::MAX);
+        assert!(ed <= 1.0 && ed > 0.0, "ed = {ed}");
+    }
+
+    #[test]
+    fn effective_diameter_path_reasonable() {
+        let mut g = Graph::with_vertices(11);
+        for i in 0..10u32 {
+            g.add_edge(i, i + 1).unwrap();
+        }
+        let ed = effective_diameter(&g, usize::MAX);
+        // longest distance is 10; the 90th percentile must be below that but
+        // well above half of it.
+        assert!(ed > 5.0 && ed <= 10.0, "ed = {ed}");
+    }
+
+    #[test]
+    fn stats_bundle() {
+        let g = triangle_plus_tail();
+        let s = GraphStats::compute(&g, usize::MAX);
+        assert_eq!(s.n, 4);
+        assert_eq!(s.m, 4);
+        assert!((s.avg_degree - 2.0).abs() < 1e-12);
+        assert!(s.effective_diameter > 0.0);
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let s = GraphStats::compute(&Graph::new(), 8);
+        assert_eq!(s.n, 0);
+        assert_eq!(s.effective_diameter, 0.0);
+        assert_eq!(s.clustering_coefficient, 0.0);
+    }
+
+    #[test]
+    fn degree_histogram_counts() {
+        let g = triangle_plus_tail();
+        // degrees: 2, 2, 3, 1
+        assert_eq!(degree_histogram(&g), vec![0, 1, 2, 1]);
+        assert!(degree_histogram(&Graph::new()).is_empty());
+    }
+
+    #[test]
+    fn star_is_disassortative() {
+        let mut g = Graph::with_vertices(6);
+        for leaf in 1..6 {
+            g.add_edge(0, leaf).unwrap();
+        }
+        assert!(
+            degree_assortativity(&g) < -0.9,
+            "hub-leaf edges anti-correlate degrees: {}",
+            degree_assortativity(&g)
+        );
+    }
+
+    #[test]
+    fn regular_graph_assortativity_is_degenerate_zero() {
+        let mut g = Graph::with_vertices(4);
+        for i in 0..4 {
+            g.add_edge(i, (i + 1) % 4).unwrap();
+        }
+        assert_eq!(degree_assortativity(&g), 0.0); // constant degree => var 0
+    }
+
+    #[test]
+    fn two_matched_stars_are_assortative_relative_to_star() {
+        // edges between same-degree endpoints push assortativity up
+        let mut g = Graph::with_vertices(8);
+        // two hubs with 2 leaves each, hubs joined
+        g.add_edge(0, 1).unwrap();
+        g.add_edge(0, 2).unwrap();
+        g.add_edge(4, 5).unwrap();
+        g.add_edge(4, 6).unwrap();
+        g.add_edge(0, 4).unwrap();
+        let a = degree_assortativity(&g);
+        let mut star = Graph::with_vertices(6);
+        for leaf in 1..6 {
+            star.add_edge(0, leaf).unwrap();
+        }
+        assert!(a > degree_assortativity(&star));
+    }
+}

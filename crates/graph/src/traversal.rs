@@ -1,0 +1,193 @@
+//! Breadth-first traversals and connectivity utilities.
+
+use crate::graph::{Graph, VertexId};
+use crate::UNREACHABLE;
+use std::collections::VecDeque;
+
+/// BFS distances from `source`; unreachable vertices get [`UNREACHABLE`].
+pub fn bfs_distances(g: &Graph, source: VertexId) -> Vec<u32> {
+    let mut dist = vec![UNREACHABLE; g.n()];
+    let mut queue = VecDeque::new();
+    dist[source as usize] = 0;
+    queue.push_back(source);
+    while let Some(v) = queue.pop_front() {
+        let dv = dist[v as usize];
+        for w in g.neighbors(v).iter().map(|h| h.to) {
+            if dist[w as usize] == UNREACHABLE {
+                dist[w as usize] = dv + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+/// Connected component label for every vertex (labels are `0..k` in order of
+/// first discovery) together with the number of components.
+pub fn connected_components(g: &Graph) -> (Vec<u32>, usize) {
+    let mut label = vec![UNREACHABLE; g.n()];
+    let mut next = 0u32;
+    let mut queue = VecDeque::new();
+    for s in g.vertices() {
+        if label[s as usize] != UNREACHABLE {
+            continue;
+        }
+        label[s as usize] = next;
+        queue.push_back(s);
+        while let Some(v) = queue.pop_front() {
+            for w in g.neighbors(v).iter().map(|h| h.to) {
+                if label[w as usize] == UNREACHABLE {
+                    label[w as usize] = next;
+                    queue.push_back(w);
+                }
+            }
+        }
+        next += 1;
+    }
+    (label, next as usize)
+}
+
+/// Extract the largest connected component as a new graph with dense ids.
+///
+/// Returns the LCC and the mapping `old id -> new id` (`None` for vertices
+/// outside the LCC). Table 2 of the paper reports all datasets restricted to
+/// their LCC; experiments do the same.
+pub fn largest_connected_component(g: &Graph) -> (Graph, Vec<Option<VertexId>>) {
+    let (label, k) = connected_components(g);
+    if k == 0 {
+        return (Graph::new(), Vec::new());
+    }
+    let mut sizes = vec![0usize; k];
+    for &l in &label {
+        sizes[l as usize] += 1;
+    }
+    let best = sizes
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, s)| *s)
+        .map(|(i, _)| i as u32)
+        .expect("k > 0");
+    let mut map = vec![None; g.n()];
+    let mut next = 0u32;
+    for v in g.vertices() {
+        if label[v as usize] == best {
+            map[v as usize] = Some(next);
+            next += 1;
+        }
+    }
+    let mut lcc = Graph::with_vertices(next as usize);
+    for (u, v) in g.sorted_edges() {
+        if let (Some(nu), Some(nv)) = (map[u as usize], map[v as usize]) {
+            lcc.add_edge(nu, nv).expect("deduped edges");
+        }
+    }
+    (lcc, map)
+}
+
+/// True if the whole graph is a single connected component (empty graphs and
+/// single vertices count as connected).
+pub fn is_connected(g: &Graph) -> bool {
+    let (_, k) = connected_components(g);
+    k <= 1
+}
+
+/// Eccentricity-style distance histogram from one source: `hist[d]` = number
+/// of vertices at distance `d`. Used by effective-diameter estimation.
+pub fn distance_histogram(g: &Graph, source: VertexId) -> Vec<usize> {
+    let dist = bfs_distances(g, source);
+    let mut hist = Vec::new();
+    for d in dist {
+        if d == UNREACHABLE {
+            continue;
+        }
+        let d = d as usize;
+        if d >= hist.len() {
+            hist.resize(d + 1, 0);
+        }
+        hist[d] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph(n: usize) -> Graph {
+        let mut g = Graph::with_vertices(n);
+        for i in 0..n.saturating_sub(1) {
+            g.add_edge(i as u32, i as u32 + 1).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn bfs_on_path() {
+        let g = path_graph(5);
+        assert_eq!(bfs_distances(&g, 0), vec![0, 1, 2, 3, 4]);
+        assert_eq!(bfs_distances(&g, 2), vec![2, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn bfs_unreachable() {
+        let mut g = path_graph(3);
+        g.add_vertex();
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d[3], UNREACHABLE);
+    }
+
+    #[test]
+    fn components_counted() {
+        let mut g = Graph::with_vertices(6);
+        g.add_edge(0, 1).unwrap();
+        g.add_edge(2, 3).unwrap();
+        g.add_edge(3, 4).unwrap();
+        let (label, k) = connected_components(&g);
+        assert_eq!(k, 3);
+        assert_eq!(label[0], label[1]);
+        assert_eq!(label[2], label[3]);
+        assert_eq!(label[3], label[4]);
+        assert_ne!(label[0], label[2]);
+        assert_ne!(label[2], label[5]);
+    }
+
+    #[test]
+    fn lcc_extraction() {
+        let mut g = Graph::with_vertices(7);
+        // component A: 0-1-2 (3 vertices), component B: 3-4-5-6 (4 vertices)
+        g.add_edge(0, 1).unwrap();
+        g.add_edge(1, 2).unwrap();
+        g.add_edge(3, 4).unwrap();
+        g.add_edge(4, 5).unwrap();
+        g.add_edge(5, 6).unwrap();
+        let (lcc, map) = largest_connected_component(&g);
+        assert_eq!(lcc.n(), 4);
+        assert_eq!(lcc.m(), 3);
+        assert!(map[0].is_none());
+        assert!(map[3].is_some());
+        assert!(is_connected(&lcc));
+    }
+
+    #[test]
+    fn lcc_of_empty() {
+        let (lcc, map) = largest_connected_component(&Graph::new());
+        assert_eq!(lcc.n(), 0);
+        assert!(map.is_empty());
+    }
+
+    #[test]
+    fn connectivity_predicate() {
+        assert!(is_connected(&path_graph(4)));
+        assert!(is_connected(&Graph::new()));
+        let mut g = path_graph(2);
+        g.add_vertex();
+        assert!(!is_connected(&g));
+    }
+
+    #[test]
+    fn histogram_counts_levels() {
+        let g = path_graph(4);
+        assert_eq!(distance_histogram(&g, 0), vec![1, 1, 1, 1]);
+        assert_eq!(distance_histogram(&g, 1), vec![1, 2, 1]);
+    }
+}

@@ -1,0 +1,496 @@
+//! The on-disk `BD[·]` store (the paper's *DO* configuration).
+//!
+//! Layout of the data file:
+//!
+//! ```text
+//! [header: magic "EBCBD1\n", codec id u8, n u64, source count u64]
+//! [record 0][record 1]...      // one columnar record per source, in
+//!                              // registration order; source ids live in the
+//!                              // header-adjacent id table
+//! [id table: source id u32 × count]   // written by flush(), after records?
+//! ```
+//!
+//! The id table is kept in a sidecar `<path>.idx` file instead of trailing
+//! the records, so records can grow by appending without rewrites. The store
+//! flushes the sidecar on every `add_source` and on `flush()`.
+
+use crate::codec::CodecKind;
+use ebc_core::bd::{BdError, BdResult, BdStore, SourceFn, SourceViewMut};
+use ebc_graph::{FxHashMap, VertexId, UNREACHABLE};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+const MAGIC: &[u8; 7] = b"EBCBD1\n";
+const HEADER_LEN: u64 = 7 + 1 + 8 + 8;
+
+/// Out-of-core `BD` store: one columnar record per source, updated in place.
+pub struct DiskBdStore {
+    file: File,
+    path: PathBuf,
+    codec: CodecKind,
+    n: usize,
+    order: Vec<VertexId>,
+    index: FxHashMap<VertexId, usize>,
+    // reusable scratch (decode/encode buffers)
+    raw: Vec<u8>,
+    d: Vec<u32>,
+    sigma: Vec<u64>,
+    delta: Vec<f64>,
+    /// Bytes read from disk (experiment instrumentation).
+    pub bytes_read: u64,
+    /// Bytes written to disk.
+    pub bytes_written: u64,
+}
+
+impl DiskBdStore {
+    /// Create a fresh store at `path` for records of `n` vertices.
+    pub fn create<P: AsRef<Path>>(path: P, n: usize, codec: CodecKind) -> BdResult<Self> {
+        let path = path.as_ref().to_path_buf();
+        let mut file =
+            OpenOptions::new().read(true).write(true).create(true).truncate(true).open(&path)?;
+        let mut header = Vec::with_capacity(HEADER_LEN as usize);
+        header.extend_from_slice(MAGIC);
+        header.push(codec.id());
+        header.extend_from_slice(&(n as u64).to_le_bytes());
+        header.extend_from_slice(&0u64.to_le_bytes());
+        file.write_all(&header)?;
+        let store = DiskBdStore {
+            file,
+            path,
+            codec,
+            n,
+            order: Vec::new(),
+            index: FxHashMap::default(),
+            raw: Vec::new(),
+            d: Vec::new(),
+            sigma: Vec::new(),
+            delta: Vec::new(),
+            bytes_read: 0,
+            bytes_written: 0,
+        };
+        store.write_sidecar()?;
+        Ok(store)
+    }
+
+    /// Open an existing store, validating header, sidecar, and file length.
+    pub fn open<P: AsRef<Path>>(path: P) -> BdResult<Self> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = OpenOptions::new().read(true).write(true).open(&path)?;
+        let mut header = [0u8; HEADER_LEN as usize];
+        file.read_exact(&mut header).map_err(|_| BdError::Corrupt("truncated header".into()))?;
+        if &header[..7] != MAGIC {
+            return Err(BdError::Corrupt("bad magic".into()));
+        }
+        let codec = CodecKind::from_id(header[7])
+            .ok_or_else(|| BdError::Corrupt(format!("unknown codec id {}", header[7])))?;
+        let n = u64::from_le_bytes(header[8..16].try_into().expect("8 bytes")) as usize;
+        let count = u64::from_le_bytes(header[16..24].try_into().expect("8 bytes")) as usize;
+        let order = Self::read_sidecar(&path, count)?;
+        let expect_len = HEADER_LEN + (count * codec.record_size(n)) as u64;
+        let actual = file.metadata()?.len();
+        if actual < expect_len {
+            return Err(BdError::Corrupt(format!(
+                "data file too short: {actual} < {expect_len}"
+            )));
+        }
+        let index = order.iter().enumerate().map(|(i, &s)| (s, i)).collect();
+        Ok(DiskBdStore {
+            file,
+            path,
+            codec,
+            n,
+            order,
+            index,
+            raw: Vec::new(),
+            d: Vec::new(),
+            sigma: Vec::new(),
+            delta: Vec::new(),
+            bytes_read: 0,
+            bytes_written: 0,
+        })
+    }
+
+    /// The codec in use.
+    pub fn codec(&self) -> CodecKind {
+        self.codec
+    }
+
+    /// Path of the data file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Total on-disk record bytes (excluding header/sidecar) — the quantity
+    /// the paper sizes as `O(n²/p)` per machine (§5.2).
+    pub fn data_bytes(&self) -> u64 {
+        (self.order.len() * self.codec.record_size(self.n)) as u64
+    }
+
+    fn sidecar_path(&self) -> PathBuf {
+        Self::sidecar_for(&self.path)
+    }
+
+    fn sidecar_for(path: &Path) -> PathBuf {
+        let mut p = path.as_os_str().to_owned();
+        p.push(".idx");
+        PathBuf::from(p)
+    }
+
+    fn write_sidecar(&self) -> BdResult<()> {
+        let mut buf = Vec::with_capacity(8 + 4 * self.order.len());
+        buf.extend_from_slice(&(self.order.len() as u64).to_le_bytes());
+        for &s in &self.order {
+            buf.extend_from_slice(&s.to_le_bytes());
+        }
+        std::fs::write(self.sidecar_path(), buf)?;
+        Ok(())
+    }
+
+    fn read_sidecar(path: &Path, expect: usize) -> BdResult<Vec<VertexId>> {
+        let raw = std::fs::read(Self::sidecar_for(path))
+            .map_err(|_| BdError::Corrupt("missing sidecar index".into()))?;
+        if raw.len() < 8 {
+            return Err(BdError::Corrupt("sidecar too short".into()));
+        }
+        let count = u64::from_le_bytes(raw[..8].try_into().expect("8 bytes")) as usize;
+        if count != expect {
+            return Err(BdError::Corrupt(format!(
+                "sidecar/header disagree: {count} vs {expect}"
+            )));
+        }
+        if raw.len() < 8 + 4 * count {
+            return Err(BdError::Corrupt("sidecar truncated".into()));
+        }
+        Ok((0..count)
+            .map(|i| u32::from_le_bytes(raw[8 + 4 * i..12 + 4 * i].try_into().expect("4 bytes")))
+            .collect())
+    }
+
+    fn update_header_count(&mut self) -> BdResult<()> {
+        self.file.seek(SeekFrom::Start(7 + 1 + 8))?;
+        self.file.write_all(&(self.order.len() as u64).to_le_bytes())?;
+        Ok(())
+    }
+
+    #[inline]
+    fn record_offset(&self, slot: usize) -> u64 {
+        HEADER_LEN + (slot * self.codec.record_size(self.n)) as u64
+    }
+
+    fn slot(&self, s: VertexId) -> BdResult<usize> {
+        self.index.get(&s).copied().ok_or(BdError::UnknownSource(s))
+    }
+
+    fn read_record(&mut self, slot: usize) -> BdResult<()> {
+        let size = self.codec.record_size(self.n);
+        self.raw.resize(size, 0);
+        self.file.seek(SeekFrom::Start(self.record_offset(slot)))?;
+        self.file
+            .read_exact(&mut self.raw)
+            .map_err(|_| BdError::Corrupt(format!("record {slot} truncated")))?;
+        self.bytes_read += size as u64;
+        self.d.resize(self.n, 0);
+        self.sigma.resize(self.n, 0);
+        self.delta.resize(self.n, 0.0);
+        self.codec.decode_record(&self.raw, &mut self.d, &mut self.sigma, &mut self.delta);
+        Ok(())
+    }
+
+    fn write_record(&mut self, slot: usize) -> BdResult<()> {
+        let size = self.codec.record_size(self.n);
+        self.raw.resize(size, 0);
+        self.codec.encode_record(&self.d, &self.sigma, &self.delta, &mut self.raw);
+        self.file.seek(SeekFrom::Start(self.record_offset(slot)))?;
+        self.file.write_all(&self.raw)?;
+        self.bytes_written += size as u64;
+        Ok(())
+    }
+
+    /// Force data and index to durable storage.
+    pub fn flush(&mut self) -> BdResult<()> {
+        self.file.sync_data()?;
+        self.write_sidecar()?;
+        Ok(())
+    }
+}
+
+impl BdStore for DiskBdStore {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn sources(&self) -> Vec<VertexId> {
+        self.order.clone()
+    }
+
+    fn num_sources(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Read only the span of the distance column covering the two endpoints
+    /// — one sequential read, no `σ`/`δ` I/O. This is the paper's §5.1 skip
+    /// check ("after loading the distances from disk, we check the distance
+    /// for the endpoints"), tightened to the `[min(a,b), max(a,b)]` span.
+    fn peek_pair(&mut self, s: VertexId, a: VertexId, b: VertexId) -> BdResult<(u32, u32)> {
+        let slot = self.slot(s)?;
+        let dw = self.codec.d_width();
+        let base = self.record_offset(slot);
+        let (lo, hi) = (a.min(b) as usize, a.max(b) as usize);
+        let span = (hi - lo + 1) * dw;
+        self.raw.resize(span.max(self.raw.len()), 0);
+        self.file.seek(SeekFrom::Start(base + (lo * dw) as u64))?;
+        self.file
+            .read_exact(&mut self.raw[..span])
+            .map_err(|_| BdError::Corrupt("distance column truncated".into()))?;
+        self.bytes_read += span as u64;
+        let at = |v: usize| self.codec.decode_d(&self.raw[(v - lo) * dw..(v - lo) * dw + dw]);
+        Ok((at(a as usize), at(b as usize)))
+    }
+
+    fn update_with(&mut self, s: VertexId, f: SourceFn<'_>) -> BdResult<bool> {
+        let slot = self.slot(s)?;
+        self.read_record(slot)?;
+        let dirty = f(SourceViewMut {
+            d: &mut self.d,
+            sigma: &mut self.sigma,
+            delta: &mut self.delta,
+        });
+        if dirty {
+            self.write_record(slot)?;
+        }
+        Ok(dirty)
+    }
+
+    /// Record size depends on `n`, so growing the vertex set rewrites the
+    /// file once (O(S·n)); the paper's deployment assumes a fixed vertex
+    /// universe per epoch, new vertices being comparatively rare.
+    fn grow_vertex(&mut self) -> BdResult<()> {
+        let old_n = self.n;
+        let new_n = old_n + 1;
+        let tmp_path = self.path.with_extension("tmp");
+        let mut tmp = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&tmp_path)?;
+        let mut header = Vec::with_capacity(HEADER_LEN as usize);
+        header.extend_from_slice(MAGIC);
+        header.push(self.codec.id());
+        header.extend_from_slice(&(new_n as u64).to_le_bytes());
+        header.extend_from_slice(&(self.order.len() as u64).to_le_bytes());
+        tmp.write_all(&header)?;
+        let mut out = vec![0u8; self.codec.record_size(new_n)];
+        for slot in 0..self.order.len() {
+            self.read_record(slot)?;
+            self.d.push(UNREACHABLE);
+            self.sigma.push(0);
+            self.delta.push(0.0);
+            self.codec.encode_record(&self.d, &self.sigma, &self.delta, &mut out);
+            tmp.write_all(&out)?;
+            self.bytes_written += out.len() as u64;
+        }
+        tmp.sync_data()?;
+        std::fs::rename(&tmp_path, &self.path)?;
+        self.file = tmp;
+        self.n = new_n;
+        self.write_sidecar()?;
+        Ok(())
+    }
+
+    fn add_source(
+        &mut self,
+        s: VertexId,
+        d: Vec<u32>,
+        sigma: Vec<u64>,
+        delta: Vec<f64>,
+    ) -> BdResult<()> {
+        if self.index.contains_key(&s) {
+            return Err(BdError::DuplicateSource(s));
+        }
+        if d.len() != self.n || sigma.len() != self.n || delta.len() != self.n {
+            return Err(BdError::ShapeMismatch { expected: self.n, got: d.len() });
+        }
+        let slot = self.order.len();
+        self.d = d;
+        self.sigma = sigma;
+        self.delta = delta;
+        self.index.insert(s, slot);
+        self.order.push(s);
+        self.write_record(slot)?;
+        self.update_header_count()?;
+        self.write_sidecar()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("ebc_store_tests").join(name);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample_record(n: usize, salt: u64) -> (Vec<u32>, Vec<u64>, Vec<f64>) {
+        let d = (0..n).map(|i| ((i as u64 + salt) % 7) as u32).collect();
+        let sigma = (0..n).map(|i| (i as u64 * 3 + salt) % 100 + 1).collect();
+        let delta = (0..n).map(|i| (i as f64) * 0.25 + salt as f64).collect();
+        (d, sigma, delta)
+    }
+
+    #[test]
+    fn create_add_read_roundtrip() {
+        let path = tmpdir("roundtrip").join("bd.dat");
+        let mut st = DiskBdStore::create(&path, 8, CodecKind::Wide).unwrap();
+        let (d, s, del) = sample_record(8, 1);
+        st.add_source(3, d.clone(), s.clone(), del.clone()).unwrap();
+        st.update_with(3, &mut |view| {
+            assert_eq!(view.d, &d[..]);
+            assert_eq!(view.sigma, &s[..]);
+            assert_eq!(view.delta, &del[..]);
+            false
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn peek_reads_only_distance_column() {
+        let path = tmpdir("peek").join("bd.dat");
+        let mut st = DiskBdStore::create(&path, 16, CodecKind::Wide).unwrap();
+        let (mut d, s, del) = sample_record(16, 2);
+        d[5] = 42;
+        d[11] = UNREACHABLE;
+        st.add_source(0, d, s, del).unwrap();
+        let before = st.bytes_read;
+        assert_eq!(st.peek_pair(0, 5, 11).unwrap(), (42, UNREACHABLE));
+        // span of 7 u32 entries, far less than the full 16-vertex record
+        assert_eq!(st.bytes_read - before, 28, "peek must read only the endpoint span");
+        let before = st.bytes_read;
+        assert_eq!(st.peek_pair(0, 11, 5).unwrap(), (UNREACHABLE, 42));
+        assert_eq!(st.bytes_read - before, 28, "order-insensitive");
+    }
+
+    #[test]
+    fn dirty_flag_controls_writeback() {
+        let path = tmpdir("dirty").join("bd.dat");
+        let mut st = DiskBdStore::create(&path, 4, CodecKind::Wide).unwrap();
+        let (d, s, del) = sample_record(4, 3);
+        st.add_source(1, d, s, del).unwrap();
+        let w0 = st.bytes_written;
+        st.update_with(1, &mut |view| {
+            view.delta[0] = 99.0; // mutate but report clean: must NOT persist
+            false
+        })
+        .unwrap();
+        assert_eq!(st.bytes_written, w0);
+        st.update_with(1, &mut |view| {
+            assert_ne!(view.delta[0], 99.0, "clean update must not persist");
+            view.delta[0] = 7.5;
+            true
+        })
+        .unwrap();
+        assert!(st.bytes_written > w0);
+        st.update_with(1, &mut |view| {
+            assert_eq!(view.delta[0], 7.5);
+            false
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn reopen_preserves_everything() {
+        let path = tmpdir("reopen").join("bd.dat");
+        {
+            let mut st = DiskBdStore::create(&path, 6, CodecKind::Paper).unwrap();
+            for src in [4u32, 2, 9] {
+                let (d, s, del) = sample_record(6, src as u64);
+                st.add_source(src, d, s, del).unwrap();
+            }
+            st.flush().unwrap();
+        }
+        let mut st = DiskBdStore::open(&path).unwrap();
+        assert_eq!(st.codec(), CodecKind::Paper);
+        assert_eq!(st.n(), 6);
+        assert_eq!(st.sources(), vec![4, 2, 9]);
+        let (d, s, _) = sample_record(6, 2);
+        st.update_with(2, &mut |view| {
+            assert_eq!(view.d, &d[..]);
+            assert_eq!(view.sigma, &s[..]);
+            false
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn grow_vertex_rewrites_records() {
+        let path = tmpdir("grow").join("bd.dat");
+        let mut st = DiskBdStore::create(&path, 3, CodecKind::Wide).unwrap();
+        let (d, s, del) = sample_record(3, 5);
+        st.add_source(0, d, s, del).unwrap();
+        st.grow_vertex().unwrap();
+        assert_eq!(st.n(), 4);
+        assert_eq!(st.peek_pair(0, 3, 0).unwrap().0, UNREACHABLE);
+        st.update_with(0, &mut |view| {
+            assert_eq!(view.d.len(), 4);
+            assert_eq!(view.sigma[3], 0);
+            false
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn corrupt_magic_detected() {
+        let path = tmpdir("magic").join("bd.dat");
+        {
+            DiskBdStore::create(&path, 2, CodecKind::Wide).unwrap();
+        }
+        let mut raw = std::fs::read(&path).unwrap();
+        raw[0] = b'X';
+        std::fs::write(&path, raw).unwrap();
+        assert!(matches!(DiskBdStore::open(&path), Err(BdError::Corrupt(_))));
+    }
+
+    #[test]
+    fn truncated_data_detected() {
+        let path = tmpdir("trunc").join("bd.dat");
+        {
+            let mut st = DiskBdStore::create(&path, 4, CodecKind::Wide).unwrap();
+            let (d, s, del) = sample_record(4, 6);
+            st.add_source(0, d, s, del).unwrap();
+            st.flush().unwrap();
+        }
+        let raw = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &raw[..raw.len() - 10]).unwrap();
+        assert!(matches!(DiskBdStore::open(&path), Err(BdError::Corrupt(_))));
+    }
+
+    #[test]
+    fn missing_sidecar_detected() {
+        let path = tmpdir("sidecar").join("bd.dat");
+        {
+            DiskBdStore::create(&path, 2, CodecKind::Wide).unwrap();
+        }
+        std::fs::remove_file(DiskBdStore::sidecar_for(&path)).unwrap();
+        assert!(matches!(DiskBdStore::open(&path), Err(BdError::Corrupt(_))));
+    }
+
+    #[test]
+    fn duplicate_source_rejected() {
+        let path = tmpdir("dup").join("bd.dat");
+        let mut st = DiskBdStore::create(&path, 2, CodecKind::Wide).unwrap();
+        let (d, s, del) = sample_record(2, 7);
+        st.add_source(5, d.clone(), s.clone(), del.clone()).unwrap();
+        assert!(matches!(st.add_source(5, d, s, del), Err(BdError::DuplicateSource(5))));
+    }
+
+    #[test]
+    fn unknown_source_rejected() {
+        let path = tmpdir("unk").join("bd.dat");
+        let mut st = DiskBdStore::create(&path, 2, CodecKind::Wide).unwrap();
+        assert!(matches!(st.peek_pair(0, 0, 1), Err(BdError::UnknownSource(0))));
+    }
+}

@@ -1,0 +1,32 @@
+//! # ebc-store
+//!
+//! Out-of-core storage for the framework's per-source betweenness data —
+//! the paper's *DO* (disk, no predecessor lists) configuration (§5.1):
+//!
+//! > "We encode `BD[·]` in binary format on disk. For each source `s`, we
+//! > store the data for each other vertex in a columnar fashion, i.e., we
+//! > store on disk all the distances, then all the numbers of shortest
+//! > paths, and finally the dependency values. [...] We avoid storing the
+//! > vertex IDs [...] by storing the data structures sequentially on disk,
+//! > and inferring the ID from the order."
+//!
+//! [`DiskBdStore`] implements exactly this layout behind the same
+//! [`BdStore`] trait the in-memory store uses, with:
+//!
+//! * fixed-width per-vertex encodings ([`CodecKind::Paper`]: 1-byte `d`,
+//!   2-byte `σ`, 8-byte `δ` = the paper's 11 B/vertex; [`CodecKind::Wide`]:
+//!   lossless 4+8+8 B/vertex, the default);
+//! * the `dd == 0` fast path: [`BdStore::peek_pair`] reads just two entries
+//!   of the distance column at a constant offset, so unaffected sources are
+//!   skipped without touching `σ`/`δ` (§5.1);
+//! * in-place sequential record rewrites when a source *is* affected
+//!   ("updated in place on disk rather than overwriting the whole file").
+
+pub mod codec;
+pub mod disk;
+
+pub use codec::CodecKind;
+pub use disk::DiskBdStore;
+
+// re-export the trait so downstream users need only this crate
+pub use ebc_core::bd::{BdError, BdResult, BdStore, SourceViewMut};

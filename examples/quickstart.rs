@@ -1,0 +1,61 @@
+//! Quickstart: keep vertex and edge betweenness current while a graph
+//! evolves.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use streaming_bc::core::{BetweennessState, Update};
+use streaming_bc::graph::Graph;
+
+fn main() {
+    // A small collaboration network: two tight groups and one bridge.
+    //
+    //   0 - 1        4 - 5
+    //   | /    2--3    \ |
+    //   1        |      6
+    //            bridge
+    let mut g = Graph::with_vertices(7);
+    for (u, v) in [(0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (4, 5), (4, 6), (5, 6)] {
+        g.add_edge(u, v).unwrap();
+    }
+
+    // Step 1 (Figure 1): one-off Brandes bootstrap.
+    let mut state = BetweennessState::init(&g);
+    println!("after bootstrap:");
+    report(&state);
+
+    // Step 2: stream updates; centrality stays current incrementally.
+    println!("\n+ add edge (1, 5): a shortcut between the groups");
+    state.apply(Update::add(1, 5)).unwrap();
+    report(&state);
+
+    println!("\n- remove edge (2, 3): the old bridge loses its role");
+    state.apply(Update::remove(2, 3)).unwrap();
+    report(&state);
+
+    println!("\n+ add edge (6, 7): a brand-new vertex joins");
+    state.apply(Update::add(6, 7)).unwrap();
+    report(&state);
+
+    let stats = state.stats();
+    println!(
+        "\nkernel work: {} sources processed, {} skipped by the dd==0 test",
+        stats.sources_processed, stats.sources_skipped
+    );
+}
+
+fn report(state: &BetweennessState) {
+    let vbc = state.vertex_centrality();
+    let mut ranked: Vec<(usize, f64)> = vbc.iter().copied().enumerate().collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    print!("  top vertices:");
+    for (v, score) in ranked.iter().take(3) {
+        print!("  v{v}={score:.1}");
+    }
+    if let Some((edge, score)) = state.scores().top_edge(state.graph()) {
+        println!("   | top edge {edge} = {score:.1}");
+    } else {
+        println!();
+    }
+}

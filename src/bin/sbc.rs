@@ -1,0 +1,160 @@
+//! `sbc` — streaming betweenness centrality command-line tool.
+//!
+//! ```text
+//! sbc stats   <edgelist>                       graph statistics (Table 2 columns)
+//! sbc exact   <edgelist> [--top k]             exact VBC/EBC via Brandes
+//! sbc approx  <edgelist> --samples k [--top k] sampled approximation
+//! sbc stream  <edgelist> <updates> [--top k]   bootstrap + incremental replay
+//! sbc gn      <edgelist> [--removals k]        Girvan–Newman communities
+//! ```
+//!
+//! Edge lists are whitespace-separated `u v` lines (`#`/`%` comments).
+//! Update files contain `+ u v` / `- u v` lines applied in order.
+
+use streaming_bc::core::ranking::top_k;
+use streaming_bc::core::{approx_betweenness, brandes, BetweennessState, Update};
+use streaming_bc::gn::girvan_newman_incremental;
+use streaming_bc::graph::io::load_graph;
+use streaming_bc::graph::stats::GraphStats;
+use streaming_bc::graph::Graph;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("sbc: {msg}");
+            eprintln!();
+            eprintln!("usage:");
+            eprintln!("  sbc stats  <edgelist>");
+            eprintln!("  sbc exact  <edgelist> [--top k]");
+            eprintln!("  sbc approx <edgelist> --samples k [--top k]");
+            eprintln!("  sbc stream <edgelist> <updates-file> [--top k]");
+            eprintln!("  sbc gn     <edgelist> [--removals k]");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn flag(args: &[String], name: &str) -> Option<usize> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let cmd = args.first().ok_or("missing subcommand")?;
+    match cmd.as_str() {
+        "stats" => {
+            let g = load(args.get(1))?;
+            let s = GraphStats::compute(&g, 64);
+            println!("n={} m={} avg_degree={:.2}", s.n, s.m, s.avg_degree);
+            println!(
+                "clustering={:.4} effective_diameter={:.2}",
+                s.clustering_coefficient, s.effective_diameter
+            );
+            Ok(())
+        }
+        "exact" => {
+            let g = load(args.get(1))?;
+            let scores = brandes(&g);
+            print_top(&g, &scores.vbc, &scores, flag(args, "--top").unwrap_or(10));
+            Ok(())
+        }
+        "approx" => {
+            let g = load(args.get(1))?;
+            let k = flag(args, "--samples").ok_or("--samples k is required")?;
+            let scores = approx_betweenness(&g, k, 42);
+            println!("# approximated from {k} sampled sources (scaled n/k)");
+            print_top(&g, &scores.vbc, &scores, flag(args, "--top").unwrap_or(10));
+            Ok(())
+        }
+        "stream" => {
+            let g = load(args.get(1))?;
+            let updates = load_updates(args.get(2))?;
+            let mut st = BetweennessState::init(&g);
+            let t0 = std::time::Instant::now();
+            let total = updates.len();
+            for (i, u) in updates.into_iter().enumerate() {
+                st.apply(u).map_err(|e| format!("update {i}: {e}"))?;
+            }
+            let stats = st.stats();
+            println!(
+                "# applied {total} updates in {:.3}s ({} sources skipped via dd==0)",
+                t0.elapsed().as_secs_f64(),
+                stats.sources_skipped
+            );
+            let scores = st.scores().clone();
+            print_top(st.graph(), &scores.vbc, &scores, flag(args, "--top").unwrap_or(10));
+            Ok(())
+        }
+        "gn" => {
+            let g = load(args.get(1))?;
+            let k = flag(args, "--removals").unwrap_or(g.m().min(200));
+            let dg = girvan_newman_incremental(&g, k);
+            println!(
+                "# peeled {} edges; best modularity {:.4}",
+                dg.steps.len(),
+                dg.best_modularity
+            );
+            let labels = &dg.best_partition;
+            let communities = labels.iter().copied().max().map_or(0, |x| x + 1);
+            println!("# {communities} communities at the best cut");
+            for v in 0..labels.len() {
+                println!("{v} {}", labels[v]);
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand {other:?}")),
+    }
+}
+
+fn load(path: Option<&String>) -> Result<Graph, String> {
+    let path = path.ok_or("missing edge-list path")?;
+    load_graph(path).map_err(|e| format!("{path}: {e}"))
+}
+
+fn load_updates(path: Option<&String>) -> Result<Vec<Update>, String> {
+    let path = path.ok_or("missing updates path")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut out = Vec::new();
+    for (no, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let (op, u, v) = (it.next(), it.next(), it.next());
+        let parse = |t: Option<&str>| -> Result<u32, String> {
+            t.and_then(|x| x.parse().ok())
+                .ok_or(format!("{path}:{}: malformed update line {line:?}", no + 1))
+        };
+        match op {
+            Some("+") => out.push(Update::add(parse(u)?, parse(v)?)),
+            Some("-") => out.push(Update::remove(parse(u)?, parse(v)?)),
+            _ => return Err(format!("{path}:{}: expected '+ u v' or '- u v'", no + 1)),
+        }
+    }
+    Ok(out)
+}
+
+fn print_top(
+    g: &Graph,
+    vbc: &[f64],
+    scores: &streaming_bc::core::Scores,
+    k: usize,
+) {
+    println!("# top-{k} vertices by betweenness (ordered-pair convention)");
+    for v in top_k(vbc, k) {
+        println!("v {v} {:.4}", vbc[v as usize]);
+    }
+    let mut edges = scores.ebc_entries(g);
+    edges.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    println!("# top-{k} edges");
+    for (key, score) in edges.into_iter().take(k) {
+        let (u, v) = key.endpoints();
+        println!("e {u} {v} {score:.4}");
+    }
+}

@@ -1,0 +1,46 @@
+//! # streaming-bc
+//!
+//! Reference Rust implementation of **"Scalable Online Betweenness Centrality
+//! in Evolving Graphs"** (Kourtellis, De Francisci Morales, Bonchi —
+//! ICDE 2016, arXiv:1401.6981).
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! * [`graph`] — dynamic undirected graph substrate, statistics, streams;
+//! * [`gen`] — synthetic graph & update-stream generators;
+//! * [`core`] — static Brandes baselines and the incremental VBC/EBC
+//!   framework (the paper's contribution);
+//! * [`store`] — out-of-core columnar `BD[·]` storage;
+//! * [`engine`] — the shared-nothing parallel / online execution engine;
+//! * [`gn`] — Girvan–Newman community detection on incremental EBC.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use streaming_bc::core::{BetweennessState, Update};
+//! use streaming_bc::graph::Graph;
+//!
+//! // a square with one diagonal
+//! let mut g = Graph::with_vertices(4);
+//! for (u, v) in [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)] {
+//!     g.add_edge(u, v).unwrap();
+//! }
+//!
+//! // one-off Brandes bootstrap (step 1 of the framework) ...
+//! let mut state = BetweennessState::init(&g);
+//!
+//! // ... then stream updates (step 2): centrality stays current.
+//! state.apply(Update::add(1, 3)).unwrap();
+//! state.apply(Update::remove(0, 2)).unwrap();
+//!
+//! let vbc = state.vertex_centrality();
+//! assert_eq!(vbc.len(), 4);
+//! assert!(state.edge_centrality(1, 3).unwrap() > 0.0);
+//! ```
+
+pub use ebc_core as core;
+pub use ebc_engine as engine;
+pub use ebc_gen as gen;
+pub use ebc_gn as gn;
+pub use ebc_graph as graph;
+pub use ebc_store as store;

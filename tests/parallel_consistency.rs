@@ -1,0 +1,76 @@
+//! Cross-crate integration: the parallel engine (with both memory and disk
+//! worker stores) must agree exactly with the single-machine state.
+
+use streaming_bc::core::{BetweennessState, Update, UpdateConfig};
+use streaming_bc::engine::{ClusterEngine, EngineError};
+use streaming_bc::gen::models::holme_kim;
+use streaming_bc::gen::streams::{addition_stream, removal_stream};
+use streaming_bc::store::{CodecKind, DiskBdStore};
+
+fn updates_for(g: &streaming_bc::graph::Graph) -> Vec<Update> {
+    let mut ups: Vec<Update> =
+        addition_stream(g, 6, 1).into_iter().map(|(u, v)| Update::add(u, v)).collect();
+    ups.extend(removal_stream(g, 6, 2).into_iter().map(|(u, v)| Update::remove(u, v)));
+    ups
+}
+
+#[test]
+fn memory_cluster_matches_single_state() {
+    let g = holme_kim(60, 3, 0.4, 9);
+    let mut cluster = ClusterEngine::bootstrap(&g, 5).unwrap();
+    let mut single = BetweennessState::init(&g);
+    for u in updates_for(&g) {
+        cluster.apply(u).unwrap();
+        single.apply(u).unwrap();
+    }
+    let (scores, _) = cluster.reduce();
+    assert!(scores.max_vbc_diff(single.scores()) < 1e-9);
+    assert!(scores.max_ebc_diff(single.scores(), single.graph()) < 1e-9);
+}
+
+#[test]
+fn disk_cluster_matches_single_state() {
+    let g = holme_kim(40, 3, 0.4, 10);
+    let dir = std::env::temp_dir().join("sbc_it_disk_cluster");
+    std::fs::create_dir_all(&dir).unwrap();
+    let dir2 = dir.clone();
+    let mut cluster = ClusterEngine::bootstrap_with(
+        &g,
+        3,
+        UpdateConfig::default(),
+        move |worker, n| {
+            // one private file per worker — one disk per machine, as in §5.2
+            let path = dir2.join(format!("worker{worker}.bd"));
+            DiskBdStore::create(path, n, CodecKind::Wide).map_err(EngineError::from)
+        },
+    )
+    .unwrap();
+    let mut single = BetweennessState::init(&g);
+    for u in updates_for(&g) {
+        cluster.apply(u).unwrap();
+        single.apply(u).unwrap();
+    }
+    let (scores, _) = cluster.reduce();
+    assert!(scores.max_vbc_diff(single.scores()) < 1e-9);
+    assert!(scores.max_ebc_diff(single.scores(), single.graph()) < 1e-9);
+}
+
+#[test]
+fn worker_counts_do_not_change_results() {
+    let g = holme_kim(50, 3, 0.5, 11);
+    let updates = updates_for(&g);
+    let mut reference: Option<streaming_bc::core::Scores> = None;
+    for p in [1usize, 2, 7, 16] {
+        let mut cluster = ClusterEngine::bootstrap(&g, p).unwrap();
+        for &u in &updates {
+            cluster.apply(u).unwrap();
+        }
+        let (scores, _) = cluster.reduce();
+        match &reference {
+            None => reference = Some(scores),
+            Some(r) => {
+                assert!(r.max_vbc_diff(&scores) < 1e-9, "p={p} diverged");
+            }
+        }
+    }
+}
