@@ -13,16 +13,12 @@ fn bench_brandes(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(500));
     for n in [250usize, 1000] {
         let s = standin(StandinKind::Synthetic(n), 1, 42);
-        group.bench_with_input(
-            BenchmarkId::new("MO_pred_free", n),
-            &s.graph,
-            |b, g| b.iter(|| black_box(brandes(g))),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("MP_pred_lists", n),
-            &s.graph,
-            |b, g| b.iter(|| black_box(brandes_with_predecessors(g))),
-        );
+        group.bench_with_input(BenchmarkId::new("MO_pred_free", n), &s.graph, |b, g| {
+            b.iter(|| black_box(brandes(g)))
+        });
+        group.bench_with_input(BenchmarkId::new("MP_pred_lists", n), &s.graph, |b, g| {
+            b.iter(|| black_box(brandes_with_predecessors(g)))
+        });
     }
     group.finish();
 }

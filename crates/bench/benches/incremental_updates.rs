@@ -21,8 +21,20 @@ fn bench_updates(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(500));
     for (name, cfg) in [
         ("MO", UpdateConfig::default()),
-        ("MP_pred_lists", UpdateConfig { maintain_predecessors: true, ..Default::default() }),
-        ("MO_pruned", UpdateConfig { prune_unchanged: true, ..Default::default() }),
+        (
+            "MP_pred_lists",
+            UpdateConfig {
+                maintain_predecessors: true,
+                ..Default::default()
+            },
+        ),
+        (
+            "MO_pruned",
+            UpdateConfig {
+                prune_unchanged: true,
+                ..Default::default()
+            },
+        ),
     ] {
         group.bench_function(BenchmarkId::new("add_stream", name), |b| {
             b.iter_batched(

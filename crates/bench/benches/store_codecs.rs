@@ -28,7 +28,9 @@ fn bench_codecs(c: &mut Criterion) {
         let path = tmp(&format!("bench_{label}.bd"));
         let mut store = DiskBdStore::create(&path, N, codec).unwrap();
         for s in 0..8u32 {
-            store.add_source(s, d.clone(), sigma.clone(), delta.clone()).unwrap();
+            store
+                .add_source(s, d.clone(), sigma.clone(), delta.clone())
+                .unwrap();
         }
         group.bench_function(BenchmarkId::new("full_record_rewrite", &label), |b| {
             b.iter(|| {

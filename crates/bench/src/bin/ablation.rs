@@ -9,9 +9,7 @@
 //!    §5.1 storage trade-off;
 //! 4. the `dd == 0` skip rate — how much work Proposition 3.1 saves.
 
-use ebc_bench::{
-    addition_updates, mean, removal_updates, time_once, update_times, Args, Variant,
-};
+use ebc_bench::{addition_updates, mean, removal_updates, time_once, update_times, Args, Variant};
 use ebc_core::incremental::UpdateConfig;
 use ebc_core::state::{BetweennessState, Update};
 use ebc_gen::standins::{standin, StandinKind};
@@ -22,7 +20,10 @@ fn main() {
     let s = standin(StandinKind::Synthetic(1000), 1, args.seed);
     let adds = addition_updates(&s.graph, args.updates, args.seed);
     let rems = removal_updates(&s.graph, args.updates, args.seed + 1);
-    println!("Ablations on the 1k synthetic graph, {} updates per cell\n", args.updates);
+    println!(
+        "Ablations on the 1k synthetic graph, {} updates per cell\n",
+        args.updates
+    );
 
     // 1. predecessor lists
     let t_mo = mean(
@@ -39,12 +40,22 @@ fn main() {
     );
     println!("1. predecessor lists (additions):");
     println!("   MO (pred-free) mean {:.3} ms/update", t_mo * 1e3);
-    println!("   MP (maintained) mean {:.3} ms/update  ({:+.0}% vs MO)", t_mp * 1e3, 100.0 * (t_mp - t_mo) / t_mo);
+    println!(
+        "   MP (maintained) mean {:.3} ms/update  ({:+.0}% vs MO)",
+        t_mp * 1e3,
+        100.0 * (t_mp - t_mo) / t_mo
+    );
 
     // 2. pruning
     let mut timings = Vec::new();
-    for (label, prune) in [("walk-to-source (paper)", false), ("exact pruning (ours)", true)] {
-        let cfg = UpdateConfig { prune_unchanged: prune, ..Default::default() };
+    for (label, prune) in [
+        ("walk-to-source (paper)", false),
+        ("exact pruning (ours)", true),
+    ] {
+        let cfg = UpdateConfig {
+            prune_unchanged: prune,
+            ..Default::default()
+        };
         let mut st = BetweennessState::init_with(s.graph.clone(), cfg);
         let (_, dt) = time_once(|| {
             for &(op, u, v) in adds.iter().chain(&rems) {
@@ -55,7 +66,10 @@ fn main() {
     }
     println!("\n2. ancestor-walk pruning (adds + removals):");
     for (label, secs, popped) in &timings {
-        println!("   {label:<24} {:.3} s total, {popped} vertices popped", secs);
+        println!(
+            "   {label:<24} {:.3} s total, {popped} vertices popped",
+            secs
+        );
     }
 
     // 3. codecs
@@ -65,12 +79,9 @@ fn main() {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join(format!("{codec:?}.bd"));
         let store = DiskBdStore::create(&path, s.graph.n(), codec).unwrap();
-        let mut st = BetweennessState::init_into_store(
-            s.graph.clone(),
-            store,
-            UpdateConfig::default(),
-        )
-        .unwrap();
+        let mut st =
+            BetweennessState::init_into_store(s.graph.clone(), store, UpdateConfig::default())
+                .unwrap();
         let (_, dt) = time_once(|| {
             for &(op, u, v) in &adds {
                 st.apply(Update { op, u, v }).expect("valid");

@@ -17,7 +17,9 @@ use std::time::Duration;
 
 fn main() {
     let args = Args::parse();
-    let cores = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(4);
+    let cores = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(4);
     println!("Figure 7: strong and weak scaling (cores available: {cores})\n");
     let merge = Duration::from_micros(50);
 
@@ -32,8 +34,14 @@ fn main() {
             total += dt;
             cum.push(total);
         }
-        println!("--- strong scaling, {} (wall-clock seconds per new edge)", s.name);
-        println!("{:>8} {:>12} {:>12} {:>12} {:>10}", "mappers", "100 edges", "200 edges", "300 edges", "mode");
+        println!(
+            "--- strong scaling, {} (wall-clock seconds per new edge)",
+            s.name
+        );
+        println!(
+            "{:>8} {:>12} {:>12} {:>12} {:>10}",
+            "mappers", "100 edges", "200 edges", "300 edges", "mode"
+        );
         for p in [1usize, 2, 4, 8, 16, 32, 64] {
             let per_edge = |k: usize| {
                 let k = k.min(cum.len());
@@ -71,7 +79,10 @@ fn main() {
             );
         }
 
-        println!("--- weak scaling, {} (total seconds at fixed edges-per-mapper ratio r)", s.name);
+        println!(
+            "--- weak scaling, {} (total seconds at fixed edges-per-mapper ratio r)",
+            s.name
+        );
         println!("{:>8} {:>10} {:>10} {:>10}", "mappers", "r=1", "r=2", "r=3");
         let mean_edge = cum.last().expect("nonempty").as_secs_f64() / cum.len() as f64;
         for p in [8usize, 16, 32, 64] {

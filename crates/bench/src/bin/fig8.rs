@@ -30,8 +30,14 @@ fn run(kind: StandinKind, ps: &[usize], gap_factor: f64, args: &Args) {
         .expect("probe")
         .mean_update_time()
         .max(1e-6);
-    let (boot, stream) =
-        replay_growth(&s.arrival_order, s.graph.n(), tail, t1 * gap_factor, 1.4, args.seed);
+    let (boot, stream) = replay_growth(
+        &s.arrival_order,
+        s.graph.n(),
+        tail,
+        t1 * gap_factor,
+        1.4,
+        args.seed,
+    );
 
     let reports: Vec<(usize, OnlineReport)> = ps
         .iter()

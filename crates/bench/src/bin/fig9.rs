@@ -18,7 +18,10 @@ fn main() {
     if args.full {
         budgets.push(1000);
     }
-    println!("{:>8} {:>10} {:>12} {:>12} {:>9}", "graph", "removals", "incr (s)", "recomp (s)", "speedup");
+    println!(
+        "{:>8} {:>10} {:>12} {:>12} {:>9}",
+        "graph", "removals", "incr (s)", "recomp (s)", "speedup"
+    );
     for n in sizes {
         let s = standin(StandinKind::Synthetic(n), 1, args.seed);
         for &k in &budgets {

@@ -10,7 +10,10 @@ use ebc_gen::standins::StandinKind;
 
 fn main() {
     let args = Args::parse();
-    println!("Table 3: MO avg (max) speedup over Brandes, {} additions each\n", args.updates);
+    println!(
+        "Table 3: MO avg (max) speedup over Brandes, {} additions each\n",
+        args.updates
+    );
     println!("{:>14} {:>7} {:>12}", "dataset", "|V|", "MO avg (max)");
 
     let mut rows = synthetic_rows(&args);
@@ -22,7 +25,13 @@ fn main() {
         let times = update_times(&s.graph, &adds, Variant::Mo);
         let sp = speedups(tb, &times);
         let (_, _, max) = min_med_max(&sp);
-        println!("{:>14} {:>7} {:>6.0} ({:>4.0})", s.name, s.graph.n(), mean(&sp), max);
+        println!(
+            "{:>14} {:>7} {:>6.0} ({:>4.0})",
+            s.name,
+            s.graph.n(),
+            mean(&sp),
+            max
+        );
     }
 
     println!("\nRelated-work speedups as quoted in the paper's Table 3 (their own graphs):");

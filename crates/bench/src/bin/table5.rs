@@ -16,9 +16,16 @@ use std::time::Duration;
 fn main() {
     let args = Args::parse();
     println!("Table 5: edges missed and average delay vs scaling\n");
-    println!("{:>10} {:>8} {:>10} {:>14}", "dataset", "mappers", "% missed", "avg delay (s)");
+    println!(
+        "{:>10} {:>8} {:>10} {:>14}",
+        "dataset", "mappers", "% missed", "avg delay (s)"
+    );
     run(&dataset(StandinKind::Slashdot, &args), &[1, 10], &args);
-    run(&dataset(StandinKind::Facebook, &args), &[1, 10, 50, 100], &args);
+    run(
+        &dataset(StandinKind::Facebook, &args),
+        &[1, 10, 50, 100],
+        &args,
+    );
     println!("\nPaper's Table 5: slashdot 1→44.6%/257.9s, 10→1.1%/32.4s;");
     println!("facebook 1→69.7%/1061.1s, 10→19.2%/96.6s, 50→3.0%/8.6s, 100→1.0%/5.5s");
 }
@@ -37,7 +44,7 @@ fn run(s: &Standin, mappers: &[usize], args: &Args) {
     let t1 = probe_report.mean_update_time().max(1e-6);
     let gap_factor = match s.kind {
         StandinKind::Slashdot => 4.0, // borderline: one worker misses about half
-        _ => 0.8,                    // firehose: one worker drowns
+        _ => 0.8,                     // firehose: one worker drowns
     };
     let (boot, stream) = replay_growth(
         &s.arrival_order,

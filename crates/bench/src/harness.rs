@@ -24,7 +24,12 @@ pub struct Args {
 
 impl Default for Args {
     fn default() -> Self {
-        Args { scale: 1, seed: 42, updates: 100, full: false }
+        Args {
+            scale: 1,
+            seed: 42,
+            updates: 100,
+            full: false,
+        }
     }
 }
 
@@ -38,9 +43,7 @@ impl Args {
             match flag.as_str() {
                 "--scale" => out.scale = it.next().and_then(|v| v.parse().ok()).unwrap_or(1),
                 "--seed" => out.seed = it.next().and_then(|v| v.parse().ok()).unwrap_or(42),
-                "--updates" => {
-                    out.updates = it.next().and_then(|v| v.parse().ok()).unwrap_or(100)
-                }
+                "--updates" => out.updates = it.next().and_then(|v| v.parse().ok()).unwrap_or(100),
                 "--full" => out.full = true,
                 other => eprintln!("ignoring unknown flag {other}"),
             }
@@ -141,13 +144,12 @@ fn unique_tmp(tag: &str) -> std::path::PathBuf {
 
 /// Measure per-update times of `variant` on `updates` applied to `g` in
 /// order. Returns one duration per update.
-pub fn update_times(
-    g: &Graph,
-    updates: &[(EdgeOp, u32, u32)],
-    variant: Variant,
-) -> Vec<Duration> {
+pub fn update_times(g: &Graph, updates: &[(EdgeOp, u32, u32)], variant: Variant) -> Vec<Duration> {
     let cfg = match variant {
-        Variant::Mp => UpdateConfig { maintain_predecessors: true, ..Default::default() },
+        Variant::Mp => UpdateConfig {
+            maintain_predecessors: true,
+            ..Default::default()
+        },
         _ => UpdateConfig::default(),
     };
     let mut times = Vec::with_capacity(updates.len());
@@ -207,7 +209,11 @@ pub fn print_cdf(label: &str, xs: &[f64]) {
     print!("{label:>24} |");
     for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0] {
         let idx = ((s.len() as f64 - 1.0) * q).round() as usize;
-        print!(" p{:<3} {:>8.1}", (q * 100.0) as u32, s.get(idx).copied().unwrap_or(0.0));
+        print!(
+            " p{:<3} {:>8.1}",
+            (q * 100.0) as u32,
+            s.get(idx).copied().unwrap_or(0.0)
+        );
     }
     println!();
 }

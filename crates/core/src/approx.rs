@@ -121,7 +121,10 @@ mod tests {
         let worst = acc.max_vbc_diff(&exact);
         // exact hub VBC is ~70; the averaged estimate should be within ~15%
         let scale = exact.vbc.iter().cloned().fold(0.0, f64::max).max(1.0);
-        assert!(worst / scale < 0.15, "bias too large: {worst} vs scale {scale}");
+        assert!(
+            worst / scale < 0.15,
+            "bias too large: {worst} vs scale {scale}"
+        );
     }
 
     #[test]

@@ -191,7 +191,10 @@ impl BdStore for MemoryBdStore {
             return Err(BdError::DuplicateSource(s));
         }
         if d.len() != self.n || sigma.len() != self.n || delta.len() != self.n {
-            return Err(BdError::ShapeMismatch { expected: self.n, got: d.len() });
+            return Err(BdError::ShapeMismatch {
+                expected: self.n,
+                got: d.len(),
+            });
         }
         self.index.insert(s, self.order.len());
         self.order.push(s);
@@ -208,8 +211,10 @@ mod tests {
 
     fn store_with_two_sources() -> MemoryBdStore {
         let mut st = MemoryBdStore::new(3);
-        st.add_source(0, vec![0, 1, 2], vec![1, 1, 1], vec![2.0, 1.0, 0.0]).unwrap();
-        st.add_source(1, vec![1, 0, 1], vec![1, 1, 1], vec![0.0, 2.0, 0.0]).unwrap();
+        st.add_source(0, vec![0, 1, 2], vec![1, 1, 1], vec![2.0, 1.0, 0.0])
+            .unwrap();
+        st.add_source(1, vec![1, 0, 1], vec![1, 1, 1], vec![0.0, 2.0, 0.0])
+            .unwrap();
         st
     }
 
@@ -223,7 +228,10 @@ mod tests {
     #[test]
     fn unknown_source_rejected() {
         let mut st = store_with_two_sources();
-        assert!(matches!(st.peek_pair(9, 0, 1), Err(BdError::UnknownSource(9))));
+        assert!(matches!(
+            st.peek_pair(9, 0, 1),
+            Err(BdError::UnknownSource(9))
+        ));
         assert!(matches!(
             st.update_with(9, &mut |_| false),
             Err(BdError::UnknownSource(9))
@@ -275,7 +283,10 @@ mod tests {
         ));
         assert!(matches!(
             st.add_source(2, vec![0; 2], vec![0; 2], vec![0.0; 2]),
-            Err(BdError::ShapeMismatch { expected: 3, got: 2 })
+            Err(BdError::ShapeMismatch {
+                expected: 3,
+                got: 2
+            })
         ));
     }
 

@@ -274,9 +274,13 @@ mod tests {
         let mut g = Graph::with_vertices(30);
         let mut x = 12345u64;
         for _ in 0..80 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let u = ((x >> 33) % 30) as u32;
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let v = ((x >> 33) % 30) as u32;
             if u != v {
                 let _ = g.add_edge(u, v);

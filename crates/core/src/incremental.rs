@@ -26,9 +26,10 @@
 //!   popped vertex *pulls* its new dependency from its new-DAG successors in
 //!   adjacency order — the identical summation the predecessor-free
 //!   bootstrap uses, so untouched subtrees reproduce bitwise — while edge
-//!   scores receive `+c` for new-DAG pairs and `−α` (computed from the old
-//!   arrays) for old-DAG pairs, covering all reconfiguration cases of
-//!   Figure 3 without per-case code. New-DAG predecessors of every popped
+//!   scores receive one net `c − α` correction per scanned pair (`c` from
+//!   the new DAG, `α` recomputed from the old arrays), covering all
+//!   reconfiguration cases of Figure 3 without per-case code and cancelling
+//!   exactly when nothing changed. New-DAG predecessors of every popped
 //!   vertex are enqueued in turn (the paper's `UP` fringe, Algorithm 3),
 //!   carrying corrections up to the source.
 
@@ -37,7 +38,7 @@ use crate::scores::Scores;
 use ebc_graph::{EdgeKey, EdgeOp, Graph, VertexId, UNREACHABLE};
 
 /// Tuning knobs for the update kernel.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct UpdateConfig {
     /// When `true`, a popped vertex that is outside the touched set and whose
     /// recomputed dependency is bitwise-identical to the stored one does not
@@ -54,12 +55,6 @@ pub struct UpdateConfig {
     /// optimisation"). Scores are unaffected; this knob exists so the
     /// Figure 5 MP-vs-MO comparison measures a faithful cost model.
     pub maintain_predecessors: bool,
-}
-
-impl Default for UpdateConfig {
-    fn default() -> Self {
-        UpdateConfig { prune_unchanged: false, maintain_predecessors: false }
-    }
 }
 
 /// Counters describing how much work updates performed (reset explicitly).
@@ -232,6 +227,7 @@ impl Workspace {
 /// Note: for removals the caller owns zeroing/freeing the removed edge's
 /// score slot once after all sources are processed — per-source subtraction
 /// of a slot that is being deleted anyway would be wasted work.
+#[allow(clippy::too_many_arguments)] // the kernel entry point mirrors the paper's signature
 pub fn update_source(
     g: &Graph,
     s: VertexId,
@@ -590,22 +586,33 @@ impl<'a> Kernel<'a> {
             let dx_new = self.cur_d(x);
             let dx_old = self.old_d[x as usize];
             // (1) x is a new-DAG successor: pull dependency, credit the edge.
-            if w_reachable && dx_new != UNREACHABLE && dx_new == lvl + 1 {
-                let c = sw_new / self.cur_sig(x) as f64 * (1.0 + self.delta_star(x));
-                dep += c;
-                self.scores.ebc[h.eid as usize] += c;
-            }
             // (2) x was an old-DAG successor: retract the old contribution α
-            // (skipped for the freshly added edge, which had none).
-            if dw_old != UNREACHABLE
+            //     (skipped for the freshly added edge, which had none).
+            // The two corrections land on the same edge slot, so they are
+            // applied as one net `c − α` update: when nothing changed they
+            // cancel *exactly* (c == α bitwise), making the pop of an
+            // unchanged vertex a no-op on the scores. This is what makes the
+            // `prune_unchanged` ablation bitwise-neutral (see UpdateConfig).
+            let is_new_succ = w_reachable && dx_new != UNREACHABLE && dx_new == lvl + 1;
+            let is_old_succ = dw_old != UNREACHABLE
                 && dx_old != UNREACHABLE
                 && dx_old == dw_old + 1
-                && self.added != Some(EdgeKey::new(w, x))
-            {
+                && self.added != Some(EdgeKey::new(w, x));
+            if !is_new_succ && !is_old_succ {
+                continue;
+            }
+            let mut edge_correction = 0.0;
+            if is_new_succ {
+                let c = sw_new / self.cur_sig(x) as f64 * (1.0 + self.delta_star(x));
+                dep += c;
+                edge_correction += c;
+            }
+            if is_old_succ {
                 let alpha =
                     sw_old / self.old_sig[x as usize] as f64 * (1.0 + self.old_del[x as usize]);
-                self.scores.ebc[h.eid as usize] -= alpha;
+                edge_correction -= alpha;
             }
+            self.scores.ebc[h.eid as usize] += edge_correction;
         }
         if self.cfg.maintain_predecessors {
             // MP cost model: rewrite this vertex's predecessor list the way
@@ -694,7 +701,13 @@ mod tests {
                 store.add_source(s, r.d, r.sigma, r.delta).unwrap();
             }
             let n = g.n();
-            Harness { g, store, scores, ws: Workspace::new(n), cfg }
+            Harness {
+                g,
+                store,
+                scores,
+                ws: Workspace::new(n),
+                cfg,
+            }
         }
 
         fn add(&mut self, u: u32, v: u32) {
@@ -884,8 +897,13 @@ mod tests {
 
     #[test]
     fn pruning_matches_unpruned() {
-        let mut pruned =
-            Harness::with_config(path(8), UpdateConfig { prune_unchanged: true, ..Default::default() });
+        let mut pruned = Harness::with_config(
+            path(8),
+            UpdateConfig {
+                prune_unchanged: true,
+                ..Default::default()
+            },
+        );
         pruned.add(2, 6);
         pruned.check("pruned add");
         pruned.remove(3, 4);
@@ -895,9 +913,18 @@ mod tests {
     #[test]
     fn long_mixed_sequence() {
         let mut g = Graph::with_vertices(10);
-        for (u, v) in
-            [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7), (7, 8), (8, 9), (2, 7)]
-        {
+        for (u, v) in [
+            (0, 1),
+            (1, 2),
+            (2, 3),
+            (3, 4),
+            (4, 5),
+            (5, 6),
+            (6, 7),
+            (7, 8),
+            (8, 9),
+            (2, 7),
+        ] {
             g.add_edge(u, v).unwrap();
         }
         let mut h = Harness::new(g);

@@ -77,16 +77,28 @@ pub struct RankTracker {
 impl RankTracker {
     /// Track the top `k` ranks.
     pub fn new(k: usize) -> Self {
-        RankTracker { k, current: Vec::new(), entries: 0, snapshots: 0 }
+        RankTracker {
+            k,
+            current: Vec::new(),
+            entries: 0,
+            snapshots: 0,
+        }
     }
 
     /// Observe a new snapshot; returns `(entered, left)` vertex ids.
     pub fn observe(&mut self, scores: &[f64]) -> (Vec<u32>, Vec<u32>) {
         let next = top_k(scores, self.k);
-        let entered: Vec<u32> =
-            next.iter().copied().filter(|v| !self.current.contains(v)).collect();
-        let left: Vec<u32> =
-            self.current.iter().copied().filter(|v| !next.contains(v)).collect();
+        let entered: Vec<u32> = next
+            .iter()
+            .copied()
+            .filter(|v| !self.current.contains(v))
+            .collect();
+        let left: Vec<u32> = self
+            .current
+            .iter()
+            .copied()
+            .filter(|v| !next.contains(v))
+            .collect();
         if self.snapshots > 0 {
             self.entries += entered.len();
         }

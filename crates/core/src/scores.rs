@@ -25,12 +25,18 @@ pub struct Scores {
 impl Scores {
     /// Zeroed scores shaped for graph `g`.
     pub fn zeros_for(g: &Graph) -> Self {
-        Scores { vbc: vec![0.0; g.n()], ebc: vec![0.0; g.edge_slots()] }
+        Scores {
+            vbc: vec![0.0; g.n()],
+            ebc: vec![0.0; g.edge_slots()],
+        }
     }
 
     /// Zeroed scores with explicit dimensions.
     pub fn zeros(n: usize, edge_slots: usize) -> Self {
-        Scores { vbc: vec![0.0; n], ebc: vec![0.0; edge_slots] }
+        Scores {
+            vbc: vec![0.0; n],
+            ebc: vec![0.0; edge_slots],
+        }
     }
 
     /// Grow (never shrink) to cover `n` vertices and `edge_slots` slots.
@@ -50,8 +56,10 @@ impl Scores {
 
     /// All live edges with their betweenness, sorted by key (deterministic).
     pub fn ebc_entries(&self, g: &Graph) -> Vec<(EdgeKey, f64)> {
-        let mut out: Vec<_> =
-            g.edges().map(|(key, eid)| (key, self.ebc[eid as usize])).collect();
+        let mut out: Vec<_> = g
+            .edges()
+            .map(|(key, eid)| (key, self.ebc[eid as usize]))
+            .collect();
         out.sort_by_key(|(k, _)| *k);
         out
     }
@@ -126,8 +134,14 @@ mod tests {
 
     #[test]
     fn merge_sums_elementwise() {
-        let mut a = Scores { vbc: vec![1.0, 2.0], ebc: vec![0.5] };
-        let b = Scores { vbc: vec![0.25, 0.75, 3.0], ebc: vec![0.5, 1.0] };
+        let mut a = Scores {
+            vbc: vec![1.0, 2.0],
+            ebc: vec![0.5],
+        };
+        let b = Scores {
+            vbc: vec![0.25, 0.75, 3.0],
+            ebc: vec![0.5, 1.0],
+        };
         a.merge_from(&b);
         assert_eq!(a.vbc, vec![1.25, 2.75, 3.0]);
         assert_eq!(a.ebc, vec![1.0, 1.0]);
@@ -147,7 +161,10 @@ mod tests {
 
     #[test]
     fn normalized_halves() {
-        let s = Scores { vbc: vec![4.0], ebc: vec![2.0] };
+        let s = Scores {
+            vbc: vec![4.0],
+            ebc: vec![2.0],
+        };
         assert_eq!(s.vbc_normalized(), vec![2.0]);
         assert_eq!(s.ebc_normalized(), vec![1.0]);
     }

@@ -22,12 +22,20 @@ pub struct Update {
 impl Update {
     /// An edge addition.
     pub fn add(u: VertexId, v: VertexId) -> Self {
-        Update { op: EdgeOp::Add, u, v }
+        Update {
+            op: EdgeOp::Add,
+            u,
+            v,
+        }
     }
 
     /// An edge removal.
     pub fn remove(u: VertexId, v: VertexId) -> Self {
-        Update { op: EdgeOp::Remove, u, v }
+        Update {
+            op: EdgeOp::Remove,
+            u,
+            v,
+        }
     }
 }
 
@@ -98,17 +106,29 @@ impl BetweennessState<MemoryBdStore> {
         let mut scratch = BrandesScratch::new(graph.n());
         for s in graph.vertices() {
             let r = single_source_update_with(&graph, s, &mut scores, &mut scratch);
-            store.add_source(s, r.d, r.sigma, r.delta).expect("fresh store accepts all sources");
+            store
+                .add_source(s, r.d, r.sigma, r.delta)
+                .expect("fresh store accepts all sources");
         }
         let n = graph.n();
-        BetweennessState { graph, store, scores, ws: Workspace::new(n), cfg }
+        BetweennessState {
+            graph,
+            store,
+            scores,
+            ws: Workspace::new(n),
+            cfg,
+        }
     }
 }
 
 impl<S: BdStore> BetweennessState<S> {
     /// Bootstrap into a caller-provided (e.g. out-of-core) store. The store
     /// must be empty; records for every vertex of `graph` are inserted.
-    pub fn init_into_store(graph: Graph, mut store: S, cfg: UpdateConfig) -> Result<Self, StateError> {
+    pub fn init_into_store(
+        graph: Graph,
+        mut store: S,
+        cfg: UpdateConfig,
+    ) -> Result<Self, StateError> {
         let mut scores = Scores::zeros_for(&graph);
         let mut scratch = BrandesScratch::new(graph.n());
         for s in graph.vertices() {
@@ -116,14 +136,26 @@ impl<S: BdStore> BetweennessState<S> {
             store.add_source(s, r.d, r.sigma, r.delta)?;
         }
         let n = graph.n();
-        Ok(BetweennessState { graph, store, scores, ws: Workspace::new(n), cfg })
+        Ok(BetweennessState {
+            graph,
+            store,
+            scores,
+            ws: Workspace::new(n),
+            cfg,
+        })
     }
 
     /// Resume from previously persisted records (the store already holds one
     /// record per vertex and `scores` matches them).
     pub fn from_parts(graph: Graph, store: S, scores: Scores, cfg: UpdateConfig) -> Self {
         let n = graph.n();
-        BetweennessState { graph, store, scores, ws: Workspace::new(n), cfg }
+        BetweennessState {
+            graph,
+            store,
+            scores,
+            ws: Workspace::new(n),
+            cfg,
+        }
     }
 
     /// The current graph.
@@ -166,7 +198,8 @@ impl<S: BdStore> BetweennessState<S> {
     pub fn add_vertex(&mut self) -> Result<VertexId, StateError> {
         let v = self.graph.add_vertex();
         self.store.grow_vertex()?;
-        self.scores.ensure_shape(self.graph.n(), self.graph.edge_slots());
+        self.scores
+            .ensure_shape(self.graph.n(), self.graph.edge_slots());
         self.ws.grow(self.graph.n());
         // The new vertex is a source too: its record is trivial (d=∞
         // everywhere except itself).
@@ -199,12 +232,9 @@ impl<S: BdStore> BetweennessState<S> {
                     self.store.grow_vertex()?;
                     self.ws.grow(self.graph.n());
                 }
-                let eid = match self.graph.add_edge(u, v) {
-                    Ok(eid) => eid,
-                    Err(e) => return Err(e.into()),
-                };
-                let _ = eid;
-                self.scores.ensure_shape(self.graph.n(), self.graph.edge_slots());
+                self.graph.add_edge(u, v)?;
+                self.scores
+                    .ensure_shape(self.graph.n(), self.graph.edge_slots());
                 self.run_kernel(op, u, v)?;
                 if new_vertex {
                     // The new vertex also becomes a source: one fresh Brandes
@@ -297,7 +327,10 @@ mod tests {
         let mut g = Graph::with_vertices(2);
         g.add_edge(0, 1).unwrap();
         let mut st = BetweennessState::init(&g);
-        assert!(matches!(st.apply(Update::add(0, 1)), Err(StateError::Graph(_))));
+        assert!(matches!(
+            st.apply(Update::add(0, 1)),
+            Err(StateError::Graph(_))
+        ));
         check(&st); // state unharmed
     }
 
@@ -335,7 +368,9 @@ mod tests {
         }
         let mut st = BetweennessState::init(&g);
         for _ in 0..5 {
-            let Some((key, _)) = st.scores().top_edge(st.graph()) else { break };
+            let Some((key, _)) = st.scores().top_edge(st.graph()) else {
+                break;
+            };
             let (u, v) = key.endpoints();
             st.apply(Update::remove(u, v)).unwrap();
             check(&st);

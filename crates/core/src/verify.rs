@@ -29,7 +29,10 @@ impl Divergence {
 /// Compare maintained `scores` against a fresh recomputation on `g`.
 pub fn divergence_from_scratch(g: &Graph, scores: &Scores) -> Divergence {
     let fresh = brandes(g);
-    Divergence { vbc: scores.max_vbc_diff(&fresh), ebc: scores.max_ebc_diff(&fresh, g) }
+    Divergence {
+        vbc: scores.max_vbc_diff(&fresh),
+        ebc: scores.max_ebc_diff(&fresh, g),
+    }
 }
 
 /// Panic (with a readable report) if `scores` diverges from a fresh

@@ -12,8 +12,7 @@ const TOL: f64 = 1e-6;
 fn check_family(g: Graph, label: &str) {
     // Exercise: remove a quarter of the edges (every 4th in sorted order),
     // then re-add them, verifying after every step.
-    let victims: Vec<(u32, u32)> =
-        g.sorted_edges().into_iter().step_by(4).collect();
+    let victims: Vec<(u32, u32)> = g.sorted_edges().into_iter().step_by(4).collect();
     let mut st = BetweennessState::init(&g);
     for (i, &(u, v)) in victims.iter().enumerate() {
         st.apply(Update::remove(u, v)).unwrap();

@@ -37,8 +37,11 @@ fn script_strategy() -> impl Strategy<Value = Script> {
 
 /// Build a graph from a vertex count and an edge-selection seed list.
 fn graph_strategy() -> impl Strategy<Value = Graph> {
-    (2usize..12, proptest::collection::vec((any::<u32>(), any::<u32>()), 0..40)).prop_map(
-        |(n, pairs)| {
+    (
+        2usize..12,
+        proptest::collection::vec((any::<u32>(), any::<u32>()), 0..40),
+    )
+        .prop_map(|(n, pairs)| {
             let mut g = Graph::with_vertices(n);
             for (a, b) in pairs {
                 let u = a % n as u32;
@@ -48,8 +51,7 @@ fn graph_strategy() -> impl Strategy<Value = Graph> {
                 }
             }
             g
-        },
-    )
+        })
 }
 
 fn absent_pairs(g: &Graph) -> Vec<(u32, u32)> {

@@ -1,0 +1,110 @@
+//! Ablation coverage for [`UpdateConfig::prune_unchanged`].
+//!
+//! The kernel documentation claims exact-pruning is *bitwise-neutral*: a
+//! popped vertex whose recomputed dependency is bit-identical to the stored
+//! one contributes exactly nothing to any score, so cutting the ancestor
+//! walk short at it cannot change a single bit of VBC or EBC — while doing
+//! strictly less work. These tests pin both halves of that claim on random
+//! mixed add/remove streams.
+
+use ebc_core::incremental::UpdateConfig;
+use ebc_core::state::{BetweennessState, Update};
+use ebc_core::verify::assert_matches_scratch;
+use ebc_gen::models::{erdos_renyi_gnm, holme_kim};
+use ebc_gen::streams::{addition_stream, removal_stream};
+use ebc_graph::Graph;
+
+/// Interleaved random stream: one addition, one removal, repeating.
+fn mixed_stream(g: &Graph, k: usize, seed: u64) -> Vec<Update> {
+    let adds = addition_stream(g, k, seed);
+    let rems = removal_stream(g, k, seed + 1);
+    let mut out = Vec::with_capacity(adds.len() + rems.len());
+    for i in 0..adds.len().max(rems.len()) {
+        if let Some(&(u, v)) = adds.get(i) {
+            out.push(Update::add(u, v));
+        }
+        if let Some(&(u, v)) = rems.get(i) {
+            out.push(Update::remove(u, v));
+        }
+    }
+    out
+}
+
+/// Drive the same stream through a pruned and an unpruned state, asserting
+/// bit-identical scores after every update.
+fn assert_prune_bitwise_neutral(g: &Graph, stream: &[Update], label: &str) {
+    let mut pruned = BetweennessState::init_with(
+        g.clone(),
+        UpdateConfig {
+            prune_unchanged: true,
+            ..Default::default()
+        },
+    );
+    let mut unpruned = BetweennessState::init_with(
+        g.clone(),
+        UpdateConfig {
+            prune_unchanged: false,
+            ..Default::default()
+        },
+    );
+    for (step, &u) in stream.iter().enumerate() {
+        pruned.apply(u).unwrap();
+        unpruned.apply(u).unwrap();
+        // Bitwise, not tolerance-based: Vec<f64> equality is exact.
+        assert_eq!(
+            pruned.scores().vbc,
+            unpruned.scores().vbc,
+            "{label}: VBC bits diverged at step {step} ({u:?})"
+        );
+        assert_eq!(
+            pruned.scores().ebc,
+            unpruned.scores().ebc,
+            "{label}: EBC bits diverged at step {step} ({u:?})"
+        );
+    }
+    // Both must also still agree with a recomputation from scratch.
+    assert_matches_scratch(pruned.graph(), pruned.scores(), 1e-6, label);
+    // The ablation is only meaningful if pruning actually skipped work.
+    assert!(
+        pruned.stats().popped < unpruned.stats().popped,
+        "{label}: pruning popped {} vertices vs {} unpruned - nothing was pruned",
+        pruned.stats().popped,
+        unpruned.stats().popped,
+    );
+}
+
+#[test]
+fn pruning_is_bitwise_neutral_on_social_graph() {
+    let g = holme_kim(64, 3, 0.5, 23);
+    let stream = mixed_stream(&g, 24, 7);
+    assert!(stream.len() >= 40, "stream too short: {}", stream.len());
+    assert_prune_bitwise_neutral(&g, &stream, "holme-kim 64");
+}
+
+#[test]
+fn pruning_is_bitwise_neutral_on_sparse_disconnecting_graph() {
+    // Sparse G(n, m): removals routinely disconnect components, additions
+    // merge them back - the d' = infinity paths stay bitwise-neutral too.
+    let g = erdos_renyi_gnm(48, 56, 11);
+    let stream = mixed_stream(&g, 28, 13);
+    assert_prune_bitwise_neutral(&g, &stream, "sparse ER 48");
+}
+
+#[test]
+fn pruning_is_bitwise_neutral_on_deep_path_with_chords() {
+    // Deep BFS levels maximise the ancestor walks pruning cuts short.
+    let mut g = Graph::with_vertices(40);
+    for i in 0..39u32 {
+        g.add_edge(i, i + 1).unwrap();
+    }
+    g.add_edge(0, 20).unwrap();
+    let stream = [
+        Update::add(5, 35),
+        Update::remove(0, 20),
+        Update::add(10, 39),
+        Update::remove(19, 20),
+        Update::add(0, 39),
+        Update::remove(5, 35),
+    ];
+    assert_prune_bitwise_neutral(&g, &stream, "path with chords");
+}

@@ -88,7 +88,11 @@ impl<S: BdStore> Worker<S> {
 
     /// Map task for one update: refresh own replica, then run the kernel for
     /// every owned source (skipping `dd == 0` via the cheap peek).
-    fn apply(&mut self, update: Update, new_source: Option<VertexId>) -> Result<Duration, EngineError> {
+    fn apply(
+        &mut self,
+        update: Update,
+        new_source: Option<VertexId>,
+    ) -> Result<Duration, EngineError> {
         let t0 = Instant::now();
         let Update { op, u, v } = update;
         let removed_eid = match op {
@@ -107,7 +111,8 @@ impl<S: BdStore> Worker<S> {
             }
             EdgeOp::Remove => Some(self.graph.remove_edge(u, v)?),
         };
-        self.partial.ensure_shape(self.graph.n(), self.graph.edge_slots());
+        self.partial
+            .ensure_shape(self.graph.n(), self.graph.edge_slots());
         let graph = &self.graph;
         let partial = &mut self.partial;
         let ws = &mut self.ws;
@@ -123,12 +128,8 @@ impl<S: BdStore> Worker<S> {
             })?;
         }
         if let Some(s_new) = new_source {
-            let r = single_source_update_with(
-                &self.graph,
-                s_new,
-                &mut self.partial,
-                &mut self.scratch,
-            );
+            let r =
+                single_source_update_with(&self.graph, s_new, &mut self.partial, &mut self.scratch);
             self.store.add_source(s_new, r.d, r.sigma, r.delta)?;
         }
         if let Some(eid) = removed_eid {
@@ -184,12 +185,19 @@ impl<S: BdStore> ClusterEngine<S> {
                 let range = range.clone();
                 handles.push(scope.spawn(move || worker.bootstrap(range)));
             }
-            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
         });
         for r in results {
             r?;
         }
-        Ok(ClusterEngine { workers, n, edge_slots: graph.edge_slots() })
+        Ok(ClusterEngine {
+            workers,
+            n,
+            edge_slots: graph.edge_slots(),
+        })
     }
 
     /// Number of workers.
@@ -228,10 +236,17 @@ impl<S: BdStore> ClusterEngine<S> {
         let results: Vec<Result<Duration, EngineError>> = std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for worker in self.workers.iter_mut() {
-                let adopt = if worker.id == adopter { new_source } else { None };
+                let adopt = if worker.id == adopter {
+                    new_source
+                } else {
+                    None
+                };
                 handles.push(scope.spawn(move || worker.apply(update, adopt)));
             }
-            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
         });
         let mut per_worker = Vec::with_capacity(results.len());
         for r in results {
@@ -240,7 +255,11 @@ impl<S: BdStore> ClusterEngine<S> {
         self.edge_slots = self.workers[0].graph.edge_slots();
         let map_wall = per_worker.iter().copied().max().unwrap_or_default();
         let cumulative = per_worker.iter().sum();
-        Ok(ApplyReport { map_wall, per_worker, cumulative })
+        Ok(ApplyReport {
+            map_wall,
+            per_worker,
+            cumulative,
+        })
     }
 
     /// Reduce phase: sum the per-worker partial scores into global scores.
@@ -292,7 +311,10 @@ mod tests {
             cluster.apply(u).unwrap();
             single.apply(u).unwrap();
             let (scores, _) = cluster.reduce();
-            assert!(scores.max_vbc_diff(single.scores()) < 1e-9, "VBC after {u:?}");
+            assert!(
+                scores.max_vbc_diff(single.scores()) < 1e-9,
+                "VBC after {u:?}"
+            );
             assert!(
                 scores.max_ebc_diff(single.scores(), single.graph()) < 1e-9,
                 "EBC after {u:?}"

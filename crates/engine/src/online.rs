@@ -60,8 +60,16 @@ impl OnlineReport {
                 delay_sum += events[i].completion - deadline;
             }
         }
-        let avg_delay = if missed > 0 { delay_sum / missed as f64 } else { 0.0 };
-        OnlineReport { events, missed, avg_delay }
+        let avg_delay = if missed > 0 {
+            delay_sum / missed as f64
+        } else {
+            0.0
+        };
+        OnlineReport {
+            events,
+            missed,
+            avg_delay,
+        }
     }
 
     /// Fraction of updates missed, in percent.
@@ -82,24 +90,31 @@ impl OnlineReport {
     }
 }
 
-fn fold_events(
-    arrivals: &[(f64, f64)],
-    update_times: &[f64],
-) -> Vec<OnlineEvent> {
+fn fold_events(arrivals: &[(f64, f64)], update_times: &[f64]) -> Vec<OnlineEvent> {
     let mut events = Vec::with_capacity(arrivals.len());
     let mut clock = 0.0f64;
     for (&(arrival, gap), &ut) in arrivals.iter().zip(update_times) {
         let start = clock.max(arrival);
         let completion = start + ut;
         clock = completion;
-        events.push(OnlineEvent { arrival, gap, update_time: ut, completion });
+        events.push(OnlineEvent {
+            arrival,
+            gap,
+            update_time: ut,
+            completion,
+        });
     }
     events
 }
 
 fn arrivals_of(stream: &EdgeStream) -> Vec<(f64, f64)> {
     let gaps = stream.inter_arrival_times();
-    stream.events().iter().zip(gaps).map(|(e, g)| (e.time, g)).collect()
+    stream
+        .events()
+        .iter()
+        .zip(gaps)
+        .map(|(e, g)| (e.time, g))
+        .collect()
 }
 
 /// Measured replay: apply the stream on a live cluster, recording wall-clock
@@ -111,11 +126,18 @@ pub fn simulate_online<S: BdStore>(
     let arrivals = arrivals_of(stream);
     let mut update_times = Vec::with_capacity(arrivals.len());
     for ev in stream.events() {
-        let rep = cluster.apply(Update { op: ev.op, u: ev.u, v: ev.v })?;
+        let rep = cluster.apply(Update {
+            op: ev.op,
+            u: ev.u,
+            v: ev.v,
+        })?;
         let (_, merge) = cluster.reduce();
         update_times.push((rep.map_wall + merge).as_secs_f64());
     }
-    Ok(OnlineReport::from_events(fold_events(&arrivals, &update_times)))
+    Ok(OnlineReport::from_events(fold_events(
+        &arrivals,
+        &update_times,
+    )))
 }
 
 /// Modeled replay (the paper's §5.3 projection): run the whole stream on a
@@ -133,11 +155,18 @@ pub fn simulate_modeled(
     let mut update_times = Vec::with_capacity(arrivals.len());
     for ev in stream.events() {
         let t0 = std::time::Instant::now();
-        state.apply(Update { op: ev.op, u: ev.u, v: ev.v })?;
+        state.apply(Update {
+            op: ev.op,
+            u: ev.u,
+            v: ev.v,
+        })?;
         let total = t0.elapsed().as_secs_f64();
         update_times.push(total / p + t_merge.as_secs_f64());
     }
-    Ok(OnlineReport::from_events(fold_events(&arrivals, &update_times)))
+    Ok(OnlineReport::from_events(fold_events(
+        &arrivals,
+        &update_times,
+    )))
 }
 
 #[cfg(test)]
@@ -159,8 +188,7 @@ mod tests {
 
     #[test]
     fn all_on_time_when_fast() {
-        let report =
-            OnlineReport::from_events(mk_events(&[(1.0, 0.1), (2.0, 0.1), (3.0, 0.1)]));
+        let report = OnlineReport::from_events(mk_events(&[(1.0, 0.1), (2.0, 0.1), (3.0, 0.1)]));
         assert_eq!(report.missed, 0);
         assert_eq!(report.pct_missed(), 0.0);
         assert_eq!(report.avg_delay, 0.0);
@@ -170,12 +198,8 @@ mod tests {
     fn slow_updates_queue_and_miss() {
         // gap is 1s, processing takes 2.5s: every update is late and
         // lateness accumulates through the queue.
-        let report = OnlineReport::from_events(mk_events(&[
-            (1.0, 2.5),
-            (2.0, 2.5),
-            (3.0, 2.5),
-            (4.0, 2.5),
-        ]));
+        let report =
+            OnlineReport::from_events(mk_events(&[(1.0, 2.5), (2.0, 2.5), (3.0, 2.5), (4.0, 2.5)]));
         assert!(report.missed >= 3, "missed = {}", report.missed);
         assert!(report.avg_delay > 1.0);
         // queueing: completion times strictly increase by 2.5 once saturated
@@ -185,8 +209,7 @@ mod tests {
 
     #[test]
     fn report_statistics() {
-        let report =
-            OnlineReport::from_events(mk_events(&[(1.0, 0.2), (2.0, 0.4)]));
+        let report = OnlineReport::from_events(mk_events(&[(1.0, 0.2), (2.0, 0.4)]));
         assert!((report.mean_update_time() - 0.3).abs() < 1e-12);
     }
 

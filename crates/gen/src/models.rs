@@ -8,7 +8,7 @@
 use ebc_graph::{Graph, VertexId};
 use rand::rngs::SmallRng;
 use rand::seq::IndexedRandom;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 /// Erdős–Rényi `G(n, m)`: exactly `m` distinct uniform edges (capped at the
 /// number of available pairs).
@@ -91,8 +91,7 @@ fn stream_preferential(
         while added < m_per.min(v as usize) && attempts < 50 * m_per {
             attempts += 1;
             // triad formation: link to a neighbour of the previous anchor
-            let candidate = if let Some(anchor) = last_anchor.filter(|_| rng.random_bool(p_triad))
-            {
+            let candidate = if let Some(anchor) = last_anchor.filter(|_| rng.random_bool(p_triad)) {
                 g.neighbors(anchor).choose(&mut rng).map(|h| h.to)
             } else {
                 targets.choose(&mut rng).copied()
@@ -158,12 +157,7 @@ pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> Graph {
 /// ("papers") of size 2–`max_group`, members drawn preferentially by prior
 /// membership; every group becomes a clique. Produces the very high
 /// clustering of co-authorship graphs (dblp row of Table 2, CC ≈ 0.65).
-pub fn clique_affiliation(
-    n: usize,
-    groups: usize,
-    max_group: usize,
-    seed: u64,
-) -> Graph {
+pub fn clique_affiliation(n: usize, groups: usize, max_group: usize, seed: u64) -> Graph {
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut g = Graph::with_vertices(n);
     if n < 2 {
@@ -176,36 +170,35 @@ pub fn clique_affiliation(
         // probability a "paper" reuses a previous author group, swapping in
         // one new member. This keeps each author's neighbourhood nearly a
         // clique (local CC ≈ 1), matching dblp's CC ≈ 0.65.
-        let mut members: Vec<VertexId> =
-            if !history.is_empty() && rng.random_bool(0.45) {
-                let prev = &history[rng.random_range(0..history.len())];
-                let mut m = prev.clone();
-                if m.len() > 2 && rng.random_bool(0.5) {
-                    let drop = rng.random_range(0..m.len());
-                    m.swap_remove(drop);
-                }
-                for _ in 0..8 {
-                    let cand = rng.random_range(0..n) as VertexId;
-                    if !m.contains(&cand) {
-                        if m.len() < max_group {
-                            m.push(cand);
-                        }
-                        break;
-                    }
-                }
-                m
-            } else {
-                // fresh paper: small group of uniform authors
-                let size = 2 + (rng.random::<f64>().powi(2) * (max_group - 1) as f64) as usize;
-                let mut m = Vec::with_capacity(size);
-                while m.len() < size.min(n) {
-                    let cand = rng.random_range(0..n) as VertexId;
-                    if !m.contains(&cand) {
+        let mut members: Vec<VertexId> = if !history.is_empty() && rng.random_bool(0.45) {
+            let prev = &history[rng.random_range(0..history.len())];
+            let mut m = prev.clone();
+            if m.len() > 2 && rng.random_bool(0.5) {
+                let drop = rng.random_range(0..m.len());
+                m.swap_remove(drop);
+            }
+            for _ in 0..8 {
+                let cand = rng.random_range(0..n) as VertexId;
+                if !m.contains(&cand) {
+                    if m.len() < max_group {
                         m.push(cand);
                     }
+                    break;
                 }
-                m
-            };
+            }
+            m
+        } else {
+            // fresh paper: small group of uniform authors
+            let size = 2 + (rng.random::<f64>().powi(2) * (max_group - 1) as f64) as usize;
+            let mut m = Vec::with_capacity(size);
+            while m.len() < size.min(n) {
+                let cand = rng.random_range(0..n) as VertexId;
+                if !m.contains(&cand) {
+                    m.push(cand);
+                }
+            }
+            m
+        };
         members.sort_unstable();
         members.dedup();
         for i in 0..members.len() {
@@ -253,14 +246,21 @@ mod tests {
         let g = barabasi_albert(300, 3, 1);
         assert!(is_connected(&g), "BA graphs are connected by construction");
         // roughly m_per edges per vertex beyond the seed core
-        assert!(g.m() >= 3 * (300 - 4) && g.m() <= 3 * 300 + 10, "m = {}", g.m());
+        assert!(
+            g.m() >= 3 * (300 - 4) && g.m() <= 3 * 300 + 10,
+            "m = {}",
+            g.m()
+        );
     }
 
     #[test]
     fn ba_has_degree_skew() {
         let g = barabasi_albert(500, 2, 3);
         let max_deg = g.vertices().map(|v| g.degree(v)).max().unwrap();
-        assert!(max_deg > 20, "preferential attachment should create hubs, max={max_deg}");
+        assert!(
+            max_deg > 20,
+            "preferential attachment should create hubs, max={max_deg}"
+        );
     }
 
     #[test]
@@ -310,7 +310,10 @@ mod tests {
     fn clique_affiliation_high_clustering() {
         let g = clique_affiliation(300, 220, 5, 13);
         let cc = average_clustering(&g);
-        assert!(cc > 0.4, "affiliation graphs should be highly clustered, cc={cc}");
+        assert!(
+            cc > 0.4,
+            "affiliation graphs should be highly clustered, cc={cc}"
+        );
     }
 
     #[test]

@@ -10,11 +10,11 @@
 //!
 //! | paper dataset | stand-in model | why |
 //! |---|---|---|
-//! | synthetic 1k…1000k | Holme–Kim (m=6, p≈0.4) | AD ≈ 11.8, CC ≈ 0.2 as in Table 2 |
-//! | wikielections | Holme–Kim (m=14, p≈0.25) | dense, moderately clustered |
+//! | synthetic 1k…1000k | Holme–Kim (m=6, p≈0.8) | AD ≈ 11.8, CC ≈ 0.2 as in Table 2 |
+//! | wikielections | Holme–Kim (m=14, p≈0.40) | dense, moderately clustered |
 //! | slashdot | Barabási–Albert (m=2) | CC ≈ 0.006, reply network has no triangles |
-//! | facebook | Holme–Kim (m=13, p≈0.55) | CC ≈ 0.148 friendship graph |
-//! | epinions | Holme–Kim (m=6, p≈0.40) | CC ≈ 0.081 trust graph |
+//! | facebook | Holme–Kim (m=13, p≈0.70) | CC ≈ 0.148 friendship graph |
+//! | epinions | Holme–Kim (m=6, p≈0.45) | CC ≈ 0.081 trust graph |
 //! | dblp | clique affiliation | co-authorship = overlapping cliques, CC ≈ 0.65 |
 //! | amazon | Barabási–Albert (m=2) | CC ≈ 0.0004, sparse high-diameter |
 
@@ -135,7 +135,12 @@ pub fn standin(kind: StandinKind, scale: usize, seed: u64) -> Standin {
             _ => None,
         })
         .collect();
-    Standin { kind, name: kind.name(), graph: lcc, arrival_order }
+    Standin {
+        kind,
+        name: kind.name(),
+        graph: lcc,
+        arrival_order,
+    }
 }
 
 /// The paper's synthetic social graph at `n` vertices (Table 2 rows 1k…1000k).
@@ -154,9 +159,15 @@ mod tests {
         let s = synthetic_social(1000, 1);
         assert!(is_connected(&s.graph));
         let ad = s.graph.average_degree();
-        assert!((9.0..15.0).contains(&ad), "avg degree {ad} should be near 11.8");
+        assert!(
+            (9.0..15.0).contains(&ad),
+            "avg degree {ad} should be near 11.8"
+        );
         let cc = average_clustering(&s.graph);
-        assert!((0.1..0.45).contains(&cc), "clustering {cc} should be near 0.2");
+        assert!(
+            (0.1..0.45).contains(&cc),
+            "clustering {cc} should be near 0.2"
+        );
     }
 
     #[test]

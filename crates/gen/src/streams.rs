@@ -2,7 +2,7 @@
 
 use ebc_graph::{EdgeEvent, EdgeOp, EdgeStream, Graph, VertexId};
 use rand::rngs::SmallRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 /// The paper's addition workload: `k` random **unconnected** vertex pairs of
 /// `g`, to be added one by one. Pairs are distinct within the stream.
@@ -79,7 +79,12 @@ pub fn replay_growth(
     for &(u, v) in &arrival_order[split..] {
         let z = standard_normal(&mut rng);
         t += (mu + sigma * z).exp();
-        events.push(EdgeEvent { time: t, op: EdgeOp::Add, u, v });
+        events.push(EdgeEvent {
+            time: t,
+            op: EdgeOp::Add,
+            u,
+            v,
+        });
     }
     (g, EdgeStream::from_events(events))
 }
@@ -177,7 +182,10 @@ mod tests {
         let s = with_lognormal_times(&updates, 3.0, 0.8, 11);
         let gaps = s.inter_arrival_times();
         let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
-        assert!((mean - 3.0).abs() < 0.5, "mean gap {mean} should be close to 3.0");
+        assert!(
+            (mean - 3.0).abs() < 0.5,
+            "mean gap {mean} should be close to 3.0"
+        );
     }
 
     #[test]

@@ -68,7 +68,9 @@ pub fn modularity(g0: &Graph, labels: &[u32]) -> f64 {
             internal[cu] += 1.0;
         }
     }
-    (0..k).map(|c| internal[c] / m - (degree[c] / (2.0 * m)).powi(2)).sum()
+    (0..k)
+        .map(|c| internal[c] / m - (degree[c] / (2.0 * m)).powi(2))
+        .sum()
 }
 
 /// Run Girvan–Newman with **incremental** betweenness maintenance (our
@@ -81,7 +83,9 @@ pub fn girvan_newman_incremental(g: &Graph, max_removals: usize) -> Dendrogram {
     let mut best_partition: Vec<u32> = vec![0; g.n()];
     let mut best_modularity = f64::NEG_INFINITY;
     for _ in 0..max_removals.min(g.m()) {
-        let Some((key, score)) = state.scores().top_edge(state.graph()) else { break };
+        let Some((key, score)) = state.scores().top_edge(state.graph()) else {
+            break;
+        };
         let (u, v) = key.endpoints();
         state.apply(Update::remove(u, v)).expect("edge exists");
         let (labels, components) = connected_components(state.graph());
@@ -90,12 +94,21 @@ pub fn girvan_newman_incremental(g: &Graph, max_removals: usize) -> Dendrogram {
             best_modularity = q;
             best_partition = labels;
         }
-        steps.push(PeelStep { edge: key, score, components, modularity: q });
+        steps.push(PeelStep {
+            edge: key,
+            score,
+            components,
+            modularity: q,
+        });
     }
     if !best_modularity.is_finite() {
         best_modularity = modularity(&g0, &best_partition);
     }
-    Dendrogram { steps, best_partition, best_modularity }
+    Dendrogram {
+        steps,
+        best_partition,
+        best_modularity,
+    }
 }
 
 /// Run Girvan–Newman with the classic **recompute-from-scratch** baseline:
@@ -108,7 +121,9 @@ pub fn girvan_newman_recompute(g: &Graph, max_removals: usize) -> Dendrogram {
     let mut best_modularity = f64::NEG_INFINITY;
     let mut scores = brandes(&g);
     for _ in 0..max_removals.min(g0.m()) {
-        let Some((key, score)) = scores.top_edge(&g) else { break };
+        let Some((key, score)) = scores.top_edge(&g) else {
+            break;
+        };
         let (u, v) = key.endpoints();
         g.remove_edge(u, v).expect("edge exists");
         let (labels, components) = connected_components(&g);
@@ -117,7 +132,12 @@ pub fn girvan_newman_recompute(g: &Graph, max_removals: usize) -> Dendrogram {
             best_modularity = q;
             best_partition = labels;
         }
-        steps.push(PeelStep { edge: key, score, components, modularity: q });
+        steps.push(PeelStep {
+            edge: key,
+            score,
+            components,
+            modularity: q,
+        });
         if g.m() == 0 {
             break;
         }
@@ -126,7 +146,11 @@ pub fn girvan_newman_recompute(g: &Graph, max_removals: usize) -> Dendrogram {
     if !best_modularity.is_finite() {
         best_modularity = modularity(&g0, &best_partition);
     }
-    Dendrogram { steps, best_partition, best_modularity }
+    Dendrogram {
+        steps,
+        best_partition,
+        best_modularity,
+    }
 }
 
 #[cfg(test)]
@@ -146,7 +170,11 @@ mod tests {
     fn bridge_is_peeled_first() {
         let g = two_triangles();
         let dg = girvan_newman_incremental(&g, 1);
-        assert_eq!(dg.steps[0].edge, EdgeKey::new(2, 3), "bridge has top betweenness");
+        assert_eq!(
+            dg.steps[0].edge,
+            EdgeKey::new(2, 3),
+            "bridge has top betweenness"
+        );
         assert_eq!(dg.steps[0].components, 2);
     }
 

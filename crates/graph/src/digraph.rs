@@ -24,7 +24,10 @@ impl ArcKey {
     /// The `(from, to)` endpoints.
     #[inline]
     pub fn endpoints(self) -> (VertexId, VertexId) {
-        ((self.0 >> 32) as VertexId, (self.0 & 0xffff_ffff) as VertexId)
+        (
+            (self.0 >> 32) as VertexId,
+            (self.0 & 0xffff_ffff) as VertexId,
+        )
     }
 }
 
@@ -53,7 +56,11 @@ impl DiGraph {
 
     /// Directed graph with `n` isolated vertices.
     pub fn with_vertices(n: usize) -> Self {
-        DiGraph { out_adj: vec![Vec::new(); n], in_adj: vec![Vec::new(); n], ..Default::default() }
+        DiGraph {
+            out_adj: vec![Vec::new(); n],
+            in_adj: vec![Vec::new(); n],
+            ..Default::default()
+        }
     }
 
     /// Build from arcs, growing the vertex set and skipping duplicates and
@@ -152,9 +159,15 @@ impl DiGraph {
         };
         self.slots[eid as usize] = None;
         self.free.push(eid);
-        let pos = self.out_adj[u as usize].iter().position(|h| h.to == v).expect("in sync");
+        let pos = self.out_adj[u as usize]
+            .iter()
+            .position(|h| h.to == v)
+            .expect("in sync");
         self.out_adj[u as usize].swap_remove(pos);
-        let pos = self.in_adj[v as usize].iter().position(|h| h.to == u).expect("in sync");
+        let pos = self.in_adj[v as usize]
+            .iter()
+            .position(|h| h.to == u)
+            .expect("in sync");
         self.in_adj[v as usize].swap_remove(pos);
         Ok(eid)
     }

@@ -35,7 +35,10 @@ impl EdgeKey {
     /// The endpoints `(min, max)` of this edge.
     #[inline]
     pub fn endpoints(self) -> (VertexId, VertexId) {
-        ((self.0 >> 32) as VertexId, (self.0 & 0xffff_ffff) as VertexId)
+        (
+            (self.0 >> 32) as VertexId,
+            (self.0 & 0xffff_ffff) as VertexId,
+        )
     }
 }
 
@@ -106,7 +109,10 @@ impl Graph {
 
     /// Graph with `n` isolated vertices `0..n`.
     pub fn with_vertices(n: usize) -> Self {
-        Graph { adj: vec![Vec::new(); n], ..Default::default() }
+        Graph {
+            adj: vec![Vec::new(); n],
+            ..Default::default()
+        }
     }
 
     /// Build from an iterator of edges, growing the vertex set on demand and
@@ -209,9 +215,15 @@ impl Graph {
         };
         self.slots[eid as usize] = None;
         self.free.push(eid);
-        let pos = self.adj[u as usize].iter().position(|h| h.to == v).expect("adjacency in sync");
+        let pos = self.adj[u as usize]
+            .iter()
+            .position(|h| h.to == v)
+            .expect("adjacency in sync");
         self.adj[u as usize].swap_remove(pos);
-        let pos = self.adj[v as usize].iter().position(|h| h.to == u).expect("adjacency in sync");
+        let pos = self.adj[v as usize]
+            .iter()
+            .position(|h| h.to == u)
+            .expect("adjacency in sync");
         self.adj[v as usize].swap_remove(pos);
         Ok(eid)
     }

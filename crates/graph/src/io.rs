@@ -61,8 +61,16 @@ pub fn read_edge_list<R: Read>(reader: R) -> Result<Graph, IoError> {
         }
         let mut it = line.split_whitespace();
         let (u, v) = match (it.next(), it.next()) {
-            (Some(a), Some(b)) => (parse_vertex(a, lineno, line)?, parse_vertex(b, lineno, line)?),
-            _ => return Err(IoError::Parse { line: lineno, content: line.to_string() }),
+            (Some(a), Some(b)) => (
+                parse_vertex(a, lineno, line)?,
+                parse_vertex(b, lineno, line)?,
+            ),
+            _ => {
+                return Err(IoError::Parse {
+                    line: lineno,
+                    content: line.to_string(),
+                })
+            }
         };
         if u == v {
             continue;
@@ -94,22 +102,30 @@ pub fn read_timestamped_edge_list<R: Read>(reader: R) -> Result<EdgeStream, IoEr
             (Some(a), Some(b), Some(t)) => {
                 let u = parse_vertex(a, lineno, line)?;
                 let v = parse_vertex(b, lineno, line)?;
-                let time: f64 = t
-                    .parse()
-                    .map_err(|_| IoError::Parse { line: lineno, content: line.to_string() })?;
+                let time: f64 = t.parse().map_err(|_| IoError::Parse {
+                    line: lineno,
+                    content: line.to_string(),
+                })?;
                 if u != v {
                     events.push(EdgeEvent::add(time, u, v));
                 }
             }
-            _ => return Err(IoError::Parse { line: lineno, content: line.to_string() }),
+            _ => {
+                return Err(IoError::Parse {
+                    line: lineno,
+                    content: line.to_string(),
+                })
+            }
         }
     }
     Ok(EdgeStream::from_events(events))
 }
 
 fn parse_vertex(tok: &str, line: usize, content: &str) -> Result<VertexId, IoError> {
-    tok.parse()
-        .map_err(|_| IoError::Parse { line, content: content.to_string() })
+    tok.parse().map_err(|_| IoError::Parse {
+        line,
+        content: content.to_string(),
+    })
 }
 
 /// Write a graph as a sorted `u v` edge list (deterministic output).

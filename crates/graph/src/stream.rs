@@ -35,12 +35,22 @@ pub struct EdgeEvent {
 impl EdgeEvent {
     /// Convenience constructor for an addition.
     pub fn add(time: f64, u: VertexId, v: VertexId) -> Self {
-        EdgeEvent { time, op: EdgeOp::Add, u, v }
+        EdgeEvent {
+            time,
+            op: EdgeOp::Add,
+            u,
+            v,
+        }
     }
 
     /// Convenience constructor for a removal.
     pub fn remove(time: f64, u: VertexId, v: VertexId) -> Self {
-        EdgeEvent { time, op: EdgeOp::Remove, u, v }
+        EdgeEvent {
+            time,
+            op: EdgeOp::Remove,
+            u,
+            v,
+        }
     }
 }
 
@@ -66,7 +76,7 @@ impl EdgeStream {
     /// Append an event; must not go back in time.
     pub fn push(&mut self, ev: EdgeEvent) {
         debug_assert!(
-            self.events.last().map_or(true, |last| last.time <= ev.time),
+            self.events.last().is_none_or(|last| last.time <= ev.time),
             "stream timestamps must be non-decreasing"
         );
         self.events.push(ev);
@@ -134,8 +144,12 @@ impl EdgeStream {
     pub fn split_at(&self, k: usize) -> (EdgeStream, EdgeStream) {
         let k = k.min(self.events.len());
         (
-            EdgeStream { events: self.events[..k].to_vec() },
-            EdgeStream { events: self.events[k..].to_vec() },
+            EdgeStream {
+                events: self.events[..k].to_vec(),
+            },
+            EdgeStream {
+                events: self.events[k..].to_vec(),
+            },
         )
     }
 }
@@ -152,10 +166,7 @@ mod tests {
 
     #[test]
     fn from_events_sorts() {
-        let s = EdgeStream::from_events(vec![
-            EdgeEvent::add(2.0, 0, 1),
-            EdgeEvent::add(1.0, 1, 2),
-        ]);
+        let s = EdgeStream::from_events(vec![EdgeEvent::add(2.0, 0, 1), EdgeEvent::add(1.0, 1, 2)]);
         assert_eq!(s.events()[0].time, 1.0);
         assert_eq!(s.events()[1].time, 2.0);
     }
@@ -195,8 +206,9 @@ mod tests {
 
     #[test]
     fn split_prefix_suffix() {
-        let s: EdgeStream =
-            (0..10).map(|i| EdgeEvent::add(i as f64, i, i + 1)).collect();
+        let s: EdgeStream = (0..10)
+            .map(|i| EdgeEvent::add(i as f64, i, i + 1))
+            .collect();
         let (head, tail) = s.split_at(7);
         assert_eq!(head.len(), 7);
         assert_eq!(tail.len(), 3);

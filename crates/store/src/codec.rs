@@ -80,7 +80,11 @@ impl CodecKind {
     pub fn encode_d(self, d: u32, buf: &mut [u8]) {
         match self {
             CodecKind::Paper => {
-                buf[0] = if d == UNREACHABLE { u8::MAX } else { d.min(254) as u8 };
+                buf[0] = if d == UNREACHABLE {
+                    u8::MAX
+                } else {
+                    d.min(254) as u8
+                };
             }
             CodecKind::Wide => buf.copy_from_slice(&d.to_le_bytes()),
         }

@@ -47,8 +47,12 @@ impl DiskBdStore {
     /// Create a fresh store at `path` for records of `n` vertices.
     pub fn create<P: AsRef<Path>>(path: P, n: usize, codec: CodecKind) -> BdResult<Self> {
         let path = path.as_ref().to_path_buf();
-        let mut file =
-            OpenOptions::new().read(true).write(true).create(true).truncate(true).open(&path)?;
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)?;
         let mut header = Vec::with_capacity(HEADER_LEN as usize);
         header.extend_from_slice(MAGIC);
         header.push(codec.id());
@@ -78,7 +82,8 @@ impl DiskBdStore {
         let path = path.as_ref().to_path_buf();
         let mut file = OpenOptions::new().read(true).write(true).open(&path)?;
         let mut header = [0u8; HEADER_LEN as usize];
-        file.read_exact(&mut header).map_err(|_| BdError::Corrupt("truncated header".into()))?;
+        file.read_exact(&mut header)
+            .map_err(|_| BdError::Corrupt("truncated header".into()))?;
         if &header[..7] != MAGIC {
             return Err(BdError::Corrupt("bad magic".into()));
         }
@@ -169,7 +174,8 @@ impl DiskBdStore {
 
     fn update_header_count(&mut self) -> BdResult<()> {
         self.file.seek(SeekFrom::Start(7 + 1 + 8))?;
-        self.file.write_all(&(self.order.len() as u64).to_le_bytes())?;
+        self.file
+            .write_all(&(self.order.len() as u64).to_le_bytes())?;
         Ok(())
     }
 
@@ -193,14 +199,16 @@ impl DiskBdStore {
         self.d.resize(self.n, 0);
         self.sigma.resize(self.n, 0);
         self.delta.resize(self.n, 0.0);
-        self.codec.decode_record(&self.raw, &mut self.d, &mut self.sigma, &mut self.delta);
+        self.codec
+            .decode_record(&self.raw, &mut self.d, &mut self.sigma, &mut self.delta);
         Ok(())
     }
 
     fn write_record(&mut self, slot: usize) -> BdResult<()> {
         let size = self.codec.record_size(self.n);
         self.raw.resize(size, 0);
-        self.codec.encode_record(&self.d, &self.sigma, &self.delta, &mut self.raw);
+        self.codec
+            .encode_record(&self.d, &self.sigma, &self.delta, &mut self.raw);
         self.file.seek(SeekFrom::Start(self.record_offset(slot)))?;
         self.file.write_all(&self.raw)?;
         self.bytes_written += size as u64;
@@ -244,7 +252,10 @@ impl BdStore for DiskBdStore {
             .read_exact(&mut self.raw[..span])
             .map_err(|_| BdError::Corrupt("distance column truncated".into()))?;
         self.bytes_read += span as u64;
-        let at = |v: usize| self.codec.decode_d(&self.raw[(v - lo) * dw..(v - lo) * dw + dw]);
+        let at = |v: usize| {
+            self.codec
+                .decode_d(&self.raw[(v - lo) * dw..(v - lo) * dw + dw])
+        };
         Ok((at(a as usize), at(b as usize)))
     }
 
@@ -287,7 +298,8 @@ impl BdStore for DiskBdStore {
             self.d.push(UNREACHABLE);
             self.sigma.push(0);
             self.delta.push(0.0);
-            self.codec.encode_record(&self.d, &self.sigma, &self.delta, &mut out);
+            self.codec
+                .encode_record(&self.d, &self.sigma, &self.delta, &mut out);
             tmp.write_all(&out)?;
             self.bytes_written += out.len() as u64;
         }
@@ -310,7 +322,10 @@ impl BdStore for DiskBdStore {
             return Err(BdError::DuplicateSource(s));
         }
         if d.len() != self.n || sigma.len() != self.n || delta.len() != self.n {
-            return Err(BdError::ShapeMismatch { expected: self.n, got: d.len() });
+            return Err(BdError::ShapeMismatch {
+                expected: self.n,
+                got: d.len(),
+            });
         }
         let slot = self.order.len();
         self.d = d;
@@ -368,7 +383,11 @@ mod tests {
         let before = st.bytes_read;
         assert_eq!(st.peek_pair(0, 5, 11).unwrap(), (42, UNREACHABLE));
         // span of 7 u32 entries, far less than the full 16-vertex record
-        assert_eq!(st.bytes_read - before, 28, "peek must read only the endpoint span");
+        assert_eq!(
+            st.bytes_read - before,
+            28,
+            "peek must read only the endpoint span"
+        );
         let before = st.bytes_read;
         assert_eq!(st.peek_pair(0, 11, 5).unwrap(), (UNREACHABLE, 42));
         assert_eq!(st.bytes_read - before, 28, "order-insensitive");
@@ -484,13 +503,19 @@ mod tests {
         let mut st = DiskBdStore::create(&path, 2, CodecKind::Wide).unwrap();
         let (d, s, del) = sample_record(2, 7);
         st.add_source(5, d.clone(), s.clone(), del.clone()).unwrap();
-        assert!(matches!(st.add_source(5, d, s, del), Err(BdError::DuplicateSource(5))));
+        assert!(matches!(
+            st.add_source(5, d, s, del),
+            Err(BdError::DuplicateSource(5))
+        ));
     }
 
     #[test]
     fn unknown_source_rejected() {
         let path = tmpdir("unk").join("bd.dat");
         let mut st = DiskBdStore::create(&path, 2, CodecKind::Wide).unwrap();
-        assert!(matches!(st.peek_pair(0, 0, 1), Err(BdError::UnknownSource(0))));
+        assert!(matches!(
+            st.peek_pair(0, 0, 1),
+            Err(BdError::UnknownSource(0))
+        ));
     }
 }

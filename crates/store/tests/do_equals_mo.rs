@@ -53,7 +53,10 @@ fn disk_backed_state_tracks_memory_state() {
             mo.scores().max_vbc_diff(dob.scores()) < 1e-12,
             "{ctx}: MO and DO diverged"
         );
-        assert!(mo.scores().max_ebc_diff(dob.scores(), mo.graph()) < 1e-12, "{ctx}: EBC");
+        assert!(
+            mo.scores().max_ebc_diff(dob.scores(), mo.graph()) < 1e-12,
+            "{ctx}: EBC"
+        );
     }
 }
 

@@ -17,10 +17,7 @@ fn tmp(tag: &str, case: u64) -> PathBuf {
 
 fn record_strategy(n: usize) -> impl Strategy<Value = (Vec<u32>, Vec<u64>, Vec<f64>)> {
     (
-        proptest::collection::vec(
-            prop_oneof![3 => 0u32..1000, 1 => Just(UNREACHABLE)],
-            n..=n,
-        ),
+        proptest::collection::vec(prop_oneof![3 => 0u32..1000, 1 => Just(UNREACHABLE)], n..=n),
         proptest::collection::vec(any::<u64>(), n..=n),
         proptest::collection::vec(-1e12f64..1e12, n..=n),
     )

@@ -8,10 +8,10 @@
 //! cargo run --release --example community_detection
 //! ```
 
+use std::time::Instant;
 use streaming_bc::gen::models::holme_kim;
 use streaming_bc::gn::{girvan_newman_incremental, girvan_newman_recompute};
 use streaming_bc::graph::Graph;
-use std::time::Instant;
 
 fn main() {
     // Two 40-vertex social cliques-of-cliques joined by 3 bridges.
@@ -43,7 +43,10 @@ fn main() {
     println!(
         "\nbest modularity {:.3}; community of v0 has {} members",
         dg.best_modularity,
-        dg.best_partition.iter().filter(|&&c| c == dg.best_partition[0]).count()
+        dg.best_partition
+            .iter()
+            .filter(|&&c| c == dg.best_partition[0])
+            .count()
     );
 
     let t0 = Instant::now();

@@ -37,8 +37,16 @@ fn main() {
             state.apply(Update::add(u, v)).unwrap();
         }
         let top = top_k(state.vertex_centrality(), 5);
-        let entered: Vec<u32> = top.iter().filter(|v| !prev_top.contains(v)).copied().collect();
-        let left: Vec<u32> = prev_top.iter().filter(|v| !top.contains(v)).copied().collect();
+        let entered: Vec<u32> = top
+            .iter()
+            .filter(|v| !prev_top.contains(v))
+            .copied()
+            .collect();
+        let left: Vec<u32> = prev_top
+            .iter()
+            .filter(|v| !top.contains(v))
+            .copied()
+            .collect();
         println!(
             "batch {batch_idx}: top-5 {top:?}  (+{entered:?} -{left:?}), \
              {} sources skipped via dd==0",
@@ -50,8 +58,12 @@ fn main() {
 }
 
 fn top_k(vbc: &[f64], k: usize) -> Vec<u32> {
-    let mut ranked: Vec<(u32, f64)> =
-        vbc.iter().copied().enumerate().map(|(i, s)| (i as u32, s)).collect();
+    let mut ranked: Vec<(u32, f64)> = vbc
+        .iter()
+        .copied()
+        .enumerate()
+        .map(|(i, s)| (i as u32, s))
+        .collect();
     ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
     ranked.into_iter().take(k).map(|(v, _)| v).collect()
 }

@@ -7,12 +7,12 @@
 //! cargo run --release --example online_monitoring
 //! ```
 
+use std::time::Duration;
 use streaming_bc::core::BetweennessState;
 use streaming_bc::engine::online::simulate_modeled;
 use streaming_bc::engine::{simulate_online, ClusterEngine};
 use streaming_bc::gen::models::holme_kim_with_order;
 use streaming_bc::gen::streams::replay_growth;
-use std::time::Duration;
 
 fn main() {
     // Grow a 600-vertex social graph; the last 50 edges form the live
@@ -44,7 +44,12 @@ fn main() {
         let mut st = BetweennessState::init(&bootstrap);
         let r = simulate_modeled(&mut st, &stream, p, Duration::from_micros(50))
             .expect("modeled replay");
-        println!("{:>8} {:>9.1}% {:>12.5}", p, r.pct_missed(), r.mean_update_time());
+        println!(
+            "{:>8} {:>9.1}% {:>12.5}",
+            p,
+            r.pct_missed(),
+            r.mean_update_time()
+        );
     }
     println!("\nAn update is online when its time stays below the inter-arrival gap;");
     println!("adding workers divides per-update work until merges dominate.");

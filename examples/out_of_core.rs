@@ -54,8 +54,12 @@ fn main() {
         state.stats().sources_skipped
     );
 
-    let mut ranked: Vec<(usize, f64)> =
-        state.vertex_centrality().iter().copied().enumerate().collect();
+    let mut ranked: Vec<(usize, f64)> = state
+        .vertex_centrality()
+        .iter()
+        .copied()
+        .enumerate()
+        .collect();
     ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
     println!("top-3 central vertices now: {:?}", &ranked[..3]);
 }

@@ -16,7 +16,16 @@ fn main() {
     //   1        |      6
     //            bridge
     let mut g = Graph::with_vertices(7);
-    for (u, v) in [(0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (4, 5), (4, 6), (5, 6)] {
+    for (u, v) in [
+        (0, 1),
+        (0, 2),
+        (1, 2),
+        (2, 3),
+        (3, 4),
+        (4, 5),
+        (4, 6),
+        (5, 6),
+    ] {
         g.add_edge(u, v).unwrap();
     }
 

@@ -11,13 +11,13 @@
 //! Edge lists are whitespace-separated `u v` lines (`#`/`%` comments).
 //! Update files contain `+ u v` / `- u v` lines applied in order.
 
+use std::process::ExitCode;
 use streaming_bc::core::ranking::top_k;
 use streaming_bc::core::{approx_betweenness, brandes, BetweennessState, Update};
 use streaming_bc::gn::girvan_newman_incremental;
 use streaming_bc::graph::io::load_graph;
 use streaming_bc::graph::stats::GraphStats;
 use streaming_bc::graph::Graph;
-use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -87,7 +87,12 @@ fn run(args: &[String]) -> Result<(), String> {
                 stats.sources_skipped
             );
             let scores = st.scores().clone();
-            print_top(st.graph(), &scores.vbc, &scores, flag(args, "--top").unwrap_or(10));
+            print_top(
+                st.graph(),
+                &scores.vbc,
+                &scores,
+                flag(args, "--top").unwrap_or(10),
+            );
             Ok(())
         }
         "gn" => {
@@ -102,8 +107,8 @@ fn run(args: &[String]) -> Result<(), String> {
             let labels = &dg.best_partition;
             let communities = labels.iter().copied().max().map_or(0, |x| x + 1);
             println!("# {communities} communities at the best cut");
-            for v in 0..labels.len() {
-                println!("{v} {}", labels[v]);
+            for (v, label) in labels.iter().enumerate() {
+                println!("{v} {label}");
             }
             Ok(())
         }
@@ -140,12 +145,7 @@ fn load_updates(path: Option<&String>) -> Result<Vec<Update>, String> {
     Ok(out)
 }
 
-fn print_top(
-    g: &Graph,
-    vbc: &[f64],
-    scores: &streaming_bc::core::Scores,
-    k: usize,
-) {
+fn print_top(g: &Graph, vbc: &[f64], scores: &streaming_bc::core::Scores, k: usize) {
     println!("# top-{k} vertices by betweenness (ordered-pair convention)");
     for v in top_k(vbc, k) {
         println!("v {v} {:.4}", vbc[v as usize]);

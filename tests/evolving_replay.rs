@@ -1,13 +1,13 @@
 //! Cross-crate integration: timestamped replay of a growing graph through
 //! the online simulator, with score verification at the end.
 
+use std::time::Duration;
 use streaming_bc::core::verify::assert_matches_scratch;
 use streaming_bc::core::{BetweennessState, Update};
 use streaming_bc::engine::online::simulate_modeled;
 use streaming_bc::gen::models::holme_kim_with_order;
 use streaming_bc::gen::streams::replay_growth;
 use streaming_bc::gn::girvan_newman_incremental;
-use std::time::Duration;
 
 #[test]
 fn replayed_tail_reaches_full_graph_scores() {
@@ -15,7 +15,12 @@ fn replayed_tail_reaches_full_graph_scores() {
     let (boot, tail) = replay_growth(&order, full.n(), 25, 0.1, 0.5, 18);
     let mut st = BetweennessState::init(&boot);
     for ev in tail.events() {
-        st.apply(Update { op: ev.op, u: ev.u, v: ev.v }).unwrap();
+        st.apply(Update {
+            op: ev.op,
+            u: ev.u,
+            v: ev.v,
+        })
+        .unwrap();
     }
     assert_eq!(st.graph().sorted_edges(), full.sorted_edges());
     assert_matches_scratch(st.graph(), st.scores(), 1e-6, "replayed tail");

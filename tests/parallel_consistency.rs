@@ -8,9 +8,15 @@ use streaming_bc::gen::streams::{addition_stream, removal_stream};
 use streaming_bc::store::{CodecKind, DiskBdStore};
 
 fn updates_for(g: &streaming_bc::graph::Graph) -> Vec<Update> {
-    let mut ups: Vec<Update> =
-        addition_stream(g, 6, 1).into_iter().map(|(u, v)| Update::add(u, v)).collect();
-    ups.extend(removal_stream(g, 6, 2).into_iter().map(|(u, v)| Update::remove(u, v)));
+    let mut ups: Vec<Update> = addition_stream(g, 6, 1)
+        .into_iter()
+        .map(|(u, v)| Update::add(u, v))
+        .collect();
+    ups.extend(
+        removal_stream(g, 6, 2)
+            .into_iter()
+            .map(|(u, v)| Update::remove(u, v)),
+    );
     ups
 }
 
@@ -34,17 +40,13 @@ fn disk_cluster_matches_single_state() {
     let dir = std::env::temp_dir().join("sbc_it_disk_cluster");
     std::fs::create_dir_all(&dir).unwrap();
     let dir2 = dir.clone();
-    let mut cluster = ClusterEngine::bootstrap_with(
-        &g,
-        3,
-        UpdateConfig::default(),
-        move |worker, n| {
+    let mut cluster =
+        ClusterEngine::bootstrap_with(&g, 3, UpdateConfig::default(), move |worker, n| {
             // one private file per worker — one disk per machine, as in §5.2
             let path = dir2.join(format!("worker{worker}.bd"));
             DiskBdStore::create(path, n, CodecKind::Wide).map_err(EngineError::from)
-        },
-    )
-    .unwrap();
+        })
+        .unwrap();
     let mut single = BetweennessState::init(&g);
     for u in updates_for(&g) {
         cluster.apply(u).unwrap();

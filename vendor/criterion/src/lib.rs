@@ -1,0 +1,276 @@
+//! Minimal offline stand-in for `criterion`.
+//!
+//! Implements the surface this workspace's benches use: [`Criterion`],
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`] /
+//! [`BenchmarkGroup::bench_with_input`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`BenchmarkId`], [`BatchSize`] and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is a warm-up pass followed by a timed loop bounded by both
+//! the configured sample count and measurement time; one line with the mean
+//! per-iteration wall time is printed per benchmark. No statistics, plots,
+//! or baseline comparisons. When invoked with `--test` (as `cargo test
+//! --benches` does) every benchmark body runs exactly once.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export so `criterion::black_box` callers keep compiling.
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortises setup cost. The stub runs one setup per
+/// routine call regardless of the variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs (one batch per sample upstream).
+    LargeInput,
+    /// One setup per measured iteration.
+    PerIteration,
+}
+
+/// A `group/function/parameter` benchmark identifier.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Identifier combining a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Identifier from a parameter value alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Benchmark driver handed to bench closures.
+pub struct Bencher {
+    samples: usize,
+    measurement: Duration,
+    /// Mean per-iteration time of the last `iter*` call.
+    mean: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, called repeatedly.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        black_box(routine()); // warm-up, also primes caches/allocations
+        let started = Instant::now();
+        let mut iters = 0u32;
+        loop {
+            black_box(routine());
+            iters += 1;
+            if iters as usize >= self.samples || started.elapsed() >= self.measurement {
+                break;
+            }
+        }
+        self.mean = started.elapsed() / iters;
+    }
+
+    /// Time `routine` over inputs built by `setup`; setup time is excluded.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        black_box(routine(setup())); // warm-up
+        let mut busy = Duration::ZERO;
+        let mut iters = 0u32;
+        let started = Instant::now();
+        loop {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            busy += t0.elapsed();
+            iters += 1;
+            if iters as usize >= self.samples || started.elapsed() >= self.measurement {
+                break;
+            }
+        }
+        self.mean = busy / iters;
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: usize,
+    measurement: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Target number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Upper bound on the timed loop per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Accepted for API compatibility; the stub's warm-up is a single
+    /// untimed call, so the duration is ignored.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl fmt::Display,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let (samples, measurement) = if self.criterion.test_mode {
+            (1, Duration::ZERO)
+        } else {
+            (self.sample_size, self.measurement)
+        };
+        let mut bencher = Bencher {
+            samples,
+            measurement,
+            mean: Duration::ZERO,
+        };
+        f(&mut bencher);
+        if self.criterion.test_mode {
+            println!("{}/{id}: ok (test mode, 1 iteration)", self.name);
+        } else {
+            println!("{}/{id}: mean {:?} per iteration", self.name, bencher.mean);
+        }
+        self
+    }
+
+    /// Run one benchmark parameterised over `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// End the group (upstream finalises reports here; the stub prints
+    /// eagerly, so this is a no-op marker).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark manager.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test --benches` / `cargo bench -- --test` pass `--test`;
+        // run each body once so benches stay cheap under test runners.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Start a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 100,
+            measurement: Duration::from_secs(5),
+        }
+    }
+
+    /// Run a single ungrouped benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        self.benchmark_group(name.to_string())
+            .bench_function("bench", f);
+        self
+    }
+}
+
+/// Bundle benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_reports_nonzero_mean() {
+        let mut c = Criterion { test_mode: false };
+        let mut group = c.benchmark_group("stub");
+        group.sample_size(5);
+        group.measurement_time(Duration::from_millis(20));
+        group.warm_up_time(Duration::from_millis(1));
+        let mut runs = 0u64;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                runs += 1;
+                std::hint::black_box(runs)
+            })
+        });
+        group.finish();
+        assert!(runs >= 2, "warm-up plus at least one timed iteration");
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_iteration() {
+        let mut c = Criterion { test_mode: true };
+        let mut group = c.benchmark_group("stub");
+        let mut setups = 0u64;
+        group.bench_with_input(BenchmarkId::new("batched", 1), &3u64, |b, &x| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![x; 4]
+                },
+                |v| v.iter().sum::<u64>(),
+                BatchSize::LargeInput,
+            )
+        });
+        assert!(setups >= 2);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("workers", 8).to_string(), "workers/8");
+        assert_eq!(BenchmarkId::from_parameter(42).to_string(), "42");
+    }
+}

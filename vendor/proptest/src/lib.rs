@@ -1,0 +1,461 @@
+//! Minimal offline stand-in for `proptest`.
+//!
+//! Implements the subset this workspace's property tests use: the
+//! [`proptest!`] test macro (with `#![proptest_config(..)]`), [`Strategy`]
+//! with [`Strategy::prop_map`], [`any`], [`Just`], integer and float range
+//! strategies, tuple strategies, [`collection::vec`], [`prop_oneof!`],
+//! [`prop_assume!`] and the `prop_assert*` family.
+//!
+//! Semantics versus the real crate (see `vendor/README.md`):
+//!
+//! * cases are generated from a fixed per-test seed (derived from the test
+//!   name), so runs are reproducible;
+//! * there is **no shrinking**: a failing case panics with the offending
+//!   values left to the assertion message;
+//! * `prop_assume!` counts the case as passed rather than redrawing.
+
+use std::ops::{Range, RangeInclusive};
+
+pub mod test_runner;
+
+pub use test_runner::Prng;
+
+/// Runtime configuration accepted by `#![proptest_config(..)]`.
+///
+/// Only [`ProptestConfig::cases`] is honoured by the stub; the other fields
+/// exist so configs written against the real crate keep compiling.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+    /// Ignored (the stub never shrinks).
+    pub max_shrink_iters: u32,
+    /// Ignored (the stub redraws nothing).
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 0,
+            max_global_rejects: 1024,
+        }
+    }
+}
+
+/// A generator of random values (the stub collapses proptest's value-tree
+/// machinery into direct generation — no shrinking).
+pub trait Strategy {
+    /// Type of generated values.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut Prng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut Prng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Types with a default "arbitrary" distribution, used by [`any`].
+pub trait Arbitrary: Sized {
+    /// Draw one arbitrary value.
+    fn arbitrary(rng: &mut Prng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            #[inline]
+            fn arbitrary(rng: &mut Prng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    #[inline]
+    fn arbitrary(rng: &mut Prng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy for the full distribution of `T` (the real crate's `any`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut Prng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Strategy that always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut Prng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut Prng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128 as u64;
+                self.start.wrapping_add((rng.next_u64() % span) as $t)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut Prng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add((rng.next_u64() % (span + 1)) as $t)
+            }
+        }
+    )*};
+}
+
+impl_range_strategy_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut Prng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + (self.end - self.start) * rng.unit_f64()
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+)),+ $(,)?) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut Prng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy!((A), (A, B), (A, B, C), (A, B, C, D), (A, B, C, D, E));
+
+/// Boxed generator closure for one [`OneOf`] arm.
+type ArmFn<V> = Box<dyn Fn(&mut Prng) -> V>;
+
+/// Weighted union of same-valued strategies (built by [`prop_oneof!`]).
+pub struct OneOf<V> {
+    arms: Vec<(u32, ArmFn<V>)>,
+    total_weight: u64,
+}
+
+impl<V> OneOf<V> {
+    /// Empty union; populate with [`OneOf::with`].
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        OneOf {
+            arms: Vec::new(),
+            total_weight: 0,
+        }
+    }
+
+    /// Append an arm with the given selection weight.
+    pub fn with<S: Strategy<Value = V> + 'static>(mut self, weight: u32, strategy: S) -> Self {
+        assert!(weight > 0, "prop_oneof! arm weight must be positive");
+        self.total_weight += weight as u64;
+        self.arms
+            .push((weight, Box::new(move |rng| strategy.generate(rng))));
+        self
+    }
+}
+
+impl<V> Strategy for OneOf<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut Prng) -> V {
+        assert!(!self.arms.is_empty(), "prop_oneof! needs at least one arm");
+        let mut pick = rng.next_u64() % self.total_weight;
+        for (weight, gen_fn) in &self.arms {
+            if pick < *weight as u64 {
+                return gen_fn(rng);
+            }
+            pick -= *weight as u64;
+        }
+        unreachable!("weighted pick within total weight")
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Prng, Strategy};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive size bounds for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with lengths drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut Prng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64;
+            let len = self.size.lo + (rng.next_u64() % (span + 1)) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Everything a `use proptest::prelude::*` consumer expects in scope.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Define property tests: a block of `#[test]` functions whose arguments are
+/// drawn from strategies, run [`ProptestConfig::cases`] times each.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Internal: expand each `fn name(pat in strategy, ..) { body }` item.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr);) => {};
+    (($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::Prng::from_name(stringify!($name));
+            for __case in 0..__config.cases {
+                #[allow(clippy::redundant_closure_call)]
+                let __outcome: ::std::result::Result<(), ()> = (|| {
+                    $(let $arg = $crate::Strategy::generate(&($strategy), &mut __rng);)+
+                    { $body }
+                    ::std::result::Result::Ok(())
+                })();
+                // Err(()) marks a rejected (assumed-away) case; failures panic.
+                let _ = (__outcome, __case);
+            }
+        }
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+}
+
+/// Weighted choice between strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::OneOf::new()$(.with($weight as u32, $strategy))+
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::OneOf::new()$(.with(1u32, $strategy))+
+    };
+}
+
+/// Skip the current case when `cond` does not hold (the stub counts it as
+/// passed instead of redrawing).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err(());
+        }
+    };
+}
+
+/// Assert inside a property (panics — no shrinking in the stub).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
+}
+
+/// Inequality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => { assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_ne!($left, $right, $($fmt)+) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    enum Tag {
+        Small(u8),
+        Big(u64),
+    }
+
+    fn tag_strategy() -> impl Strategy<Value = Tag> {
+        prop_oneof![
+            3 => (0u8..10).prop_map(Tag::Small),
+            1 => any::<u64>().prop_map(Tag::Big),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..9, y in -2i32..=2, f in -1.5f64..2.5) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((-2..=2).contains(&y));
+            prop_assert!((-1.5..2.5).contains(&f));
+        }
+
+        #[test]
+        fn vec_sizes_respected(xs in crate::collection::vec(0u32..5, 2..6)) {
+            prop_assert!((2..6).contains(&xs.len()));
+            prop_assert!(xs.iter().all(|&x| x < 5));
+        }
+
+        #[test]
+        fn tuple_and_pattern_args((a, b) in (0u32..4, 10u32..14), extra in any::<bool>()) {
+            prop_assert!(a < 4);
+            prop_assert!((10..14).contains(&b));
+            prop_assert_ne!(a, b);
+            let _ = extra;
+        }
+
+        #[test]
+        fn oneof_hits_every_arm(t in tag_strategy()) {
+            match t {
+                Tag::Small(v) => prop_assert!(v < 10),
+                Tag::Big(_) => {}
+            }
+        }
+
+        #[test]
+        fn assume_rejects_quietly(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    #[test]
+    fn just_clones() {
+        let mut rng = crate::Prng::from_name("just");
+        let s = Just(vec![1, 2, 3]);
+        assert_eq!(s.generate(&mut rng), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn deterministic_per_name() {
+        let mut a = crate::Prng::from_name("same");
+        let mut b = crate::Prng::from_name("same");
+        let mut c = crate::Prng::from_name("other");
+        let xs: Vec<u64> = (0..4).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..4).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..4).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+}

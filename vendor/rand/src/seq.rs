@@ -1,0 +1,26 @@
+//! Sequence sampling helpers.
+
+use crate::RngCore;
+
+/// Uniform selection from indexable collections (subset of the upstream
+/// trait: only [`IndexedRandom::choose`]).
+pub trait IndexedRandom {
+    /// Element type.
+    type Item;
+
+    /// A uniformly random element, or `None` when empty.
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> IndexedRandom for [T] {
+    type Item = T;
+
+    #[inline]
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[(rng.next_u64() % self.len() as u64) as usize])
+        }
+    }
+}

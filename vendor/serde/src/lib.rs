@@ -1,0 +1,47 @@
+//! Minimal offline stand-in for `serde`.
+//!
+//! The workspace only *derives* `Serialize`/`Deserialize` to keep its public
+//! types forward-compatible with serialization; nothing in-tree performs
+//! actual (de)serialization. The traits are therefore empty markers and the
+//! derives (from the sibling `serde_derive` stub) emit empty impls. See
+//! `vendor/README.md` for the swap-in path to the real crate.
+
+// Let the derive-emitted `::serde::...` paths resolve inside this crate's
+// own tests too.
+extern crate self as serde;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for serializable types (no methods in the stub).
+pub trait Serialize {}
+
+/// Marker for deserializable types (no methods in the stub).
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(test)]
+mod tests {
+    #[derive(super::Serialize, super::Deserialize, Debug, PartialEq)]
+    struct Point {
+        x: u32,
+        y: u32,
+    }
+
+    #[derive(super::Serialize, super::Deserialize)]
+    enum Op {
+        #[allow(dead_code)]
+        Add,
+        #[allow(dead_code)]
+        Remove,
+    }
+
+    fn assert_serialize<T: super::Serialize>() {}
+    fn assert_deserialize<T: for<'de> super::Deserialize<'de>>() {}
+
+    #[test]
+    fn derives_produce_impls() {
+        assert_serialize::<Point>();
+        assert_deserialize::<Point>();
+        assert_serialize::<Op>();
+        assert_deserialize::<Op>();
+    }
+}

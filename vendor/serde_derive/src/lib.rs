@@ -1,0 +1,50 @@
+//! No-op derive macros for the offline `serde` stub.
+//!
+//! Each derive parses just the type name out of the item and emits an empty
+//! trait impl. Generic types are rejected with a compile error — nothing in
+//! this workspace derives serde traits on generics, and silently emitting a
+//! wrong impl would be worse than failing loudly.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extract the identifier of the derived `struct`/`enum`/`union`, verifying
+/// it carries no generic parameters.
+fn type_ident(input: TokenStream) -> String {
+    let mut tokens = input.into_iter();
+    for tt in tokens.by_ref() {
+        if let TokenTree::Ident(kw) = &tt {
+            let kw = kw.to_string();
+            if kw == "struct" || kw == "enum" || kw == "union" {
+                break;
+            }
+        }
+    }
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(name)) => name.to_string(),
+        other => panic!("serde stub derive: expected a type name, found {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = tokens.next() {
+        if p.as_char() == '<' {
+            panic!("serde stub derive: generic types are not supported (see vendor/README.md)");
+        }
+    }
+    name
+}
+
+/// Derive a no-op `serde::Serialize` impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_ident(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("valid impl block")
+}
+
+/// Derive a no-op `serde::Deserialize` impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_ident(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("valid impl block")
+}
