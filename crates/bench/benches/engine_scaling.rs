@@ -1,5 +1,9 @@
 //! Criterion bench: parallel engine map-phase critical path against worker
-//! count (the measured core of Figure 7's strong scaling).
+//! count (the measured core of Figure 7's strong scaling), driven through
+//! the persistent pool's pipelined [`ClusterEngine::apply_stream`] — the
+//! steady-state update path. The committed `BENCH_engine_scaling.json`
+//! baseline (produced by the `engine_baseline` bin) tracks the same
+//! workload against the frozen scoped-spawn reference.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ebc_core::state::Update;
@@ -9,7 +13,10 @@ use ebc_gen::streams::addition_stream;
 
 fn bench_engine(c: &mut Criterion) {
     let s = standin(StandinKind::Synthetic(2_000), 1, 42);
-    let adds = addition_stream(&s.graph, 16, 7);
+    let adds: Vec<Update> = addition_stream(&s.graph, 16, 7)
+        .into_iter()
+        .map(|(u, v)| Update::add(u, v))
+        .collect();
     let mut group = c.benchmark_group("cluster_apply_2k");
     group.sample_size(10);
     group.measurement_time(std::time::Duration::from_secs(3));
@@ -19,9 +26,7 @@ fn bench_engine(c: &mut Criterion) {
             b.iter_batched(
                 || ClusterEngine::bootstrap(&s.graph, p).expect("bootstrap"),
                 |mut cluster| {
-                    for &(u, v) in &adds {
-                        cluster.apply(Update::add(u, v)).expect("valid");
-                    }
+                    cluster.apply_stream(&adds).expect("valid stream");
                     cluster
                 },
                 criterion::BatchSize::LargeInput,

@@ -1,0 +1,280 @@
+//! **Engine-scaling baseline** — produces the committed
+//! `BENCH_engine_scaling.json`: per-update map wall-clock on the 2k
+//! synthetic for workers 1/2/4/8, for both
+//!
+//! * the **pool** engine (persistent worker threads, pipelined
+//!   `apply_stream` — the steady-state path), and
+//! * the **scoped** reference: a frozen copy of the pre-pool embodiment
+//!   that respawns `std::thread::scope` workers on every update. It lives
+//!   here, in the bench crate, precisely so the engine itself carries no
+//!   scoped-spawn code while the comparison stays reproducible.
+//!
+//! ```sh
+//! cargo run --release -p ebc-bench --bin engine_baseline [-- --out PATH]
+//! ```
+
+use ebc_core::bd::{BdStore, MemoryBdStore};
+use ebc_core::brandes::{single_source_update_with, BrandesScratch};
+use ebc_core::incremental::{update_source, UpdateConfig, Workspace};
+use ebc_core::scores::Scores;
+use ebc_core::state::Update;
+use ebc_engine::{partition_ranges, ClusterEngine};
+use ebc_gen::standins::{standin, StandinKind};
+use ebc_gen::streams::addition_stream;
+use ebc_graph::{EdgeOp, Graph, VertexId};
+use std::time::{Duration, Instant};
+
+/// Frozen pre-pool worker: replica + store + partial, driven by scoped
+/// threads spawned per update (what `ClusterEngine` used to do).
+struct ScopedWorker {
+    graph: Graph,
+    store: MemoryBdStore,
+    partial: Scores,
+    ws: Workspace,
+    scratch: BrandesScratch,
+    cfg: UpdateConfig,
+}
+
+impl ScopedWorker {
+    fn apply(&mut self, update: Update, adopt: Option<VertexId>) -> Duration {
+        let t0 = Instant::now();
+        let Update { op, u, v } = update;
+        match op {
+            EdgeOp::Add => {
+                if (u.max(v) as usize) == self.graph.n() {
+                    self.graph.add_vertex();
+                    self.store.grow_vertex().expect("memory store");
+                    self.ws.grow(self.graph.n());
+                }
+                self.graph.add_edge(u, v).expect("valid addition");
+            }
+            EdgeOp::Remove => {
+                self.graph.remove_edge(u, v).expect("valid removal");
+            }
+        }
+        self.partial
+            .ensure_shape(self.graph.n(), self.graph.edge_slots());
+        let graph = &self.graph;
+        let partial = &mut self.partial;
+        let ws = &mut self.ws;
+        let cfg = &self.cfg;
+        for s in self.store.sources() {
+            let (a, b) = self.store.peek_pair(s, u, v).expect("memory store");
+            if a == b {
+                continue;
+            }
+            self.store
+                .update_with(s, &mut |view| {
+                    update_source(graph, s, op, u, v, view, partial, ws, cfg)
+                })
+                .expect("memory store");
+        }
+        if let Some(s_new) = adopt {
+            let r =
+                single_source_update_with(&self.graph, s_new, &mut self.partial, &mut self.scratch);
+            self.store
+                .add_source(s_new, r.d, r.sigma, r.delta)
+                .expect("memory store");
+        }
+        t0.elapsed()
+    }
+}
+
+struct ScopedCluster {
+    workers: Vec<ScopedWorker>,
+    n: usize,
+}
+
+impl ScopedCluster {
+    fn bootstrap(graph: &Graph, p: usize) -> Self {
+        let n = graph.n();
+        let ranges = partition_ranges(n, p);
+        let mut workers: Vec<ScopedWorker> = ranges
+            .iter()
+            .map(|_| ScopedWorker {
+                graph: graph.clone(),
+                store: MemoryBdStore::new(n),
+                partial: Scores::zeros_for(graph),
+                ws: Workspace::new(n),
+                scratch: BrandesScratch::new(n),
+                cfg: UpdateConfig::default(),
+            })
+            .collect();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (worker, range) in workers.iter_mut().zip(ranges.iter()) {
+                let range = range.clone();
+                handles.push(scope.spawn(move || {
+                    for s in range {
+                        let r = single_source_update_with(
+                            &worker.graph,
+                            s,
+                            &mut worker.partial,
+                            &mut worker.scratch,
+                        );
+                        worker.store.add_source(s, r.d, r.sigma, r.delta).unwrap();
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().expect("bootstrap worker");
+            }
+        });
+        ScopedCluster { workers, n }
+    }
+
+    /// One update with per-update scoped spawns; returns the map wall-clock
+    /// (slowest worker).
+    fn apply(&mut self, update: Update) -> Duration {
+        let mut adopter = None;
+        if update.op == EdgeOp::Add && (update.u.max(update.v) as usize) == self.n {
+            adopter = self
+                .workers
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, w)| w.store.num_sources())
+                .map(|(i, _)| i);
+            self.n += 1;
+        }
+        let times: Vec<Duration> = std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (id, worker) in self.workers.iter_mut().enumerate() {
+                let adopt = if Some(id) == adopter {
+                    Some(update.u.max(update.v))
+                } else {
+                    None
+                };
+                handles.push(scope.spawn(move || worker.apply(update, adopt)));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        });
+        times.into_iter().max().unwrap_or_default()
+    }
+}
+
+fn mean_secs(xs: &[Duration]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().map(|d| d.as_secs_f64()).sum::<f64>() / xs.len() as f64
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_engine_scaling.json");
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--out") {
+        out_path = args.get(i + 1).expect("--out requires a path").clone();
+    }
+    let reps = 3usize;
+    let s = standin(StandinKind::Synthetic(2_000), 1, 42);
+    let adds: Vec<Update> = addition_stream(&s.graph, 16, 7)
+        .into_iter()
+        .map(|(u, v)| Update::add(u, v))
+        .collect();
+    let cores = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
+    eprintln!(
+        "engine_baseline: {} (n={} m={}), {} updates, {} reps, {} cores",
+        s.name,
+        s.graph.n(),
+        s.graph.m(),
+        adds.len(),
+        reps,
+        cores
+    );
+
+    struct Row {
+        p: usize,
+        pool_map_wall: f64,
+        pool_stream_wall: f64,
+        scoped_map_wall: f64,
+        scoped_stream_wall: f64,
+    }
+
+    let mut rows: Vec<Row> = Vec::new();
+    for p in [1usize, 2, 4, 8] {
+        let mut row = Row {
+            p,
+            pool_map_wall: f64::INFINITY,
+            pool_stream_wall: f64::INFINITY,
+            scoped_map_wall: f64::INFINITY,
+            scoped_stream_wall: f64::INFINITY,
+        };
+        for _ in 0..reps {
+            // pool, sequential applies: the per-update map critical path
+            let mut cluster = ClusterEngine::bootstrap(&s.graph, p).expect("bootstrap pool");
+            let walls: Vec<Duration> = adds
+                .iter()
+                .map(|&u| cluster.apply(u).expect("valid update").map_wall)
+                .collect();
+            row.pool_map_wall = row.pool_map_wall.min(mean_secs(&walls));
+
+            // pool, pipelined stream: end-to-end wall clock per update
+            let mut cluster = ClusterEngine::bootstrap(&s.graph, p).expect("bootstrap pool");
+            let t0 = Instant::now();
+            cluster.apply_stream(&adds).expect("valid stream");
+            row.pool_stream_wall = row
+                .pool_stream_wall
+                .min(t0.elapsed().as_secs_f64() / adds.len() as f64);
+
+            // scoped reference: per-update map wall and end-to-end wall
+            let mut scoped = ScopedCluster::bootstrap(&s.graph, p);
+            let t0 = Instant::now();
+            let walls: Vec<Duration> = adds.iter().map(|&u| scoped.apply(u)).collect();
+            row.scoped_stream_wall = row
+                .scoped_stream_wall
+                .min(t0.elapsed().as_secs_f64() / adds.len() as f64);
+            row.scoped_map_wall = row.scoped_map_wall.min(mean_secs(&walls));
+        }
+        eprintln!(
+            "  p={p}: map wall pool {:.6}s vs scoped {:.6}s ({:.2}x) | stream wall \
+             pool {:.6}s vs scoped {:.6}s ({:.2}x)",
+            row.pool_map_wall,
+            row.scoped_map_wall,
+            row.scoped_map_wall / row.pool_map_wall,
+            row.pool_stream_wall,
+            row.scoped_stream_wall,
+            row.scoped_stream_wall / row.pool_stream_wall,
+        );
+        rows.push(row);
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"engine_scaling\",\n");
+    json.push_str(&format!("  \"dataset\": \"{}\",\n", s.name));
+    json.push_str(&format!("  \"n\": {},\n", s.graph.n()));
+    json.push_str(&format!("  \"m\": {},\n", s.graph.m()));
+    json.push_str(&format!("  \"updates\": {},\n", adds.len()));
+    json.push_str(&format!("  \"repetitions\": {reps},\n"));
+    json.push_str(&format!("  \"host_cores\": {cores},\n"));
+    json.push_str(
+        "  \"metric\": \"seconds per update, best of repetitions; map_wall = slowest \
+         worker's busy time on sequential applies, stream_wall = end-to-end wall clock \
+         of the batch path divided by the update count\",\n",
+    );
+    json.push_str("  \"rows\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"workers\": {}, \"pool_map_wall_s\": {:.9}, \"pool_stream_wall_s\": {:.9}, \
+             \"scoped_map_wall_s\": {:.9}, \"scoped_stream_wall_s\": {:.9}, \
+             \"speedup_map_wall\": {:.3}, \"speedup_stream_wall\": {:.3}}}{}\n",
+            row.p,
+            row.pool_map_wall,
+            row.pool_stream_wall,
+            row.scoped_map_wall,
+            row.scoped_stream_wall,
+            row.scoped_map_wall / row.pool_map_wall,
+            row.scoped_stream_wall / row.pool_stream_wall,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write baseline json");
+    println!("{json}");
+    eprintln!("wrote {out_path}");
+}

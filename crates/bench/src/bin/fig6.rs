@@ -51,7 +51,7 @@ fn panel_speedups(s: &Standin, op: EdgeOp, args: &Args) -> Vec<f64> {
     let mut sp = Vec::with_capacity(updates.len());
     for (o, u, v) in updates {
         let rep = cluster.apply(Update { op: o, u, v }).expect("valid update");
-        let (_, merge) = cluster.reduce();
+        let (_, merge) = cluster.reduce().expect("live cluster");
         let cumulative = (rep.cumulative + merge).as_secs_f64().max(1e-9);
         sp.push(tb.as_secs_f64() / cumulative);
     }

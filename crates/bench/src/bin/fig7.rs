@@ -58,19 +58,20 @@ fn main() {
             );
         }
 
-        // measured verification with real worker threads (small p)
-        println!("  measured with live worker threads:");
+        // measured verification on the persistent pool (small p), driving
+        // the pipelined batch path
+        println!("  measured with the live worker pool:");
         for p in [1usize, 2, 4] {
             if p > cores {
                 break;
             }
             let mut cluster = ClusterEngine::bootstrap(&s.graph, p).expect("bootstrap");
-            let probe = &adds[..20.min(adds.len())];
-            let mut wall = Duration::ZERO;
-            for &(op, u, v) in probe {
-                let rep = cluster.apply(Update { op, u, v }).expect("valid");
-                wall += rep.map_wall;
-            }
+            let probe: Vec<Update> = adds[..20.min(adds.len())]
+                .iter()
+                .map(|&(op, u, v)| Update { op, u, v })
+                .collect();
+            let reports = cluster.apply_stream(&probe).expect("valid");
+            let wall: Duration = reports.iter().map(|r| r.map_wall).sum();
             println!(
                 "{:>8} {:>12.5}   (per edge, {} probe edges)",
                 p,

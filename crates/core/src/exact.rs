@@ -1,0 +1,354 @@
+//! Partition-invariant exact score reduction.
+//!
+//! Floating-point addition is not associative, so summing per-worker partial
+//! score vectors (the paper's reduce step) yields last-bit differences that
+//! depend on how sources were partitioned: `(Σ Π_0) + (Σ Π_1)` rounds
+//! differently from a single machine's flat fold over all sources. That
+//! makes "the cluster matches the single-machine state" only an
+//! epsilon-level statement — too weak to pin aggressive engine refactors.
+//!
+//! This module provides a reduction whose result is **bitwise independent of
+//! the partitioning**, built on two facts:
+//!
+//! 1. **Per-source contributions are derivable from `BD[s]` alone.** The
+//!    predecessor-free accumulation stores `δ_s(v)` exactly as the value it
+//!    added to `VBC(v)`, and an edge `{a, b}` with `d_s[b] == d_s[a] + 1`
+//!    received exactly `σ_s(a)/σ_s(b) · (1 + δ_s(b))` — the same expression,
+//!    over the same stored operands, on every replica. Because the
+//!    incremental kernel updates each `BD[s]` as a pure function of
+//!    `(graph, BD[s], update)`, the records — and hence the derived leaf
+//!    contributions — are identical no matter which worker owns the source.
+//! 2. **A fixed combination tree removes order sensitivity.** Leaves (one
+//!    per source id) are combined up a perfect binary tree over
+//!    `[0, padded_sources(n))` whose shape depends only on `n`. Any
+//!    contiguous range of sources decomposes into `O(log n)` canonical
+//!    subtrees ([`tree_segments`]); combining those segments bottom-up
+//!    ([`assemble`]) performs, node for node, the same `f64` additions as a
+//!    single machine evaluating the whole tree — so every configuration
+//!    produces the same bits at the root.
+//!
+//! The engine's fast reduce (summing incrementally-maintained partials)
+//! remains the paper-faithful `t_M` path; this module is the oracle the
+//! parallel-consistency suite pins it against.
+
+use crate::bd::{BdResult, BdStore};
+use crate::scores::Scores;
+use ebc_graph::{Graph, VertexId, UNREACHABLE};
+use std::ops::Range;
+
+/// Number of leaves of the fixed reduction tree for `n` sources: the next
+/// power of two (at least 1). Leaves `>= n` are virtual and contribute
+/// nothing; subtrees that lie entirely beyond `n` are skipped, a decision
+/// that depends only on `(node, n)` and is therefore partition-independent.
+pub fn padded_sources(n: usize) -> u32 {
+    (n.max(1) as u32).next_power_of_two()
+}
+
+/// A leaf generator: fill the (zeroed, full-shape) `Scores` with source
+/// `s`'s exact contribution. Fallible so out-of-core stores can surface I/O
+/// errors.
+pub type LeafFn<'a> = &'a mut dyn FnMut(VertexId, &mut Scores) -> BdResult<()>;
+
+/// One canonical segment of the fixed reduction tree: the combined scores of
+/// the subtree spanning sources `[lo, hi)` (`hi - lo` is a power of two).
+#[derive(Debug, Clone)]
+pub struct TreeSegment {
+    /// First source id covered by the subtree.
+    pub lo: u32,
+    /// One past the last source id covered (may exceed the real source
+    /// count; the overhang is virtual).
+    pub hi: u32,
+    /// The subtree's combined contribution.
+    pub scores: Scores,
+}
+
+/// Derive source `s`'s exact score contribution from its stored `BD[s]`
+/// record into `out` (which must be zeroed and shaped for `g`).
+///
+/// Bitwise identical to what one `accumulate_mo` pass for `s` adds to the
+/// global scores: `VBC` gets the stored dependency `δ_s(v)` verbatim
+/// (`v ≠ s`), and each tree edge of the SSSP DAG gets
+/// `σ(pred)/σ(succ) · (1 + δ(succ))` — evaluated with the same operation
+/// order as the accumulation loop.
+pub fn source_contribution(
+    g: &Graph,
+    s: VertexId,
+    d: &[u32],
+    sigma: &[u64],
+    delta: &[f64],
+    out: &mut Scores,
+) {
+    out.vbc[..g.n()].copy_from_slice(&delta[..g.n()]);
+    out.vbc[s as usize] = 0.0;
+    for (key, eid) in g.edges() {
+        let (a, b) = key.endpoints();
+        let (da, db) = (d[a as usize], d[b as usize]);
+        if da == UNREACHABLE || db == UNREACHABLE {
+            continue;
+        }
+        let c = if db == da + 1 {
+            sigma[a as usize] as f64 / sigma[b as usize] as f64 * (1.0 + delta[b as usize])
+        } else if da == db + 1 {
+            sigma[b as usize] as f64 / sigma[a as usize] as f64 * (1.0 + delta[a as usize])
+        } else {
+            continue;
+        };
+        out.ebc[eid as usize] = c;
+    }
+}
+
+/// Value of tree node `[lo, hi)` (`hi - lo` a power of two): leaves from
+/// `leaf`, children combined left-then-right, fully-virtual right subtrees
+/// skipped.
+fn node_value(
+    lo: u32,
+    hi: u32,
+    n: u32,
+    shape: (usize, usize),
+    leaf: LeafFn<'_>,
+) -> BdResult<Scores> {
+    if hi - lo == 1 {
+        let mut out = Scores::zeros(shape.0, shape.1);
+        if lo < n {
+            leaf(lo, &mut out)?;
+        }
+        return Ok(out);
+    }
+    let mid = lo + (hi - lo) / 2;
+    let mut left = node_value(lo, mid, n, shape, leaf)?;
+    if mid < n {
+        let right = node_value(mid, hi, n, shape, leaf)?;
+        left.merge_from(&right);
+    }
+    Ok(left)
+}
+
+fn decompose(
+    lo: u32,
+    hi: u32,
+    range: &Range<u32>,
+    n: u32,
+    shape: (usize, usize),
+    leaf: LeafFn<'_>,
+    out: &mut Vec<TreeSegment>,
+) -> BdResult<()> {
+    if range.end <= lo || hi <= range.start {
+        return Ok(());
+    }
+    if range.start <= lo && hi <= range.end {
+        out.push(TreeSegment {
+            lo,
+            hi,
+            scores: node_value(lo, hi, n, shape, leaf)?,
+        });
+        return Ok(());
+    }
+    let mid = lo + (hi - lo) / 2;
+    decompose(lo, mid, range, n, shape, leaf, out)?;
+    decompose(mid, hi, range, n, shape, leaf, out)?;
+    Ok(())
+}
+
+/// Canonical decomposition of a set of owned source ranges: for each maximal
+/// contiguous run, the `O(log n)` tree nodes that exactly tile it, each with
+/// its combined contribution. `n` is the current total source count and
+/// `shape` the `(vertices, edge_slots)` score dimensions.
+pub fn tree_segments(
+    runs: &[Range<u32>],
+    n: usize,
+    shape: (usize, usize),
+    leaf: LeafFn<'_>,
+) -> BdResult<Vec<TreeSegment>> {
+    let padded = padded_sources(n);
+    let mut out = Vec::new();
+    for run in runs {
+        if run.start < run.end {
+            decompose(0, padded, run, n as u32, shape, leaf, &mut out)?;
+        }
+    }
+    Ok(out)
+}
+
+/// Group a sorted list of source ids into maximal contiguous runs (the input
+/// to [`tree_segments`]).
+pub fn contiguous_runs(sorted: &[VertexId]) -> Vec<Range<u32>> {
+    let mut runs: Vec<Range<u32>> = Vec::new();
+    for &s in sorted {
+        match runs.last_mut() {
+            Some(r) if r.end == s => r.end = s + 1,
+            _ => runs.push(s..s + 1),
+        }
+    }
+    runs
+}
+
+/// Combine canonical segments (a disjoint tile of `[0, n)` from any mix of
+/// workers) into the root value, performing exactly the additions the fixed
+/// tree prescribes. Returns `None` if the segments do not tile `[0, n)`.
+pub fn assemble(segments: Vec<TreeSegment>, n: usize, shape: (usize, usize)) -> Option<Scores> {
+    if n == 0 {
+        return Some(Scores::zeros(shape.0, shape.1));
+    }
+    let mut map = std::collections::HashMap::with_capacity(segments.len());
+    for seg in segments {
+        if map.insert((seg.lo, seg.hi), seg.scores).is_some() {
+            return None; // overlapping cover
+        }
+    }
+    let padded = padded_sources(n);
+    let root = assemble_node(0, padded, n as u32, &mut map)?;
+    // every segment must have been consumed; leftovers overlap the cover
+    if !map.is_empty() {
+        return None;
+    }
+    Some(root)
+}
+
+fn assemble_node(
+    lo: u32,
+    hi: u32,
+    n: u32,
+    map: &mut std::collections::HashMap<(u32, u32), Scores>,
+) -> Option<Scores> {
+    if let Some(s) = map.remove(&(lo, hi)) {
+        return Some(s);
+    }
+    if hi - lo == 1 {
+        return None; // leaf missing from the cover
+    }
+    let mid = lo + (hi - lo) / 2;
+    let mut left = assemble_node(lo, mid, n, map)?;
+    if mid < n {
+        let right = assemble_node(mid, hi, n, map)?;
+        left.merge_from(&right);
+    }
+    Some(left)
+}
+
+/// Exact scores of a full store (the single-machine embodiment): evaluates
+/// the whole fixed tree in place. Bitwise equal to [`assemble`] over any
+/// partitioning's [`tree_segments`] of the same records.
+pub fn exact_scores<S: BdStore>(g: &Graph, store: &mut S) -> BdResult<Scores> {
+    let n = g.n();
+    let shape = (n, g.edge_slots());
+    if n == 0 {
+        return Ok(Scores::zeros(shape.0, shape.1));
+    }
+    let mut leaf = |s: VertexId, out: &mut Scores| -> BdResult<()> {
+        store.update_with(s, &mut |view| {
+            source_contribution(g, s, view.d, view.sigma, view.delta, out);
+            false
+        })?;
+        Ok(())
+    };
+    node_value(0, padded_sources(n), n as u32, shape, &mut leaf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::{BetweennessState, Update};
+    use crate::verify::assert_matches_scratch;
+
+    fn ring_with_chords(n: usize) -> Graph {
+        let mut g = Graph::with_vertices(n);
+        for i in 0..n {
+            g.add_edge(i as u32, ((i + 1) % n) as u32).unwrap();
+        }
+        for i in (0..n).step_by(3) {
+            let _ = g.add_edge(i as u32, ((i + n / 2) % n) as u32);
+        }
+        g
+    }
+
+    fn bits(s: &Scores) -> (Vec<u64>, Vec<u64>) {
+        (
+            s.vbc.iter().map(|x| x.to_bits()).collect(),
+            s.ebc.iter().map(|x| x.to_bits()).collect(),
+        )
+    }
+
+    #[test]
+    fn exact_scores_match_brandes_within_epsilon() {
+        let g = ring_with_chords(24);
+        let mut st = BetweennessState::init(&g);
+        st.apply(Update::add(0, 5)).unwrap();
+        st.apply(Update::remove(1, 2)).unwrap();
+        let exact = st.exact_scores().unwrap();
+        assert_matches_scratch(st.graph(), &exact, 1e-6, "exact reduce");
+    }
+
+    #[test]
+    #[allow(clippy::single_range_in_vec_init)] // runs really are range lists
+    fn any_partitioning_assembles_to_the_same_bits() {
+        let g = ring_with_chords(21);
+        let mut st = BetweennessState::init(&g);
+        st.apply(Update::add(2, 9)).unwrap();
+        let reference = st.exact_scores().unwrap();
+        let (g2, n) = (st.graph().clone(), st.graph().n());
+        let shape = (n, g2.edge_slots());
+        // every 2-way split point, plus a 3-way split
+        let mut cuts: Vec<Vec<u32>> = (1..n as u32).map(|c| vec![c]).collect();
+        cuts.push(vec![5, 13]);
+        for cut in cuts {
+            let mut bounds = vec![0u32];
+            bounds.extend(&cut);
+            bounds.push(n as u32);
+            let mut segments = Vec::new();
+            for w in bounds.windows(2) {
+                let runs = [w[0]..w[1]];
+                let mut leaf = |s: VertexId, out: &mut Scores| -> BdResult<()> {
+                    st.store_mut().update_with(s, &mut |view| {
+                        source_contribution(&g2, s, view.d, view.sigma, view.delta, out);
+                        false
+                    })?;
+                    Ok(())
+                };
+                segments.extend(tree_segments(&runs, n, shape, &mut leaf).unwrap());
+            }
+            let total = assemble(segments, n, shape).expect("complete cover");
+            assert_eq!(bits(&total), bits(&reference), "cut {cut:?} diverged");
+        }
+    }
+
+    #[test]
+    #[allow(clippy::single_range_in_vec_init)] // runs really are range lists
+    fn incomplete_or_overlapping_covers_rejected() {
+        let g = ring_with_chords(9);
+        let mut st = BetweennessState::init(&g);
+        let n = g.n();
+        let shape = (n, g.edge_slots());
+        let mut leaf = |s: VertexId, out: &mut Scores| -> BdResult<()> {
+            st.store_mut().update_with(s, &mut |view| {
+                source_contribution(&g, s, view.d, view.sigma, view.delta, out);
+                false
+            })?;
+            Ok(())
+        };
+        let partial = tree_segments(&[0..5], n, shape, &mut leaf).unwrap();
+        assert!(assemble(partial, n, shape).is_none(), "hole not detected");
+        let mut doubled = tree_segments(&[0..n as u32], n, shape, &mut leaf).unwrap();
+        doubled.extend(tree_segments(&[2..3], n, shape, &mut leaf).unwrap());
+        assert!(
+            assemble(doubled, n, shape).is_none(),
+            "overlap not detected"
+        );
+    }
+
+    #[test]
+    fn contiguous_runs_split_on_gaps() {
+        assert_eq!(
+            contiguous_runs(&[0, 1, 2, 5, 6, 9]),
+            vec![0..3, 5..7, 9..10]
+        );
+        assert!(contiguous_runs(&[]).is_empty());
+    }
+
+    #[test]
+    fn padded_sources_rounds_up() {
+        assert_eq!(padded_sources(0), 1);
+        assert_eq!(padded_sources(1), 1);
+        assert_eq!(padded_sources(5), 8);
+        assert_eq!(padded_sources(64), 64);
+    }
+}

@@ -28,6 +28,7 @@ pub mod approx;
 pub mod bd;
 pub mod brandes;
 pub mod directed;
+pub mod exact;
 pub mod incremental;
 pub mod ranking;
 pub mod scores;

@@ -193,6 +193,23 @@ impl<S: BdStore> BetweennessState<S> {
         &self.store
     }
 
+    /// Mutably borrow the underlying store (record reads are `&mut` because
+    /// out-of-core backends seek).
+    pub fn store_mut(&mut self) -> &mut S {
+        &mut self.store
+    }
+
+    /// Deterministic exact scores derived from the `BD[·]` records via the
+    /// fixed reduction tree of [`crate::exact`]. Bitwise equal to any
+    /// `ebc-engine` cluster's exact reduce over the same update history,
+    /// regardless of worker count or store backend — the oracle the
+    /// parallel-consistency suite compares against. The incrementally
+    /// maintained [`BetweennessState::scores`] agree with this value only up
+    /// to floating-point summation order.
+    pub fn exact_scores(&mut self) -> Result<Scores, StateError> {
+        Ok(crate::exact::exact_scores(&self.graph, &mut self.store)?)
+    }
+
     /// Add an isolated vertex: it joins the source set with an empty record
     /// and zero centrality (paper §3.1).
     pub fn add_vertex(&mut self) -> Result<VertexId, StateError> {

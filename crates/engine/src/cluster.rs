@@ -6,27 +6,57 @@
 //! (in memory, or its own on-disk file — "the disk access workload is
 //! distributed in a balanced fashion across multiple disks"), and a
 //! **partial score vector** (the map output
-//! `⟨id, pbc_s(id)⟩ ∀ id, ∀ s ∈ Π_i`). The reduce step sums partials.
+//! `⟨id, pbc_s(id)⟩ ∀ id, ∀ s ∈ Π_i`).
+//!
+//! Workers are **persistent threads** (see [`crate::pool`]) spawned once at
+//! bootstrap and driven over channels, so the steady-state update path pays
+//! one channel round-trip per worker instead of a thread spawn. The
+//! coordinator keeps its own *validation replica* of the graph plus an
+//! [`AdoptionLedger`], and never touches worker-owned state: graph
+//! mutations are validated locally before dispatch (making worker-side
+//! graph errors impossible by construction), adoption decisions come from
+//! the ledger, and post-update facts such as edge-slot growth travel back
+//! in the [`ApplyReport`] replies.
+//!
+//! Two reduce paths are offered:
+//!
+//! * [`ClusterEngine::reduce`] — the paper's reduce: fold the per-worker
+//!   incremental partials, here tree-structured with workers pre-merging
+//!   pairwise over channels (`t_M` of §5.3). Deterministic for a fixed
+//!   worker count, but bitwise dependent on `p` because `f64` addition is
+//!   not associative.
+//! * [`ClusterEngine::reduce_exact`] — the partition-invariant reduction of
+//!   [`ebc_core::exact`]: bitwise identical across worker counts, store
+//!   backends, and the single-machine [`ebc_core::state::BetweennessState`].
 
-use crate::partition::partition_ranges;
+use crate::partition::{partition_ranges, AdoptionLedger};
+use crate::pool::{ApplyEcho, Command, Reply, WorkerPool};
 use ebc_core::bd::{BdError, BdStore, MemoryBdStore};
-use ebc_core::brandes::{single_source_update_with, BrandesScratch};
-use ebc_core::incremental::{update_source, UpdateConfig, Workspace};
+use ebc_core::exact::assemble;
+use ebc_core::incremental::UpdateConfig;
 use ebc_core::scores::Scores;
 use ebc_core::state::Update;
 use ebc_graph::{EdgeOp, Graph, GraphError, VertexId};
 use std::fmt;
+use std::marker::PhantomData;
 use std::time::{Duration, Instant};
 
 /// Errors from the cluster engine.
 #[derive(Debug)]
 pub enum EngineError {
-    /// Graph replica rejected the update.
+    /// The update is invalid against the current graph (duplicate edge,
+    /// missing edge, self-loop...). Rejected before dispatch; the engine
+    /// stays usable.
     Graph(GraphError),
-    /// A worker's store failed.
+    /// A worker's store failed. The engine is poisoned from here on.
     Store(BdError),
     /// An addition referenced a vertex more than one past the maximum id.
     SparseVertex(VertexId),
+    /// A worker thread died (panic or channel loss). The engine is poisoned.
+    WorkerLost(usize),
+    /// The engine (or one of its workers) failed earlier; the state is no
+    /// longer trustworthy and every operation answers with this error.
+    Poisoned(String),
 }
 
 impl fmt::Display for EngineError {
@@ -35,6 +65,8 @@ impl fmt::Display for EngineError {
             EngineError::Graph(e) => write!(f, "graph error: {e}"),
             EngineError::Store(e) => write!(f, "store error: {e}"),
             EngineError::SparseVertex(v) => write!(f, "vertex {v} skips ids"),
+            EngineError::WorkerLost(w) => write!(f, "worker {w} thread lost"),
+            EngineError::Poisoned(why) => write!(f, "engine poisoned: {why}"),
         }
     }
 }
@@ -63,87 +95,33 @@ pub struct ApplyReport {
     /// Sum of all worker busy times (the "cumulative execution time" the
     /// paper compares against Brandes in Figure 6).
     pub cumulative: Duration,
+    /// Worker that adopted a newly arrived vertex, if the update grew the
+    /// graph (the pinned rule of [`AdoptionLedger`]).
+    pub adopter: Option<usize>,
 }
 
-struct Worker<S: BdStore> {
-    id: usize,
-    graph: Graph,
-    store: S,
-    partial: Scores,
-    ws: Workspace,
-    scratch: BrandesScratch,
-    cfg: UpdateConfig,
-}
-
-impl<S: BdStore> Worker<S> {
-    /// Bootstrap this worker's partition: one Brandes iteration per owned
-    /// source, accumulating into the partial scores (step 1 of Figure 4).
-    fn bootstrap(&mut self, sources: impl Iterator<Item = VertexId>) -> Result<(), EngineError> {
-        for s in sources {
-            let r = single_source_update_with(&self.graph, s, &mut self.partial, &mut self.scratch);
-            self.store.add_source(s, r.d, r.sigma, r.delta)?;
-        }
-        Ok(())
-    }
-
-    /// Map task for one update: refresh own replica, then run the kernel for
-    /// every owned source (skipping `dd == 0` via the cheap peek).
-    fn apply(
-        &mut self,
-        update: Update,
-        new_source: Option<VertexId>,
-    ) -> Result<Duration, EngineError> {
-        let t0 = Instant::now();
-        let Update { op, u, v } = update;
-        let removed_eid = match op {
-            EdgeOp::Add => {
-                let hi = u.max(v);
-                if hi as usize > self.graph.n() {
-                    return Err(EngineError::SparseVertex(hi));
-                }
-                if (hi as usize) == self.graph.n() {
-                    self.graph.add_vertex();
-                    self.store.grow_vertex()?;
-                    self.ws.grow(self.graph.n());
-                }
-                self.graph.add_edge(u, v)?;
-                None
-            }
-            EdgeOp::Remove => Some(self.graph.remove_edge(u, v)?),
-        };
-        self.partial
-            .ensure_shape(self.graph.n(), self.graph.edge_slots());
-        let graph = &self.graph;
-        let partial = &mut self.partial;
-        let ws = &mut self.ws;
-        let cfg = &self.cfg;
-        for s in self.store.sources() {
-            let (a, b) = self.store.peek_pair(s, u, v)?;
-            if a == b {
-                ws.stats.sources_skipped += 1;
-                continue;
-            }
-            self.store.update_with(s, &mut |view| {
-                update_source(graph, s, op, u, v, view, partial, ws, cfg)
-            })?;
-        }
-        if let Some(s_new) = new_source {
-            let r =
-                single_source_update_with(&self.graph, s_new, &mut self.partial, &mut self.scratch);
-            self.store.add_source(s_new, r.d, r.sigma, r.delta)?;
-        }
-        if let Some(eid) = removed_eid {
-            self.partial.ebc[eid as usize] = 0.0;
-        }
-        Ok(t0.elapsed())
-    }
-}
-
-/// A simulated shared-nothing cluster of `p` workers.
-pub struct ClusterEngine<S: BdStore = MemoryBdStore> {
-    workers: Vec<Worker<S>>,
-    n: usize,
+/// Coordinator-side record of one dispatched, not-yet-collected update.
+#[derive(Debug, Clone, Copy)]
+struct InFlight {
+    /// Worker adopting a newly arrived vertex, if any.
+    adopter: Option<usize>,
+    /// Replica edge slots right after this update — what worker replies must
+    /// echo, even when later updates are already dispatched.
     edge_slots: usize,
+}
+
+/// A simulated shared-nothing cluster of `p` persistent workers.
+///
+/// Dropping the engine shuts down and joins every worker thread.
+pub struct ClusterEngine<S: BdStore = MemoryBdStore> {
+    pool: WorkerPool,
+    /// Coordinator-side replica used to validate updates before dispatch and
+    /// to answer shape queries; evolves in lockstep with worker replicas.
+    replica: Graph,
+    ledger: AdoptionLedger,
+    /// First unrecoverable failure; sticky.
+    dead: Option<String>,
+    _store: PhantomData<fn() -> S>,
 }
 
 impl ClusterEngine<MemoryBdStore> {
@@ -155,10 +133,11 @@ impl ClusterEngine<MemoryBdStore> {
     }
 }
 
-impl<S: BdStore> ClusterEngine<S> {
+impl<S: BdStore + 'static> ClusterEngine<S> {
     /// Bootstrap with a custom per-worker store factory (e.g. one
     /// [`ebc_store::DiskBdStore`] file per worker, mirroring one disk per
-    /// machine). Bootstrap runs the Brandes partitions in parallel.
+    /// machine). Spawns the persistent pool, then runs the Brandes
+    /// partitions in parallel on it.
     pub fn bootstrap_with(
         graph: &Graph,
         p: usize,
@@ -167,122 +146,305 @@ impl<S: BdStore> ClusterEngine<S> {
     ) -> Result<Self, EngineError> {
         let n = graph.n();
         let ranges = partition_ranges(n, p);
-        let mut workers = Vec::with_capacity(ranges.len());
+        let mut stores = Vec::with_capacity(ranges.len());
         for (id, _) in ranges.iter().enumerate() {
-            workers.push(Worker {
-                id,
-                graph: graph.clone(),
-                store: store_factory(id, n)?,
-                partial: Scores::zeros_for(graph),
-                ws: Workspace::new(n),
-                scratch: BrandesScratch::new(n),
-                cfg: cfg.clone(),
-            });
+            stores.push(store_factory(id, n)?);
         }
-        let results: Vec<Result<(), EngineError>> = std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for (worker, range) in workers.iter_mut().zip(ranges.iter()) {
-                let range = range.clone();
-                handles.push(scope.spawn(move || worker.bootstrap(range)));
+        let pool = WorkerPool::spawn(graph, cfg, stores);
+        for (worker, range) in ranges.iter().enumerate() {
+            pool.send(
+                worker,
+                Command::Bootstrap {
+                    sources: range.clone(),
+                },
+            )?;
+        }
+        let mut first_err = None;
+        for worker in 0..pool.len() {
+            let err = match pool.recv(worker) {
+                Ok(Reply::Bootstrapped(Ok(()))) => None,
+                Ok(Reply::Bootstrapped(Err(e))) => Some(e),
+                Ok(_) => Some(protocol_error(worker)),
+                Err(e) => Some(e),
+            };
+            if let (Some(e), None) = (err, &first_err) {
+                first_err = Some(e);
             }
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("worker panicked"))
-                .collect()
-        });
-        for r in results {
-            r?;
+        }
+        if let Some(e) = first_err {
+            return Err(e); // dropping `pool` joins whatever was spawned
         }
         Ok(ClusterEngine {
-            workers,
-            n,
-            edge_slots: graph.edge_slots(),
+            pool,
+            replica: graph.clone(),
+            ledger: AdoptionLedger::new(n, ranges.len()),
+            dead: None,
+            _store: PhantomData,
         })
     }
 
     /// Number of workers.
     pub fn num_workers(&self) -> usize {
-        self.workers.len()
+        self.pool.len()
     }
 
     /// Number of vertices in the replicas.
     pub fn n(&self) -> usize {
-        self.n
+        self.replica.n()
     }
 
-    /// Apply one update on all workers in parallel (the map phase). The
-    /// slowest worker's busy time is the update's wall-clock critical path.
-    pub fn apply(&mut self, update: Update) -> Result<ApplyReport, EngineError> {
-        // New vertices: exactly one worker adopts the new source — the one
-        // with the smallest partition (keeps partitions balanced over time).
-        let mut new_source = None;
-        if update.op == EdgeOp::Add {
-            let hi = update.u.max(update.v);
-            if hi as usize > self.n {
-                return Err(EngineError::SparseVertex(hi));
+    /// The coordinator's replica of the evolving graph (worker replicas are
+    /// identical; none of them is ever borrowed across threads).
+    pub fn graph(&self) -> &Graph {
+        &self.replica
+    }
+
+    /// Per-worker owned-source counts (coordinator ledger; sums to `n`).
+    pub fn source_counts(&self) -> &[usize] {
+        self.ledger.counts()
+    }
+
+    /// Sum of per-worker source counts (sanity: equals current n).
+    pub fn total_sources(&self) -> usize {
+        self.ledger.total()
+    }
+
+    fn ensure_live(&self) -> Result<(), EngineError> {
+        match &self.dead {
+            Some(why) => Err(EngineError::Poisoned(why.clone())),
+            None => Ok(()),
+        }
+    }
+
+    fn poison(&mut self, e: EngineError) -> EngineError {
+        if self.dead.is_none() {
+            self.dead = Some(e.to_string());
+        }
+        e
+    }
+
+    /// Validate one update against the coordinator replica, mutate it, and
+    /// dispatch the map task to every worker. Returns the in-flight record
+    /// (adopter plus the replica shape right after this update — the value
+    /// worker replies must echo, even when later updates have already been
+    /// dispatched). On a validation error nothing has been dispatched and
+    /// the engine state is untouched.
+    fn dispatch(&mut self, update: Update) -> Result<InFlight, EngineError> {
+        let Update { op, u, v } = update;
+        if u == v {
+            return Err(EngineError::Graph(GraphError::SelfLoop(u)));
+        }
+        let mut adopter = None;
+        match op {
+            EdgeOp::Add => {
+                let hi = u.max(v);
+                if hi as usize > self.replica.n() {
+                    return Err(EngineError::SparseVertex(hi));
+                }
+                if (hi as usize) == self.replica.n() {
+                    // Validate before growing so a rejected update leaves no
+                    // trace; with u != v checked, an add that grows the
+                    // graph cannot fail (the new endpoint has no edges yet).
+                    self.replica.add_vertex();
+                    adopter = Some(self.ledger.adopt());
+                }
+                if let Err(e) = self.replica.add_edge(u, v) {
+                    if adopter.is_some() {
+                        // unreachable by construction; replica diverged
+                        return Err(self.poison(EngineError::Graph(e)));
+                    }
+                    return Err(EngineError::Graph(e));
+                }
             }
-            if (hi as usize) == self.n {
-                new_source = Some(hi);
-                self.n += 1;
+            EdgeOp::Remove => {
+                self.replica.remove_edge(u, v)?;
             }
         }
-        let adopter = self
-            .workers
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, w)| w.store.num_sources())
-            .map(|(i, _)| i)
-            .expect("at least one worker");
-        let results: Vec<Result<Duration, EngineError>> = std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for worker in self.workers.iter_mut() {
-                let adopt = if worker.id == adopter {
-                    new_source
-                } else {
-                    None
-                };
-                handles.push(scope.spawn(move || worker.apply(update, adopt)));
+        for worker in 0..self.pool.len() {
+            let adopt = if Some(worker) == adopter {
+                Some(u.max(v))
+            } else {
+                None
+            };
+            if let Err(e) = self.pool.send(worker, Command::Apply { update, adopt }) {
+                return Err(self.poison(e));
             }
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("worker panicked"))
-                .collect()
-        });
-        let mut per_worker = Vec::with_capacity(results.len());
-        for r in results {
-            per_worker.push(r?);
         }
-        self.edge_slots = self.workers[0].graph.edge_slots();
+        Ok(InFlight {
+            adopter,
+            edge_slots: self.replica.edge_slots(),
+        })
+    }
+
+    /// Collect the `p` map replies of the oldest in-flight update.
+    fn collect(&mut self, inflight: InFlight) -> Result<ApplyReport, EngineError> {
+        let p = self.pool.len();
+        let mut per_worker = Vec::with_capacity(p);
+        let mut edge_slots = None;
+        let mut first_err: Option<EngineError> = None;
+        for worker in 0..p {
+            let echo: Result<ApplyEcho, EngineError> = match self.pool.recv(worker) {
+                Ok(Reply::Applied(r)) => r,
+                Ok(_) => Err(protocol_error(worker)),
+                Err(e) => Err(e),
+            };
+            match echo {
+                Ok(echo) => {
+                    per_worker.push(echo.busy);
+                    debug_assert!(
+                        edge_slots.is_none_or(|s| s == echo.edge_slots),
+                        "worker replicas diverged from each other"
+                    );
+                    edge_slots = Some(echo.edge_slots);
+                }
+                Err(e) if first_err.is_none() => first_err = Some(e),
+                Err(_) => {}
+            }
+        }
+        if let Some(e) = first_err {
+            return Err(self.poison(e));
+        }
+        // workers must echo the replica shape as of *this* update, not the
+        // coordinator's current one (later updates may already be dispatched)
+        debug_assert_eq!(edge_slots, Some(inflight.edge_slots));
         let map_wall = per_worker.iter().copied().max().unwrap_or_default();
         let cumulative = per_worker.iter().sum();
         Ok(ApplyReport {
             map_wall,
             per_worker,
             cumulative,
+            adopter: inflight.adopter,
         })
     }
 
-    /// Reduce phase: sum the per-worker partial scores into global scores.
-    /// Returns the scores and the merge time `t_M` of §5.3.
-    pub fn reduce(&self) -> (Scores, Duration) {
-        let t0 = Instant::now();
-        let mut total = Scores::zeros(self.n, self.edge_slots);
-        for w in &self.workers {
-            total.merge_from(&w.partial);
+    /// Apply one update on all workers in parallel (the map phase). The
+    /// slowest worker's busy time is the update's wall-clock critical path.
+    pub fn apply(&mut self, update: Update) -> Result<ApplyReport, EngineError> {
+        self.ensure_live()?;
+        let inflight = self.dispatch(update)?;
+        self.collect(inflight)
+    }
+
+    /// Apply a batch of updates, pipelining command dispatch against reply
+    /// collection: while the workers chew on update `k`, updates up to
+    /// `k + window` are already validated, adoption-assigned and queued on
+    /// their channels, so the coordinator's bookkeeping never sits on the
+    /// map-phase critical path.
+    ///
+    /// Updates are applied in order; on a validation error the previously
+    /// dispatched prefix still completes (the engine stays consistent and
+    /// usable) and the error is returned. Worker-side failures poison the
+    /// engine.
+    pub fn apply_stream(&mut self, updates: &[Update]) -> Result<Vec<ApplyReport>, EngineError> {
+        self.ensure_live()?;
+        let window = (2 * self.pool.len()).max(4);
+        let mut reports = Vec::with_capacity(updates.len());
+        let mut in_flight: Vec<InFlight> = Vec::with_capacity(updates.len());
+        let mut first_err: Option<EngineError> = None;
+        let mut dispatched = 0usize;
+        let mut collected = 0usize;
+        while collected < dispatched || (dispatched < updates.len() && first_err.is_none()) {
+            let want_dispatch = dispatched < updates.len()
+                && first_err.is_none()
+                && dispatched - collected < window;
+            if want_dispatch {
+                match self.dispatch(updates[dispatched]) {
+                    Ok(record) => {
+                        in_flight.push(record);
+                        dispatched += 1;
+                    }
+                    Err(e) => {
+                        first_err = Some(e);
+                    }
+                }
+                continue;
+            }
+            match self.collect(in_flight[collected]) {
+                Ok(report) => reports.push(report),
+                Err(e) => {
+                    // Worker failure: the engine is poisoned; stop reading.
+                    return Err(e);
+                }
+            }
+            collected += 1;
         }
-        (total, t0.elapsed())
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(reports),
+        }
     }
 
-    /// A reference to some worker's graph replica (all replicas are
-    /// identical).
-    pub fn graph(&self) -> &Graph {
-        &self.workers[0].graph
+    /// Reduce phase (the paper's `t_M`): fold the per-worker incremental
+    /// partials up a binary tree, workers pre-merging pairwise over channels
+    /// so the coordinator receives one vector instead of `p`. Returns the
+    /// scores and the merge wall-clock time.
+    ///
+    /// Deterministic for a fixed worker count; across different `p` the
+    /// result varies in the last bits (floating-point summation order) — use
+    /// [`ClusterEngine::reduce_exact`] for the partition-invariant value.
+    pub fn reduce(&mut self) -> Result<(Scores, Duration), EngineError> {
+        self.ensure_live()?;
+        let t0 = Instant::now();
+        let p = self.pool.len();
+        for (worker, plan) in WorkerPool::merge_plans(p).into_iter().enumerate() {
+            if let Err(e) = self.pool.send(worker, Command::MergePartials { plan }) {
+                return Err(self.poison(e));
+            }
+        }
+        let mut scores = match self.pool.recv(0) {
+            Ok(Reply::Merged(scores)) => *scores,
+            Ok(_) => return Err(self.poison(protocol_error(0))),
+            Err(e) => return Err(self.poison(e)),
+        };
+        scores.ensure_shape(self.replica.n(), self.replica.edge_slots());
+        Ok((scores, t0.elapsed()))
     }
 
-    /// Sum of per-worker source counts (sanity: equals current n).
-    pub fn total_sources(&self) -> usize {
-        self.workers.iter().map(|w| w.store.num_sources()).sum()
+    /// Partition-invariant exact reduce: every worker derives its owned
+    /// sources' contributions from the `BD` records and combines them into
+    /// canonical segments of the fixed source tree; the coordinator
+    /// assembles the root. Bitwise identical across worker counts, store
+    /// backends, and [`ebc_core::state::BetweennessState::exact_scores`] —
+    /// the oracle the consistency suite pins the engine against.
+    pub fn reduce_exact(&mut self) -> Result<Scores, EngineError> {
+        self.ensure_live()?;
+        let p = self.pool.len();
+        for worker in 0..p {
+            if let Err(e) = self.pool.send(worker, Command::Segments) {
+                return Err(self.poison(e));
+            }
+        }
+        let mut segments = Vec::new();
+        let mut first_err: Option<EngineError> = None;
+        for worker in 0..p {
+            let err = match self.pool.recv(worker) {
+                Ok(Reply::Segments(Ok(segs))) => {
+                    segments.extend(segs);
+                    None
+                }
+                Ok(Reply::Segments(Err(e))) => Some(e),
+                Ok(_) => Some(protocol_error(worker)),
+                Err(e) => Some(e),
+            };
+            if let (Some(e), None) = (err, &first_err) {
+                first_err = Some(e);
+            }
+        }
+        if let Some(e) = first_err {
+            return Err(self.poison(e));
+        }
+        let n = self.replica.n();
+        let shape = (n, self.replica.edge_slots());
+        assemble(segments, n, shape).ok_or_else(|| {
+            self.poison(EngineError::Store(BdError::Corrupt(
+                "worker segments do not tile the source range".into(),
+            )))
+        })
     }
+}
+
+fn protocol_error(worker: usize) -> EngineError {
+    EngineError::Poisoned(format!("worker {worker} answered out of protocol"))
 }
 
 #[cfg(test)]
@@ -298,7 +460,7 @@ mod tests {
         let mut cluster = ClusterEngine::bootstrap(&g, 4).unwrap();
         let mut single = BetweennessState::init(&g);
         // bootstrap equivalence
-        let (scores, _) = cluster.reduce();
+        let (scores, _) = cluster.reduce().unwrap();
         assert!(scores.max_vbc_diff(single.scores()) < 1e-9);
 
         let updates = [
@@ -310,7 +472,7 @@ mod tests {
         for u in updates {
             cluster.apply(u).unwrap();
             single.apply(u).unwrap();
-            let (scores, _) = cluster.reduce();
+            let (scores, _) = cluster.reduce().unwrap();
             assert!(
                 scores.max_vbc_diff(single.scores()) < 1e-9,
                 "VBC after {u:?}"
@@ -330,7 +492,7 @@ mod tests {
         }
         let mut cluster = ClusterEngine::bootstrap(&g, 3).unwrap();
         cluster.apply(Update::remove(2, 3)).unwrap();
-        let (scores, _) = cluster.reduce();
+        let (scores, _) = cluster.reduce().unwrap();
         assert_matches_scratch(cluster.graph(), &scores, 1e-6, "disconnect");
     }
 
@@ -339,10 +501,13 @@ mod tests {
         let g = holme_kim(20, 2, 0.3, 3);
         let mut cluster = ClusterEngine::bootstrap(&g, 3).unwrap();
         assert_eq!(cluster.total_sources(), 20);
-        cluster.apply(Update::add(5, 20)).unwrap(); // new vertex 20
-        cluster.apply(Update::add(20, 21)).unwrap(); // and 21
+        let r1 = cluster.apply(Update::add(5, 20)).unwrap(); // new vertex 20
+        let r2 = cluster.apply(Update::add(20, 21)).unwrap(); // and 21
+                                                              // ranges are [7, 7, 6]: worker 2 adopts first, then worker 0
+        assert_eq!(r1.adopter, Some(2));
+        assert_eq!(r2.adopter, Some(0));
         assert_eq!(cluster.total_sources(), 22);
-        let (scores, _) = cluster.reduce();
+        let (scores, _) = cluster.reduce().unwrap();
         assert_matches_scratch(cluster.graph(), &scores, 1e-6, "growth");
     }
 
@@ -351,7 +516,7 @@ mod tests {
         let g = holme_kim(15, 2, 0.2, 5);
         let mut cluster = ClusterEngine::bootstrap(&g, 1).unwrap();
         cluster.apply(Update::add(0, 9)).unwrap();
-        let (scores, _) = cluster.reduce();
+        let (scores, _) = cluster.reduce().unwrap();
         assert_matches_scratch(cluster.graph(), &scores, 1e-6, "p=1");
     }
 
@@ -362,7 +527,7 @@ mod tests {
         g.add_edge(1, 2).unwrap();
         let mut cluster = ClusterEngine::bootstrap(&g, 8).unwrap();
         cluster.apply(Update::add(0, 2)).unwrap();
-        let (scores, _) = cluster.reduce();
+        let (scores, _) = cluster.reduce().unwrap();
         assert_matches_scratch(cluster.graph(), &scores, 1e-6, "p>n");
     }
 
@@ -374,6 +539,7 @@ mod tests {
         assert_eq!(rep.per_worker.len(), 4);
         assert!(rep.map_wall >= *rep.per_worker.iter().max().unwrap());
         assert!(rep.cumulative >= rep.map_wall);
+        assert_eq!(rep.adopter, None);
     }
 
     #[test]
@@ -384,5 +550,88 @@ mod tests {
             cluster.apply(Update::add(0, 99)),
             Err(EngineError::SparseVertex(99))
         ));
+        // validation errors do not poison: the engine keeps working
+        cluster.apply(Update::add(0, 9)).unwrap();
+    }
+
+    #[test]
+    fn validation_errors_leave_engine_usable() {
+        let mut g = Graph::with_vertices(4);
+        g.add_edge(0, 1).unwrap();
+        g.add_edge(1, 2).unwrap();
+        let mut cluster = ClusterEngine::bootstrap(&g, 2).unwrap();
+        assert!(matches!(
+            cluster.apply(Update::add(0, 1)),
+            Err(EngineError::Graph(GraphError::DuplicateEdge(0, 1)))
+        ));
+        assert!(matches!(
+            cluster.apply(Update::remove(0, 3)),
+            Err(EngineError::Graph(GraphError::MissingEdge(0, 3)))
+        ));
+        assert!(matches!(
+            cluster.apply(Update::add(2, 2)),
+            Err(EngineError::Graph(GraphError::SelfLoop(2)))
+        ));
+        cluster.apply(Update::add(0, 2)).unwrap();
+        let (scores, _) = cluster.reduce().unwrap();
+        assert_matches_scratch(cluster.graph(), &scores, 1e-6, "after rejects");
+    }
+
+    #[test]
+    fn apply_stream_matches_per_update_applies() {
+        let g = holme_kim(30, 2, 0.4, 11);
+        let updates = [
+            Update::add(0, 17),
+            Update::add(2, 29),
+            Update::remove(0, 17),
+            Update::add(5, 30), // grows
+            Update::add(30, 31),
+        ];
+        let mut streamed = ClusterEngine::bootstrap(&g, 3).unwrap();
+        let reports = streamed.apply_stream(&updates).unwrap();
+        assert_eq!(reports.len(), updates.len());
+        let mut stepped = ClusterEngine::bootstrap(&g, 3).unwrap();
+        for u in updates {
+            stepped.apply(u).unwrap();
+        }
+        // identical worker count and history => bitwise-equal partials
+        let a = streamed.reduce().unwrap().0;
+        let b = stepped.reduce().unwrap().0;
+        assert_eq!(a, b);
+        // and adopters recorded in stream order
+        let adopters: Vec<_> = reports.iter().filter_map(|r| r.adopter).collect();
+        assert_eq!(adopters.len(), 2);
+    }
+
+    #[test]
+    fn apply_stream_surfaces_mid_stream_validation_error() {
+        let mut g = Graph::with_vertices(20);
+        for i in 0..19 {
+            g.add_edge(i, i + 1).unwrap();
+        }
+        let mut cluster = ClusterEngine::bootstrap(&g, 2).unwrap();
+        let updates = [
+            Update::add(0, 15),
+            Update::remove(0, 15),
+            Update::remove(0, 15), // now missing
+            Update::add(1, 16),
+        ];
+        assert!(matches!(
+            cluster.apply_stream(&updates),
+            Err(EngineError::Graph(GraphError::MissingEdge(0, 15)))
+        ));
+        // prefix was applied, engine consistent and alive
+        let (scores, _) = cluster.reduce().unwrap();
+        assert_matches_scratch(cluster.graph(), &scores, 1e-6, "after stream error");
+    }
+
+    #[test]
+    fn exact_reduce_matches_scratch() {
+        let g = holme_kim(26, 3, 0.5, 13);
+        let mut cluster = ClusterEngine::bootstrap(&g, 3).unwrap();
+        cluster.apply(Update::add(0, 19)).unwrap();
+        cluster.apply(Update::remove(0, 19)).unwrap();
+        let exact = cluster.reduce_exact().unwrap();
+        assert_matches_scratch(cluster.graph(), &exact, 1e-6, "exact reduce");
     }
 }

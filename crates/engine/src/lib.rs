@@ -9,25 +9,37 @@
 //! partial betweenness scores are summed in a reduce step (Figure 4 shows
 //! the MapReduce rendition).
 //!
-//! This crate reproduces that architecture with worker threads standing in
-//! for machines:
+//! This crate reproduces that architecture with a **persistent worker
+//! pool**: `p` long-lived threads are spawned at bootstrap, each owning one
+//! machine's state for its whole lifetime (graph replica, private `BD`
+//! store, incremental partial scores, kernel scratch), and driven over
+//! per-worker command channels — so the steady-state update path costs one
+//! channel round-trip per worker, not a thread spawn.
 //!
-//! * [`partition`] — the `Π_i` source-range math;
-//! * [`cluster`] — [`cluster::ClusterEngine`]: per-worker graph replicas and
-//!   private `BD` stores (in memory, or one disk file per worker), map
-//!   (process update on own partition) and reduce (sum partials) phases with
-//!   wall-clock instrumentation;
+//! * [`partition`] — the `Π_i` source-range math plus the
+//!   [`partition::AdoptionLedger`] pinning how newly arrived vertices are
+//!   assigned (smallest partition, ties to the smallest worker id);
+//! * [`pool`] (private) — worker threads, the
+//!   `Bootstrap`/`Apply`/`MergePartials`/`Segments`/`Shutdown` command
+//!   protocol, poison containment, and the pairwise merge-tree schedule;
+//! * [`cluster`] — [`cluster::ClusterEngine`]: validated dispatch from a
+//!   coordinator replica, the pipelined [`cluster::ClusterEngine::apply_stream`]
+//!   batch path, the tree-structured fast [`cluster::ClusterEngine::reduce`]
+//!   (the paper's `t_M`), and the partition-invariant
+//!   [`cluster::ClusterEngine::reduce_exact`] oracle (bitwise identical
+//!   across worker counts and store backends);
 //! * [`online`] — the online-updates experiment (§5.3, Figure 8, Table 5):
 //!   replay a timestamped stream and record, per update, the inter-arrival
 //!   gap, the processing time, queueing delays, and missed deadlines. Both
-//!   *measured* mode (real threads) and *modeled* mode (the paper's
+//!   *measured* mode (the live pool) and *modeled* mode (the paper's
 //!   `t_U = t_S·n/p + t_M` projection, for worker counts beyond the local
 //!   core count) are provided.
 
 pub mod cluster;
 pub mod online;
 pub mod partition;
+mod pool;
 
 pub use cluster::{ApplyReport, ClusterEngine, EngineError};
 pub use online::{simulate_modeled, simulate_online, OnlineEvent, OnlineReport};
-pub use partition::partition_ranges;
+pub use partition::{partition_ranges, AdoptionLedger};

@@ -119,7 +119,7 @@ fn arrivals_of(stream: &EdgeStream) -> Vec<(f64, f64)> {
 
 /// Measured replay: apply the stream on a live cluster, recording wall-clock
 /// update latencies (map critical path + reduce).
-pub fn simulate_online<S: BdStore>(
+pub fn simulate_online<S: BdStore + 'static>(
     cluster: &mut ClusterEngine<S>,
     stream: &EdgeStream,
 ) -> Result<OnlineReport, EngineError> {
@@ -131,7 +131,7 @@ pub fn simulate_online<S: BdStore>(
             u: ev.u,
             v: ev.v,
         })?;
-        let (_, merge) = cluster.reduce();
+        let (_, merge) = cluster.reduce()?;
         update_times.push((rep.map_wall + merge).as_secs_f64());
     }
     Ok(OnlineReport::from_events(fold_events(

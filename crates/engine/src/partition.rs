@@ -24,6 +24,58 @@ pub fn partition_ranges(n: usize, p: usize) -> Vec<Range<u32>> {
     out
 }
 
+/// Coordinator-side bookkeeping of how many sources each worker owns, and
+/// the **pinned** adoption rule for vertices that arrive after bootstrap.
+///
+/// The paper keeps partitions balanced by handing each new source to some
+/// lightly-loaded machine; this ledger pins the exact rule so replays are
+/// deterministic: *the adopter is the worker with the fewest owned sources,
+/// ties broken toward the smallest worker id*. Starting from
+/// [`partition_ranges`] (balanced to within one) this invariant is
+/// preserved forever: `max − min ≤ 1` across workers after any arrival
+/// sequence.
+///
+/// The ledger lives on the coordinator so adoption decisions never read
+/// worker-owned state (stores stay private to their threads).
+#[derive(Debug, Clone)]
+pub struct AdoptionLedger {
+    counts: Vec<usize>,
+}
+
+impl AdoptionLedger {
+    /// Ledger matching `partition_ranges(n, p)`.
+    pub fn new(n: usize, p: usize) -> Self {
+        AdoptionLedger {
+            counts: partition_ranges(n, p).iter().map(|r| r.len()).collect(),
+        }
+    }
+
+    /// Per-worker owned-source counts.
+    pub fn counts(&self) -> &[usize] {
+        &self.counts
+    }
+
+    /// Total sources across all workers.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// Assign one newly arrived source: smallest count wins, ties go to the
+    /// smallest worker id. Returns the adopting worker and records the
+    /// adoption.
+    pub fn adopt(&mut self) -> usize {
+        let adopter = self
+            .counts
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, c)| c)
+            .map(|(i, _)| i)
+            .expect("at least one worker");
+        self.counts[adopter] += 1;
+        adopter
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -56,5 +108,40 @@ mod tests {
     #[test]
     fn zero_workers_clamped() {
         assert_eq!(partition_ranges(4, 0).len(), 1);
+    }
+
+    #[test]
+    fn adoption_tie_break_is_smallest_worker_id() {
+        // 6 sources over 3 workers: all counts equal — the pinned rule must
+        // pick worker 0, then 1, then 2, then wrap to 0 again.
+        let mut ledger = AdoptionLedger::new(6, 3);
+        assert_eq!(ledger.counts(), &[2, 2, 2]);
+        assert_eq!(ledger.adopt(), 0);
+        assert_eq!(ledger.adopt(), 1);
+        assert_eq!(ledger.adopt(), 2);
+        assert_eq!(ledger.adopt(), 0);
+        assert_eq!(ledger.counts(), &[4, 3, 3]);
+    }
+
+    #[test]
+    fn adoption_prefers_smallest_partition() {
+        // 7 over 3: ranges are [3, 2, 2] — the first adopter must be 1.
+        let mut ledger = AdoptionLedger::new(7, 3);
+        assert_eq!(ledger.counts(), &[3, 2, 2]);
+        assert_eq!(ledger.adopt(), 1);
+        assert_eq!(ledger.adopt(), 2);
+        assert_eq!(ledger.adopt(), 0);
+        assert_eq!(ledger.total(), 10);
+    }
+
+    #[test]
+    fn adoption_keeps_balance_within_one() {
+        let mut ledger = AdoptionLedger::new(11, 4);
+        for _ in 0..37 {
+            ledger.adopt();
+            let min = *ledger.counts().iter().min().unwrap();
+            let max = *ledger.counts().iter().max().unwrap();
+            assert!(max - min <= 1, "{:?}", ledger.counts());
+        }
     }
 }

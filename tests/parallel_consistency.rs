@@ -1,78 +1,177 @@
-//! Cross-crate integration: the parallel engine (with both memory and disk
-//! worker stores) must agree exactly with the single-machine state.
+//! Cross-crate integration: the pooled parallel engine must agree with the
+//! single-machine state — **bitwise**, not within epsilon — via the
+//! partition-invariant exact reduce, for every store backend × worker count
+//! × stream shape combination. The fast (partial-sum) reduce is additionally
+//! pinned to epsilon agreement, since its summation order legitimately
+//! depends on the worker count.
 
-use streaming_bc::core::{BetweennessState, Update, UpdateConfig};
+use streaming_bc::core::{BetweennessState, Scores, Update, UpdateConfig};
 use streaming_bc::engine::{ClusterEngine, EngineError};
 use streaming_bc::gen::models::holme_kim;
 use streaming_bc::gen::streams::{addition_stream, removal_stream};
+use streaming_bc::graph::Graph;
 use streaming_bc::store::{CodecKind, DiskBdStore};
 
-fn updates_for(g: &streaming_bc::graph::Graph) -> Vec<Update> {
-    let mut ups: Vec<Update> = addition_stream(g, 6, 1)
+const WORKER_COUNTS: [usize; 4] = [1, 3, 5, 8];
+
+fn bits(s: &Scores) -> (Vec<u64>, Vec<u64>) {
+    (
+        s.vbc.iter().map(|x| x.to_bits()).collect(),
+        s.ebc.iter().map(|x| x.to_bits()).collect(),
+    )
+}
+
+/// The streams of the oracle matrix: additions, removals, disconnecting
+/// removals, and a mixed stream that grows the vertex set mid-flight.
+fn scenarios() -> Vec<(&'static str, Graph, Vec<Update>)> {
+    let mut out = Vec::new();
+
+    let g = holme_kim(60, 3, 0.4, 9);
+    let adds: Vec<Update> = addition_stream(&g, 8, 1)
         .into_iter()
         .map(|(u, v)| Update::add(u, v))
         .collect();
-    ups.extend(
-        removal_stream(g, 6, 2)
-            .into_iter()
-            .map(|(u, v)| Update::remove(u, v)),
+    out.push(("additions", g.clone(), adds.clone()));
+
+    let removes: Vec<Update> = removal_stream(&g, 8, 2)
+        .into_iter()
+        .map(|(u, v)| Update::remove(u, v))
+        .collect();
+    out.push(("removals", g.clone(), removes.clone()));
+
+    // two dense communities joined by one bridge; cutting it disconnects
+    let mut barbell = Graph::with_vertices(14);
+    for base in [0u32, 7] {
+        for i in 0..7u32 {
+            for j in (i + 1)..7 {
+                barbell.add_edge(base + i, base + j).unwrap();
+            }
+        }
+    }
+    barbell.add_edge(3, 10).unwrap();
+    out.push((
+        "disconnect",
+        barbell,
+        vec![
+            Update::remove(3, 10), // severs the bridge
+            Update::remove(0, 1),
+            Update::add(2, 12), // reconnects
+            Update::remove(2, 12),
+            Update::add(5, 9),
+        ],
+    ));
+
+    // interleave additions, removals, and three vertex arrivals
+    let mut mixed = Vec::new();
+    for (i, (&a, &r)) in adds.iter().zip(&removes).enumerate() {
+        mixed.push(a);
+        if i < 3 {
+            let newcomer = 60 + i as u32;
+            mixed.push(Update::add(i as u32 * 7, newcomer));
+        }
+        mixed.push(r);
+    }
+    out.push(("growth-mix", g, mixed));
+
+    out
+}
+
+/// Replay on the single-machine state; return the incremental scores and the
+/// deterministic exact scores (the bitwise oracle).
+fn single_oracle(g: &Graph, updates: &[Update]) -> (BetweennessState, Scores) {
+    let mut single = BetweennessState::init(g);
+    for &u in updates {
+        single.apply(u).unwrap();
+    }
+    let exact = single.exact_scores().unwrap();
+    (single, exact)
+}
+
+fn check_cluster<S: streaming_bc::core::BdStore + 'static>(
+    mut cluster: ClusterEngine<S>,
+    updates: &[Update],
+    single: &BetweennessState,
+    oracle_exact: &Scores,
+    ctx: &str,
+) {
+    let reports = cluster.apply_stream(updates).unwrap();
+    assert_eq!(reports.len(), updates.len(), "{ctx}: lost reports");
+    // bitwise: the exact reduce must equal the single-machine derivation
+    let exact = cluster.reduce_exact().unwrap();
+    assert_eq!(
+        bits(&exact),
+        bits(oracle_exact),
+        "{ctx}: exact reduce diverged bitwise"
     );
-    ups
+    // epsilon: the fast partial-sum reduce tracks the incremental scores
+    let (fast, _) = cluster.reduce().unwrap();
+    assert!(
+        fast.max_vbc_diff(single.scores()) < 1e-9,
+        "{ctx}: fast reduce VBC drifted"
+    );
+    assert!(
+        fast.max_ebc_diff(single.scores(), single.graph()) < 1e-9,
+        "{ctx}: fast reduce EBC drifted"
+    );
 }
 
 #[test]
-fn memory_cluster_matches_single_state() {
-    let g = holme_kim(60, 3, 0.4, 9);
-    let mut cluster = ClusterEngine::bootstrap(&g, 5).unwrap();
-    let mut single = BetweennessState::init(&g);
-    for u in updates_for(&g) {
-        cluster.apply(u).unwrap();
-        single.apply(u).unwrap();
+fn memory_matrix_is_bit_identical_to_single_state() {
+    for (name, g, updates) in scenarios() {
+        let (single, oracle_exact) = single_oracle(&g, &updates);
+        for p in WORKER_COUNTS {
+            let cluster = ClusterEngine::bootstrap(&g, p).unwrap();
+            let ctx = format!("memory × p={p} × {name}");
+            check_cluster(cluster, &updates, &single, &oracle_exact, &ctx);
+        }
     }
-    let (scores, _) = cluster.reduce();
-    assert!(scores.max_vbc_diff(single.scores()) < 1e-9);
-    assert!(scores.max_ebc_diff(single.scores(), single.graph()) < 1e-9);
 }
 
 #[test]
-fn disk_cluster_matches_single_state() {
-    let g = holme_kim(40, 3, 0.4, 10);
-    let dir = std::env::temp_dir().join("sbc_it_disk_cluster");
+fn disk_matrix_is_bit_identical_to_single_state() {
+    let dir = std::env::temp_dir().join(format!("sbc_matrix_{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
-    let dir2 = dir.clone();
-    let mut cluster =
-        ClusterEngine::bootstrap_with(&g, 3, UpdateConfig::default(), move |worker, n| {
-            // one private file per worker — one disk per machine, as in §5.2
-            let path = dir2.join(format!("worker{worker}.bd"));
-            DiskBdStore::create(path, n, CodecKind::Wide).map_err(EngineError::from)
-        })
-        .unwrap();
-    let mut single = BetweennessState::init(&g);
-    for u in updates_for(&g) {
-        cluster.apply(u).unwrap();
-        single.apply(u).unwrap();
+    for (name, g, updates) in scenarios() {
+        let (single, oracle_exact) = single_oracle(&g, &updates);
+        for p in WORKER_COUNTS {
+            let dir = dir.clone();
+            let cluster =
+                ClusterEngine::bootstrap_with(&g, p, UpdateConfig::default(), move |worker, n| {
+                    // one private file per worker — one disk per machine (§5.2)
+                    let path = dir.join(format!("{name}_{p}_w{worker}.bd"));
+                    let _ = std::fs::remove_file(&path);
+                    DiskBdStore::create(path, n, CodecKind::Wide).map_err(EngineError::from)
+                })
+                .unwrap();
+            let ctx = format!("disk × p={p} × {name}");
+            check_cluster(cluster, &updates, &single, &oracle_exact, &ctx);
+        }
     }
-    let (scores, _) = cluster.reduce();
-    assert!(scores.max_vbc_diff(single.scores()) < 1e-9);
-    assert!(scores.max_ebc_diff(single.scores(), single.graph()) < 1e-9);
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]
 fn worker_counts_do_not_change_results() {
+    // the historical epsilon test, upgraded: across worker counts the exact
+    // reduce must now agree bit for bit
     let g = holme_kim(50, 3, 0.5, 11);
-    let updates = updates_for(&g);
-    let mut reference: Option<streaming_bc::core::Scores> = None;
+    let mut updates: Vec<Update> = addition_stream(&g, 6, 1)
+        .into_iter()
+        .map(|(u, v)| Update::add(u, v))
+        .collect();
+    updates.extend(
+        removal_stream(&g, 6, 2)
+            .into_iter()
+            .map(|(u, v)| Update::remove(u, v)),
+    );
+    let mut reference: Option<(Vec<u64>, Vec<u64>)> = None;
     for p in [1usize, 2, 7, 16] {
         let mut cluster = ClusterEngine::bootstrap(&g, p).unwrap();
-        for &u in &updates {
-            cluster.apply(u).unwrap();
-        }
-        let (scores, _) = cluster.reduce();
+        cluster.apply_stream(&updates).unwrap();
+        let exact = cluster.reduce_exact().unwrap();
         match &reference {
-            None => reference = Some(scores),
-            Some(r) => {
-                assert!(r.max_vbc_diff(&scores) < 1e-9, "p={p} diverged");
-            }
+            None => reference = Some(bits(&exact)),
+            Some(r) => assert_eq!(r, &bits(&exact), "p={p} diverged bitwise"),
         }
     }
 }
