@@ -1,0 +1,104 @@
+//! Criterion bench: the DO-mode disk store's update I/O discipline — the
+//! frozen per-record path (one seek+read+write per affected source, what
+//! the store did before format v2) against the coalesced
+//! [`BdStore::update_batch`] path (run-sorted batched reads, coalesced
+//! dirty write-backs), plus the O(1) in-headroom `grow_vertex`.
+//!
+//! The committed `BENCH_store_io.json` baseline (produced by the
+//! `store_io_baseline` bin) tracks the same workload with exact byte/seek
+//! accounting.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ebc_core::bd::BdStore;
+use ebc_store::{CodecKind, DiskBdStore};
+
+const N: usize = 2_048;
+const SOURCES: u32 = 48;
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("ebc_bench_store_io");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+/// A store whose every source is affected by the probe edge {0, 1}
+/// (`d[0] != d[1]`), so both paths touch all records.
+fn populated(name: &str, codec: CodecKind) -> DiskBdStore {
+    let mut store = DiskBdStore::create(tmp(name), N, codec).unwrap();
+    for s in 0..SOURCES {
+        let mut d: Vec<u32> = (0..N).map(|i| ((i + s as usize) % 9) as u32).collect();
+        d[0] = 0;
+        d[1] = 3;
+        let sigma = vec![1u64; N];
+        let delta = vec![0.0f64; N];
+        store.add_source(s, d, sigma, delta).unwrap();
+    }
+    store
+}
+
+fn bench_store_io(c: &mut Criterion) {
+    let mut group = c.benchmark_group("disk_store_update_2k");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for codec in [CodecKind::Paper, CodecKind::Wide] {
+        let label = format!("{codec:?}");
+        // frozen pre-v2 embodiment: one peek + one full record
+        // read/modify/write per source, one seek each
+        let mut store = populated(&format!("per_record_{label}.bd"), codec);
+        group.bench_function(BenchmarkId::new("per_record_sweep", &label), |b| {
+            b.iter(|| {
+                let sources = store.sources();
+                for s in sources {
+                    let (a, bb) = store.peek_pair(s, 0, 1).unwrap();
+                    assert_ne!(a, bb);
+                    store
+                        .update_with(s, &mut |view| {
+                            view.delta[2] += 1.0;
+                            true
+                        })
+                        .unwrap();
+                }
+            })
+        });
+        let mut store = populated(&format!("batched_{label}.bd"), codec);
+        group.bench_function(BenchmarkId::new("batched_sweep", &label), |b| {
+            b.iter(|| {
+                let sources = store.sources();
+                store
+                    .update_batch(&sources, 0, 1, &mut |_, view| {
+                        view.delta[2] += 1.0;
+                        true
+                    })
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+
+    // in-headroom vertex growth: a single header-field update, independent
+    // of S·n (the pre-v2 store rewrote the whole file here)
+    let mut group = c.benchmark_group("disk_store_grow");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    let mut store = DiskBdStore::create_with_capacity(
+        tmp("grow.bd"),
+        N,
+        // enough headroom that the timed loop (≤ sample_size iterations)
+        // never re-slabs
+        N + 64,
+        CodecKind::Paper,
+    )
+    .unwrap();
+    store
+        .add_source(0, vec![0; N], vec![1; N], vec![0.0; N])
+        .unwrap();
+    group.bench_function("grow_vertex_in_headroom", |b| {
+        b.iter(|| store.grow_vertex().unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_store_io);
+criterion_main!(benches);

@@ -1,0 +1,176 @@
+//! **Store-I/O baseline** — produces the committed `BENCH_store_io.json`:
+//! exact byte/seek/wall accounting for the DO-mode disk store's two update
+//! disciplines on the same workload,
+//!
+//! * the **per-record** path: one seek+read+write per affected source — a
+//!   frozen copy of what the pre-v2 store did (and what the generic
+//!   [`BdStore::update_batch`] default still does for in-memory stores);
+//! * the **batched** path: format v2's run-sorted coalesced I/O
+//!   ([`ebc_store::BatchPlan`]) — one sequential read per contiguous slot
+//!   run, dirty records written back in coalesced sub-runs;
+//!
+//! plus the `grow_vertex` story: record bytes for an in-headroom growth
+//! (must be 0) against the re-slab a pre-v2 store paid on *every* growth.
+//!
+//! ```sh
+//! cargo run --release -p ebc-bench --bin store_io_baseline [-- --out PATH]
+//! ```
+
+use ebc_core::bd::BdStore;
+use ebc_store::{BatchPlan, CodecKind, DiskBdStore};
+use std::time::Instant;
+
+const N: usize = 4_096;
+const REPS: usize = 5;
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("ebc_store_io_baseline");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+/// Store with `sources` records over `N` vertices; every source is
+/// affected by the probe edge {0, 1}.
+fn populated(name: &str, codec: CodecKind, sources: u32) -> DiskBdStore {
+    let mut store = DiskBdStore::create(tmp(name), N, codec).unwrap();
+    for s in 0..sources {
+        let mut d: Vec<u32> = (0..N).map(|i| ((i + s as usize) % 9) as u32).collect();
+        d[0] = 0;
+        d[1] = 3;
+        store.add_source(s, d, vec![1; N], vec![0.0; N]).unwrap();
+    }
+    store
+}
+
+struct Sweep {
+    wall_s: f64,
+    bytes_read: u64,
+    bytes_written: u64,
+}
+
+/// Frozen per-record discipline: peek, then read/modify/write each record
+/// individually.
+fn per_record_sweep(store: &mut DiskBdStore) -> Sweep {
+    let (r0, w0) = (store.bytes_read, store.bytes_written);
+    let t0 = Instant::now();
+    for s in store.sources() {
+        let (a, b) = store.peek_pair(s, 0, 1).unwrap();
+        if a == b {
+            continue;
+        }
+        store
+            .update_with(s, &mut |view| {
+                view.delta[2] += 1.0;
+                true
+            })
+            .unwrap();
+    }
+    Sweep {
+        wall_s: t0.elapsed().as_secs_f64(),
+        bytes_read: store.bytes_read - r0,
+        bytes_written: store.bytes_written - w0,
+    }
+}
+
+/// Format v2 batched discipline.
+fn batched_sweep(store: &mut DiskBdStore) -> Sweep {
+    let (r0, w0) = (store.bytes_read, store.bytes_written);
+    let t0 = Instant::now();
+    let sources = store.sources();
+    store
+        .update_batch(&sources, 0, 1, &mut |_, view| {
+            view.delta[2] += 1.0;
+            true
+        })
+        .unwrap();
+    Sweep {
+        wall_s: t0.elapsed().as_secs_f64(),
+        bytes_read: store.bytes_read - r0,
+        bytes_written: store.bytes_written - w0,
+    }
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_store_io.json");
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--out") {
+        out_path = args.get(i + 1).expect("--out requires a path").clone();
+    }
+
+    let mut rows = Vec::new();
+    for &sources in &[16u32, 64, 256] {
+        for codec in [CodecKind::Paper, CodecKind::Wide] {
+            let label = format!("{codec:?}");
+            let mut per = f64::INFINITY;
+            let mut bat = f64::INFINITY;
+            let mut per_bytes = (0u64, 0u64);
+            let mut bat_bytes = (0u64, 0u64);
+            let mut store = populated(&format!("per_{label}_{sources}.bd"), codec, sources);
+            for _ in 0..REPS {
+                let s = per_record_sweep(&mut store);
+                per = per.min(s.wall_s);
+                per_bytes = (s.bytes_read, s.bytes_written);
+            }
+            let mut store = populated(&format!("bat_{label}_{sources}.bd"), codec, sources);
+            for _ in 0..REPS {
+                let s = batched_sweep(&mut store);
+                bat = bat.min(s.wall_s);
+                bat_bytes = (s.bytes_read, s.bytes_written);
+            }
+            // the whole source set is one contiguous run in this workload
+            let plan = BatchPlan::build((0..sources).map(|s| (s as usize, s)).collect());
+            eprintln!(
+                "S={sources:>3} {label:<5}: per-record {per:.6}s, batched {bat:.6}s \
+                 ({:.2}x), seeks {} -> {}",
+                per / bat,
+                sources,
+                plan.seeks()
+            );
+            rows.push(format!(
+                "    {{\"sources\": {sources}, \"codec\": \"{label}\", \
+                 \"per_record_wall_s\": {per:.9}, \"batched_wall_s\": {bat:.9}, \
+                 \"speedup\": {:.3}, \
+                 \"per_record_read_seeks\": {sources}, \"batched_read_seeks\": {}, \
+                 \"per_record_bytes_rw\": [{}, {}], \"batched_bytes_rw\": [{}, {}]}}",
+                per / bat,
+                plan.seeks(),
+                per_bytes.0,
+                per_bytes.1,
+                bat_bytes.0,
+                bat_bytes.1,
+            ));
+        }
+    }
+
+    // growth: in-headroom O(1) vs the rewrite a pre-v2 store always paid
+    let mut store = populated("grow.bd", CodecKind::Wide, 64);
+    let w0 = store.bytes_written;
+    let t0 = Instant::now();
+    store.grow_vertex().unwrap();
+    let grow_wall = t0.elapsed().as_secs_f64();
+    let grow_bytes = store.bytes_written - w0;
+    let headroom = store.headroom();
+    // exhaust the headroom to force one re-slab (the amortized cost)
+    for _ in 0..headroom {
+        store.grow_vertex().unwrap();
+    }
+    let w1 = store.bytes_written;
+    let t1 = Instant::now();
+    store.grow_vertex().unwrap(); // re-slab
+    let reslab_wall = t1.elapsed().as_secs_f64();
+    let reslab_bytes = store.bytes_written - w1;
+    eprintln!(
+        "grow: in-headroom {grow_bytes} record bytes ({grow_wall:.6}s), \
+         re-slab {reslab_bytes} bytes ({reslab_wall:.6}s), headroom {headroom}"
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"store_io\",\n  \"n\": {N},\n  \"repetitions\": {REPS},\n  \
+         \"metric\": \"one full update sweep over S affected sources (probe edge {{0,1}}, all records dirty), best of repetitions; bytes are the store's exact record I/O counters; seeks count random record-read repositionings (this workload is one contiguous slot run; chunked reads inside a run continue sequentially)\",\n  \
+         \"rows\": [\n{}\n  ],\n  \
+         \"grow\": {{\"in_headroom_record_bytes\": {grow_bytes}, \"in_headroom_wall_s\": {grow_wall:.9}, \"reslab_record_bytes\": {reslab_bytes}, \"reslab_wall_s\": {reslab_wall:.9}}}\n}}\n",
+        rows.join(",\n")
+    );
+    std::fs::write(&out_path, json).expect("write baseline json");
+    eprintln!("wrote {out_path}");
+}

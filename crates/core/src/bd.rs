@@ -76,6 +76,22 @@ pub type BdResult<T> = Result<T, BdError>;
 /// anything (`false` lets out-of-core backends skip the write-back).
 pub type SourceFn<'a> = &'a mut dyn FnMut(SourceViewMut<'_>) -> bool;
 
+/// Callback applied to each non-skipped source of an [`BdStore::update_batch`]
+/// call; receives the source id alongside its view and reports dirtiness
+/// exactly like [`SourceFn`].
+pub type BatchSourceFn<'a> = &'a mut dyn FnMut(VertexId, SourceViewMut<'_>) -> bool;
+
+/// Counters describing one [`BdStore::update_batch`] invocation.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Sources skipped by the `dd == 0` peek without materialising a record.
+    pub skipped: u64,
+    /// Sources whose full record was handed to the kernel.
+    pub processed: u64,
+    /// Records the kernel reported dirty and the store persisted.
+    pub written: u64,
+}
+
 /// Storage contract for the per-source `BD[s]` records of one partition.
 pub trait BdStore: Send {
     /// Number of vertex slots in every record.
@@ -94,6 +110,39 @@ pub trait BdStore: Send {
     /// Run `f` over the mutable view of source `s`, persisting the record if
     /// `f` returns `true`. Returns that flag.
     fn update_with(&mut self, s: VertexId, f: SourceFn<'_>) -> BdResult<bool>;
+
+    /// Drive one edge update of `{u, v}` over `sources`: peek the endpoint
+    /// distances of every source, skip the `dd == 0` ones (Proposition 3.1),
+    /// and hand each remaining source's full view to `f`, persisting it when
+    /// `f` reports a change.
+    ///
+    /// This default implementation is the trait-generic loop — one
+    /// [`BdStore::peek_pair`] plus one [`BdStore::update_with`] per source —
+    /// which is optimal for in-memory backends. Out-of-core backends
+    /// override it to coalesce the record I/O of one update into run-sorted
+    /// batched reads and writes (≤ 1 seek per contiguous slot run) instead
+    /// of one seek+read+write per affected source.
+    fn update_batch(
+        &mut self,
+        sources: &[VertexId],
+        u: VertexId,
+        v: VertexId,
+        f: BatchSourceFn<'_>,
+    ) -> BdResult<BatchStats> {
+        let mut stats = BatchStats::default();
+        for &s in sources {
+            let (a, b) = self.peek_pair(s, u, v)?;
+            if a == b {
+                stats.skipped += 1;
+                continue;
+            }
+            stats.processed += 1;
+            if self.update_with(s, &mut |view| f(s, view))? {
+                stats.written += 1;
+            }
+        }
+        Ok(stats)
+    }
 
     /// Append one vertex slot (`d = UNREACHABLE`, `σ = 0`, `δ = 0`) to every
     /// record — called when a new vertex joins the graph.
@@ -288,6 +337,40 @@ mod tests {
                 got: 2
             })
         ));
+    }
+
+    #[test]
+    fn update_batch_default_skips_and_counts() {
+        let mut st = store_with_two_sources();
+        // source 0: d[0]=0, d[1]=1 → processed; source 1: d[0]=1, d[1]=0 → processed
+        let sources = st.sources();
+        let mut seen = Vec::new();
+        let stats = st
+            .update_batch(&sources, 0, 1, &mut |s, view| {
+                seen.push(s);
+                if s == 0 {
+                    view.delta[0] += 1.0;
+                    true
+                } else {
+                    false
+                }
+            })
+            .unwrap();
+        assert_eq!(seen, vec![0, 1]);
+        assert_eq!(
+            stats,
+            BatchStats {
+                skipped: 0,
+                processed: 2,
+                written: 1
+            }
+        );
+        // an edge whose endpoints are equidistant from source 1 is skipped
+        let stats = st
+            .update_batch(&[1], 0, 2, &mut |_, _| panic!("must be skipped"))
+            .unwrap();
+        assert_eq!(stats.skipped, 1);
+        assert_eq!(stats.processed, 0);
     }
 
     #[test]

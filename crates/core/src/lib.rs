@@ -10,7 +10,7 @@
 //!
 //! ## Layout
 //!
-//! * [`brandes`] — the static baselines: predecessor-free Brandes (the
+//! * [`mod@brandes`] — the static baselines: predecessor-free Brandes (the
 //!   paper's *MO* variant, also used as step 1 of the framework) and the
 //!   classic predecessor-list Brandes (*MP*), both producing VBC and EBC
 //!   simultaneously (Brandes 2008).

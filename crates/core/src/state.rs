@@ -145,6 +145,18 @@ impl<S: BdStore> BetweennessState<S> {
         })
     }
 
+    /// Resume from previously persisted records alone: the running scores
+    /// are reconstructed from the `BD[·]` records via the deterministic
+    /// fixed-tree reduction of [`crate::exact`]. This is the DO-mode
+    /// crash-recovery path — reopen the (recovered) disk store, then resume
+    /// and keep streaming updates. The reconstructed scores agree with the
+    /// pre-crash incrementally maintained ones up to floating-point
+    /// summation order.
+    pub fn resume(graph: Graph, mut store: S, cfg: UpdateConfig) -> Result<Self, StateError> {
+        let scores = crate::exact::exact_scores(&graph, &mut store)?;
+        Ok(Self::from_parts(graph, store, scores, cfg))
+    }
+
     /// Resume from previously persisted records (the store already holds one
     /// record per vertex and `scores` matches them).
     pub fn from_parts(graph: Graph, store: S, scores: Scores, cfg: UpdateConfig) -> Self {
@@ -277,16 +289,11 @@ impl<S: BdStore> BetweennessState<S> {
         let scores = &mut self.scores;
         let ws = &mut self.ws;
         let cfg = &self.cfg;
-        for s in self.store.sources() {
-            let (a, b) = self.store.peek_pair(s, u, v)?;
-            if a == b {
-                ws.stats.sources_skipped += 1;
-                continue;
-            }
-            self.store.update_with(s, &mut |view| {
-                update_source(graph, s, op, u, v, view, scores, ws, cfg)
-            })?;
-        }
+        let sources = self.store.sources();
+        let stats = self.store.update_batch(&sources, u, v, &mut |s, view| {
+            update_source(graph, s, op, u, v, view, scores, ws, cfg)
+        })?;
+        self.ws.stats.sources_skipped += stats.skipped;
         Ok(())
     }
 }

@@ -8,7 +8,7 @@
 //! **partial score vector** (the map output
 //! `⟨id, pbc_s(id)⟩ ∀ id, ∀ s ∈ Π_i`).
 //!
-//! Workers are **persistent threads** (see [`crate::pool`]) spawned once at
+//! Workers are **persistent threads** (see the private `pool` module) spawned once at
 //! bootstrap and driven over channels, so the steady-state update path pays
 //! one channel round-trip per worker instead of a thread spawn. The
 //! coordinator keeps its own *validation replica* of the graph plus an
@@ -135,7 +135,7 @@ impl ClusterEngine<MemoryBdStore> {
 
 impl<S: BdStore + 'static> ClusterEngine<S> {
     /// Bootstrap with a custom per-worker store factory (e.g. one
-    /// [`ebc_store::DiskBdStore`] file per worker, mirroring one disk per
+    /// `ebc_store::DiskBdStore` file per worker, mirroring one disk per
     /// machine). Spawns the persistent pool, then runs the Brandes
     /// partitions in parallel on it.
     pub fn bootstrap_with(

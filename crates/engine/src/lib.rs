@@ -19,7 +19,7 @@
 //! * [`partition`] — the `Π_i` source-range math plus the
 //!   [`partition::AdoptionLedger`] pinning how newly arrived vertices are
 //!   assigned (smallest partition, ties to the smallest worker id);
-//! * [`pool`] (private) — worker threads, the
+//! * `pool` (private) — worker threads, the
 //!   `Bootstrap`/`Apply`/`MergePartials`/`Segments`/`Shutdown` command
 //!   protocol, poison containment, and the pairwise merge-tree schedule;
 //! * [`cluster`] — [`cluster::ClusterEngine`]: validated dispatch from a

@@ -199,16 +199,11 @@ impl<S: BdStore> WorkerThread<S> {
         let partial = &mut self.partial;
         let ws = &mut self.ws;
         let cfg = &self.cfg;
-        for s in self.store.sources() {
-            let (a, b) = self.store.peek_pair(s, u, v)?;
-            if a == b {
-                ws.stats.sources_skipped += 1;
-                continue;
-            }
-            self.store.update_with(s, &mut |view| {
-                update_source(graph, s, op, u, v, view, partial, ws, cfg)
-            })?;
-        }
+        let sources = self.store.sources();
+        let stats = self.store.update_batch(&sources, u, v, &mut |s, view| {
+            update_source(graph, s, op, u, v, view, partial, ws, cfg)
+        })?;
+        self.ws.stats.sources_skipped += stats.skipped;
         if let Some(s_new) = adopt {
             let r =
                 single_source_update_with(&self.graph, s_new, &mut self.partial, &mut self.scratch);

@@ -54,7 +54,7 @@ pub fn removal_stream(g: &Graph, k: usize, seed: u64) -> Vec<(VertexId, VertexId
 /// Returns `(bootstrap_graph, tail_stream)`: the graph with all but the last
 /// `tail` edges applied, plus the timestamped final `tail` edges — the exact
 /// protocol the paper uses for its online experiments ("for real graphs we
-/// replay [edges] in order", keeping the last 100 as the live stream).
+/// replay \[edges\] in order", keeping the last 100 as the live stream).
 pub fn replay_growth(
     arrival_order: &[(VertexId, VertexId)],
     n: usize,

@@ -1,113 +1,396 @@
-//! The on-disk `BD[·]` store (the paper's *DO* configuration).
+//! The on-disk `BD[·]` store (the paper's *DO* configuration), format v2.
 //!
-//! Layout of the data file:
+//! Layout of the data file (byte-level spec and rationale in DESIGN.md §7):
 //!
 //! ```text
-//! [header: magic "EBCBD1\n", codec id u8, n u64, source count u64]
-//! [record 0][record 1]...      // one columnar record per source, in
-//!                              // registration order; source ids live in the
-//!                              // header-adjacent id table
-//! [id table: source id u32 × count]   // written by flush(), after records?
+//! offset  size  field
+//!      0     7  magic "EBCBD2\n"
+//!      7     1  codec id (see CodecKind::id)
+//!      8     8  n     u64 LE — live vertex count
+//!     16     8  count u64 LE — committed source count
+//!     24     8  cap   u64 LE — slab capacity in vertex slots (cap ≥ n)
+//!     32     8  reserved (zero)
+//!     40     —  records: count × stride, stride = codec.record_size(cap)
 //! ```
 //!
-//! The id table is kept in a sidecar `<path>.idx` file instead of trailing
-//! the records, so records can grow by appending without rewrites. The store
-//! flushes the sidecar on every `add_source` and on `flush()`.
+//! Every record is one *capacity slab*: its three columns (`d`, `σ`, `δ`)
+//! are sized by `cap`, not `n`, and the `n..cap` tail of each column holds
+//! the canonical empty values (`d = UNREACHABLE`, `σ = 0`, `δ = 0`). While
+//! headroom remains, [`BdStore::grow_vertex`] is a single 8-byte header
+//! update — O(1) I/O — because slot `n` of every record already decodes to
+//! exactly the state a fresh vertex must have. Only when `n == cap` is the
+//! file re-slabbed (one guarded rewrite at a geometrically larger capacity).
+//!
+//! The source-id table is kept in a sidecar `<path>.idx` (always replaced
+//! via temp-file + rename), and every multi-file mutation is guarded by the
+//! `<path>.wal` write-ahead intent record so [`DiskBdStore::open`] can roll
+//! a torn `add_source`/re-slab forward or back (see [`crate::recovery`]).
+//!
+//! Legacy v1 files (magic `EBCBD1\n`, 24-byte header, `cap == n`) are still
+//! readable; the first write-capable operation migrates them to v2 in one
+//! guarded rewrite.
 
 use crate::codec::CodecKind;
-use ebc_core::bd::{BdError, BdResult, BdStore, SourceFn, SourceViewMut};
+use crate::recovery::{self, Geometry, Intent, IntentOp, RecoveryAction};
+use ebc_core::bd::{
+    BatchSourceFn, BatchStats, BdError, BdResult, BdStore, SourceFn, SourceViewMut,
+};
 use ebc_graph::{FxHashMap, VertexId, UNREACHABLE};
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
-const MAGIC: &[u8; 7] = b"EBCBD1\n";
-const HEADER_LEN: u64 = 7 + 1 + 8 + 8;
+pub(crate) const MAGIC_V1: &[u8; 7] = b"EBCBD1\n";
+pub(crate) const MAGIC_V2: &[u8; 7] = b"EBCBD2\n";
+pub(crate) const HEADER_LEN_V1: u64 = 7 + 1 + 8 + 8;
+pub(crate) const HEADER_LEN_V2: u64 = 7 + 1 + 8 + 8 + 8 + 8;
 
-/// Out-of-core `BD` store: one columnar record per source, updated in place.
+/// On-disk format generation of an open store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FormatVersion {
+    /// Legacy fixed layout: record stride `record_size(n)`, no headroom, no
+    /// intent journal. Read-compatible; migrated on first write.
+    V1,
+    /// Slab layout with growth headroom and crash recovery.
+    V2,
+}
+
+/// Parsed data-file header (both format generations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Header {
+    pub version: FormatVersion,
+    pub codec: CodecKind,
+    pub n: usize,
+    pub count: usize,
+    pub cap: usize,
+}
+
+impl Header {
+    /// Header length in bytes for this version.
+    pub fn len(&self) -> u64 {
+        match self.version {
+            FormatVersion::V1 => HEADER_LEN_V1,
+            FormatVersion::V2 => HEADER_LEN_V2,
+        }
+    }
+
+    /// On-disk bytes of one record (the slab stride).
+    pub fn stride(&self) -> usize {
+        self.codec.record_size(self.cap)
+    }
+
+    /// Byte offset of record `slot`.
+    pub fn record_offset(&self, slot: usize) -> u64 {
+        self.len() + (slot * self.stride()) as u64
+    }
+
+    /// Exact data-file length this header implies.
+    pub fn expected_len(&self) -> u64 {
+        self.record_offset(self.count)
+    }
+
+    /// Parse the header at the start of `file`.
+    pub fn read_from(file: &mut File) -> BdResult<Header> {
+        file.seek(SeekFrom::Start(0))?;
+        let mut fixed = [0u8; HEADER_LEN_V1 as usize];
+        file.read_exact(&mut fixed)
+            .map_err(|_| BdError::Corrupt("truncated header".into()))?;
+        let version = match &fixed[..7] {
+            m if m == MAGIC_V1 => FormatVersion::V1,
+            m if m == MAGIC_V2 => FormatVersion::V2,
+            _ => return Err(BdError::Corrupt("bad magic".into())),
+        };
+        let codec = CodecKind::from_id(fixed[7])
+            .ok_or_else(|| BdError::Corrupt(format!("unknown codec id {}", fixed[7])))?;
+        let n = u64::from_le_bytes(fixed[8..16].try_into().expect("8 bytes")) as usize;
+        let count = u64::from_le_bytes(fixed[16..24].try_into().expect("8 bytes")) as usize;
+        let cap = match version {
+            FormatVersion::V1 => n,
+            FormatVersion::V2 => {
+                let mut ext = [0u8; 16];
+                file.read_exact(&mut ext)
+                    .map_err(|_| BdError::Corrupt("truncated v2 header".into()))?;
+                let cap = u64::from_le_bytes(ext[..8].try_into().expect("8 bytes")) as usize;
+                if cap < n {
+                    return Err(BdError::Corrupt(format!(
+                        "slab capacity {cap} below vertex count {n}"
+                    )));
+                }
+                cap
+            }
+        };
+        Ok(Header {
+            version,
+            codec,
+            n,
+            count,
+            cap,
+        })
+    }
+
+    /// Write a full v2 header at the start of `file`.
+    pub fn write_to(&self, file: &mut File) -> BdResult<()> {
+        debug_assert_eq!(self.version, FormatVersion::V2);
+        let mut buf = Vec::with_capacity(HEADER_LEN_V2 as usize);
+        buf.extend_from_slice(MAGIC_V2);
+        buf.push(self.codec.id());
+        buf.extend_from_slice(&(self.n as u64).to_le_bytes());
+        buf.extend_from_slice(&(self.count as u64).to_le_bytes());
+        buf.extend_from_slice(&(self.cap as u64).to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        file.seek(SeekFrom::Start(0))?;
+        file.write_all(&buf)?;
+        Ok(())
+    }
+}
+
+/// Update the header's source-count field in place (offset 16, both
+/// versions) — a single 8-byte write, atomic under the crash model.
+pub(crate) fn write_header_count(file: &mut File, count: u64) -> BdResult<()> {
+    file.seek(SeekFrom::Start(16))?;
+    file.write_all(&count.to_le_bytes())?;
+    Ok(())
+}
+
+/// Update the header's live-vertex-count field in place (offset 8).
+pub(crate) fn write_header_n(file: &mut File, n: u64) -> BdResult<()> {
+    file.seek(SeekFrom::Start(8))?;
+    file.write_all(&n.to_le_bytes())?;
+    Ok(())
+}
+
+/// Path of the `.idx` sidecar for a data file.
+pub(crate) fn sidecar_for(path: &Path) -> PathBuf {
+    let mut p = path.as_os_str().to_owned();
+    p.push(".idx");
+    PathBuf::from(p)
+}
+
+/// Read the sidecar's self-described id table.
+pub(crate) fn read_sidecar_ids(path: &Path) -> BdResult<Vec<VertexId>> {
+    let raw = std::fs::read(sidecar_for(path))
+        .map_err(|_| BdError::Corrupt("missing sidecar index".into()))?;
+    if raw.len() < 8 {
+        return Err(BdError::Corrupt("sidecar too short".into()));
+    }
+    let count = u64::from_le_bytes(raw[..8].try_into().expect("8 bytes")) as usize;
+    if raw.len() < 8 + 4 * count {
+        return Err(BdError::Corrupt("sidecar truncated".into()));
+    }
+    Ok((0..count)
+        .map(|i| u32::from_le_bytes(raw[8 + 4 * i..12 + 4 * i].try_into().expect("4 bytes")))
+        .collect())
+}
+
+/// Replace the sidecar atomically (temp file + rename), so a crash can
+/// never leave a half-written id table: readers see the old table or the
+/// new one, nothing in between.
+pub(crate) fn write_sidecar_atomic(path: &Path, order: &[VertexId]) -> BdResult<()> {
+    let sidecar = sidecar_for(path);
+    let tmp = {
+        let mut p = sidecar.as_os_str().to_owned();
+        p.push(".tmp");
+        PathBuf::from(p)
+    };
+    let mut buf = Vec::with_capacity(8 + 4 * order.len());
+    buf.extend_from_slice(&(order.len() as u64).to_le_bytes());
+    for &s in order {
+        buf.extend_from_slice(&s.to_le_bytes());
+    }
+    std::fs::write(&tmp, buf)?;
+    std::fs::rename(&tmp, &sidecar)?;
+    Ok(())
+}
+
+/// Slab sizing rule: headroom of `max(8, n/8)` vertex slots beyond `n`.
+/// Geometric headroom keeps `grow_vertex` amortized O(1): at most one
+/// re-slab per `Θ(n)` growths, each costing one sequential file rewrite.
+pub(crate) fn slab_cap(n: usize) -> usize {
+    n + (n / 8).max(8)
+}
+
+/// Byte budget for one batched run read. A contiguous slot run longer than
+/// this is serviced in sequential chunks (one seek each, still sequential
+/// on disk), bounding the batch buffer instead of materialising an
+/// arbitrarily large run — at paper scale a run can span thousands of
+/// multi-megabyte records. 256 KiB keeps the buffer cache-resident; the
+/// committed `BENCH_store_io.json` sweep picked it.
+const MAX_RUN_BYTES: usize = 256 << 10;
+
+/// One maximal run of contiguous record slots inside a [`BatchPlan`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlotRun {
+    /// First record slot of the run.
+    pub first_slot: usize,
+    /// The affected sources occupying `first_slot..first_slot + len`, in
+    /// slot order.
+    pub sources: Vec<VertexId>,
+}
+
+/// Run-sorted I/O schedule for one batched update: the affected slots,
+/// sorted and grouped into maximal contiguous runs. Each run is serviced by
+/// one random seek + sequential reads (chunked at a fixed byte budget so
+/// the buffer stays bounded), and dirty records are written back in
+/// coalesced sub-runs — at most one seek per contiguous dirty stretch —
+/// instead of one seek+read+write per affected source.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BatchPlan {
+    runs: Vec<SlotRun>,
+}
+
+impl BatchPlan {
+    /// Build the plan from `(slot, source)` pairs (any order).
+    pub fn build(mut affected: Vec<(usize, VertexId)>) -> Self {
+        affected.sort_unstable_by_key(|&(slot, _)| slot);
+        let mut runs: Vec<SlotRun> = Vec::new();
+        for (slot, s) in affected {
+            match runs.last_mut() {
+                Some(run) if run.first_slot + run.sources.len() == slot => run.sources.push(s),
+                _ => runs.push(SlotRun {
+                    first_slot: slot,
+                    sources: vec![s],
+                }),
+            }
+        }
+        BatchPlan { runs }
+    }
+
+    /// The contiguous runs, in ascending slot order.
+    pub fn runs(&self) -> &[SlotRun] {
+        &self.runs
+    }
+
+    /// Number of read seeks the plan issues (one per run).
+    pub fn seeks(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Total records covered by the plan.
+    pub fn records(&self) -> usize {
+        self.runs.iter().map(|r| r.sources.len()).sum()
+    }
+}
+
+/// Out-of-core `BD` store: one columnar slab record per source, updated in
+/// place, with batched I/O and crash recovery (format v2).
 pub struct DiskBdStore {
     file: File,
     path: PathBuf,
     codec: CodecKind,
+    version: FormatVersion,
     n: usize,
+    cap: usize,
     order: Vec<VertexId>,
     index: FxHashMap<VertexId, usize>,
-    // reusable scratch (decode/encode buffers)
+    recovered: Option<RecoveryAction>,
+    // reusable scratch (decode/encode buffers, batch run buffer)
     raw: Vec<u8>,
+    batch: Vec<u8>,
     d: Vec<u32>,
     sigma: Vec<u64>,
     delta: Vec<f64>,
-    /// Bytes read from disk (experiment instrumentation).
+    /// Record bytes read from disk (experiment instrumentation; excludes
+    /// fixed-size header/sidecar/intent metadata).
     pub bytes_read: u64,
-    /// Bytes written to disk.
+    /// Record bytes written to disk.
     pub bytes_written: u64,
 }
 
 impl DiskBdStore {
-    /// Create a fresh store at `path` for records of `n` vertices.
+    /// Create a fresh v2 store at `path` for records of `n` vertices, with
+    /// the default growth headroom ([`DiskBdStore::capacity`] slots).
     pub fn create<P: AsRef<Path>>(path: P, n: usize, codec: CodecKind) -> BdResult<Self> {
+        Self::create_with_capacity(path, n, slab_cap(n), codec)
+    }
+
+    /// Create a fresh v2 store with an explicit slab capacity (`cap` is
+    /// clamped up to `n`). Useful to control exactly when re-slabbing kicks
+    /// in; most callers want [`DiskBdStore::create`].
+    pub fn create_with_capacity<P: AsRef<Path>>(
+        path: P,
+        n: usize,
+        cap: usize,
+        codec: CodecKind,
+    ) -> BdResult<Self> {
         let path = path.as_ref().to_path_buf();
+        let cap = cap.max(n);
         let mut file = OpenOptions::new()
             .read(true)
             .write(true)
             .create(true)
             .truncate(true)
             .open(&path)?;
-        let mut header = Vec::with_capacity(HEADER_LEN as usize);
-        header.extend_from_slice(MAGIC);
-        header.push(codec.id());
-        header.extend_from_slice(&(n as u64).to_le_bytes());
-        header.extend_from_slice(&0u64.to_le_bytes());
-        file.write_all(&header)?;
-        let store = DiskBdStore {
+        let header = Header {
+            version: FormatVersion::V2,
+            codec,
+            n,
+            count: 0,
+            cap,
+        };
+        header.write_to(&mut file)?;
+        write_sidecar_atomic(&path, &[])?;
+        recovery::clear_intent(&path)?;
+        Ok(DiskBdStore {
             file,
             path,
             codec,
+            version: FormatVersion::V2,
             n,
+            cap,
             order: Vec::new(),
             index: FxHashMap::default(),
+            recovered: None,
             raw: Vec::new(),
+            batch: Vec::new(),
             d: Vec::new(),
             sigma: Vec::new(),
             delta: Vec::new(),
             bytes_read: 0,
             bytes_written: 0,
-        };
-        store.write_sidecar()?;
-        Ok(store)
+        })
     }
 
-    /// Open an existing store, validating header, sidecar, and file length.
+    /// Open an existing store (either format generation): run crash
+    /// recovery if an intent record is pending, then validate header,
+    /// sidecar, and exact file length.
     pub fn open<P: AsRef<Path>>(path: P) -> BdResult<Self> {
         let path = path.as_ref().to_path_buf();
+        let recovered = recovery::run_recovery(&path)?;
         let mut file = OpenOptions::new().read(true).write(true).open(&path)?;
-        let mut header = [0u8; HEADER_LEN as usize];
-        file.read_exact(&mut header)
-            .map_err(|_| BdError::Corrupt("truncated header".into()))?;
-        if &header[..7] != MAGIC {
-            return Err(BdError::Corrupt("bad magic".into()));
+        let header = Header::read_from(&mut file)?;
+        let order = read_sidecar_ids(&path)?;
+        if order.len() != header.count {
+            return Err(BdError::Corrupt(format!(
+                "sidecar/header disagree: {} vs {}",
+                order.len(),
+                header.count
+            )));
         }
-        let codec = CodecKind::from_id(header[7])
-            .ok_or_else(|| BdError::Corrupt(format!("unknown codec id {}", header[7])))?;
-        let n = u64::from_le_bytes(header[8..16].try_into().expect("8 bytes")) as usize;
-        let count = u64::from_le_bytes(header[16..24].try_into().expect("8 bytes")) as usize;
-        let order = Self::read_sidecar(&path, count)?;
-        let expect_len = HEADER_LEN + (count * codec.record_size(n)) as u64;
+        let expect_len = header.expected_len();
         let actual = file.metadata()?.len();
         if actual < expect_len {
             return Err(BdError::Corrupt(format!(
                 "data file too short: {actual} < {expect_len}"
             )));
         }
+        if actual > expect_len {
+            return Err(BdError::Corrupt(format!(
+                "trailing garbage: data file is {actual} bytes, header implies {expect_len}"
+            )));
+        }
         let index = order.iter().enumerate().map(|(i, &s)| (s, i)).collect();
         Ok(DiskBdStore {
             file,
             path,
-            codec,
-            n,
+            codec: header.codec,
+            version: header.version,
+            n: header.n,
+            cap: header.cap,
             order,
             index,
+            recovered,
             raw: Vec::new(),
+            batch: Vec::new(),
             d: Vec::new(),
             sigma: Vec::new(),
             delta: Vec::new(),
@@ -126,99 +409,190 @@ impl DiskBdStore {
         &self.path
     }
 
+    /// The format generation this store is currently persisted as (v1 only
+    /// until the first write-capable operation migrates the file).
+    pub fn version(&self) -> FormatVersion {
+        self.version
+    }
+
+    /// Slab capacity in vertex slots (`≥ n()`); `grow_vertex` is O(1) I/O
+    /// until the live count reaches it.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Remaining O(1) vertex growths before the next re-slab.
+    pub fn headroom(&self) -> usize {
+        self.cap - self.n
+    }
+
+    /// What `open()` had to repair, if anything — `None` after a clean
+    /// shutdown.
+    pub fn last_recovery(&self) -> Option<RecoveryAction> {
+        self.recovered
+    }
+
     /// Total on-disk record bytes (excluding header/sidecar) — the quantity
-    /// the paper sizes as `O(n²/p)` per machine (§5.2).
+    /// the paper sizes as `O(n²/p)` per machine (§5.2). Slab headroom is
+    /// physical file space and is included.
     pub fn data_bytes(&self) -> u64 {
-        (self.order.len() * self.codec.record_size(self.n)) as u64
+        (self.order.len() * self.stride()) as u64
     }
 
-    fn sidecar_path(&self) -> PathBuf {
-        Self::sidecar_for(&self.path)
-    }
-
-    fn sidecar_for(path: &Path) -> PathBuf {
-        let mut p = path.as_os_str().to_owned();
-        p.push(".idx");
-        PathBuf::from(p)
-    }
-
-    fn write_sidecar(&self) -> BdResult<()> {
-        let mut buf = Vec::with_capacity(8 + 4 * self.order.len());
-        buf.extend_from_slice(&(self.order.len() as u64).to_le_bytes());
-        for &s in &self.order {
-            buf.extend_from_slice(&s.to_le_bytes());
+    fn header(&self) -> Header {
+        Header {
+            version: self.version,
+            codec: self.codec,
+            n: self.n,
+            count: self.order.len(),
+            cap: self.cap,
         }
-        std::fs::write(self.sidecar_path(), buf)?;
-        Ok(())
     }
 
-    fn read_sidecar(path: &Path, expect: usize) -> BdResult<Vec<VertexId>> {
-        let raw = std::fs::read(Self::sidecar_for(path))
-            .map_err(|_| BdError::Corrupt("missing sidecar index".into()))?;
-        if raw.len() < 8 {
-            return Err(BdError::Corrupt("sidecar too short".into()));
-        }
-        let count = u64::from_le_bytes(raw[..8].try_into().expect("8 bytes")) as usize;
-        if count != expect {
-            return Err(BdError::Corrupt(format!(
-                "sidecar/header disagree: {count} vs {expect}"
-            )));
-        }
-        if raw.len() < 8 + 4 * count {
-            return Err(BdError::Corrupt("sidecar truncated".into()));
-        }
-        Ok((0..count)
-            .map(|i| u32::from_le_bytes(raw[8 + 4 * i..12 + 4 * i].try_into().expect("4 bytes")))
-            .collect())
-    }
-
-    fn update_header_count(&mut self) -> BdResult<()> {
-        self.file.seek(SeekFrom::Start(7 + 1 + 8))?;
-        self.file
-            .write_all(&(self.order.len() as u64).to_le_bytes())?;
-        Ok(())
+    fn stride(&self) -> usize {
+        self.header().stride()
     }
 
     #[inline]
     fn record_offset(&self, slot: usize) -> u64 {
-        HEADER_LEN + (slot * self.codec.record_size(self.n)) as u64
+        self.header().record_offset(slot)
     }
 
     fn slot(&self, s: VertexId) -> BdResult<usize> {
         self.index.get(&s).copied().ok_or(BdError::UnknownSource(s))
     }
 
+    /// Size the scratch arrays to one slab and fill the `n..cap` tail with
+    /// the canonical empty values.
+    fn reset_scratch_tail(&mut self) {
+        self.d.resize(self.cap, UNREACHABLE);
+        self.sigma.resize(self.cap, 0);
+        self.delta.resize(self.cap, 0.0);
+        for i in self.n..self.cap {
+            self.d[i] = UNREACHABLE;
+            self.sigma[i] = 0;
+            self.delta[i] = 0.0;
+        }
+    }
+
     fn read_record(&mut self, slot: usize) -> BdResult<()> {
-        let size = self.codec.record_size(self.n);
+        let size = self.stride();
+        let off = self.record_offset(slot);
         self.raw.resize(size, 0);
-        self.file.seek(SeekFrom::Start(self.record_offset(slot)))?;
+        self.file.seek(SeekFrom::Start(off))?;
         self.file
             .read_exact(&mut self.raw)
             .map_err(|_| BdError::Corrupt(format!("record {slot} truncated")))?;
         self.bytes_read += size as u64;
-        self.d.resize(self.n, 0);
-        self.sigma.resize(self.n, 0);
-        self.delta.resize(self.n, 0.0);
+        self.d.resize(self.cap, 0);
+        self.sigma.resize(self.cap, 0);
+        self.delta.resize(self.cap, 0.0);
         self.codec
             .decode_record(&self.raw, &mut self.d, &mut self.sigma, &mut self.delta);
         Ok(())
     }
 
     fn write_record(&mut self, slot: usize) -> BdResult<()> {
-        let size = self.codec.record_size(self.n);
+        let size = self.stride();
+        let off = self.record_offset(slot);
         self.raw.resize(size, 0);
         self.codec
             .encode_record(&self.d, &self.sigma, &self.delta, &mut self.raw);
-        self.file.seek(SeekFrom::Start(self.record_offset(slot)))?;
+        self.file.seek(SeekFrom::Start(off))?;
         self.file.write_all(&self.raw)?;
         self.bytes_written += size as u64;
+        Ok(())
+    }
+
+    /// Migrate a v1 file to the v2 slab layout. All write-capable entry
+    /// points (`update_with`, `update_batch`, `add_source`, `grow_vertex`)
+    /// call this first, so a v1 file is rewritten exactly once, on first
+    /// write; pure reads (`peek_pair`, `sources`) never migrate.
+    fn ensure_writable(&mut self) -> BdResult<()> {
+        if self.version == FormatVersion::V1 {
+            self.rewrite_file(self.n, slab_cap(self.n), IntentOp::Migrate)?;
+        }
+        Ok(())
+    }
+
+    /// Guarded whole-file rewrite (re-slab or v1→v2 migration): write the
+    /// intent, stream every record into `<path>.tmp` at the new geometry,
+    /// sync, rename over the data file, commit. Record contents are
+    /// preserved bit-identically in the live `..n` prefix; the new tail is
+    /// the canonical empty value.
+    fn rewrite_file(&mut self, new_n: usize, new_cap: usize, op: IntentOp) -> BdResult<()> {
+        self.rewrite_file_inner(new_n, new_cap, op, None)
+    }
+
+    fn rewrite_file_inner(
+        &mut self,
+        new_n: usize,
+        new_cap: usize,
+        op: IntentOp,
+        crash: Option<RewriteCrash>,
+    ) -> BdResult<()> {
+        debug_assert!(new_cap >= new_n && new_n >= self.n);
+        let old_header = self.header();
+        let new_header = Header {
+            version: FormatVersion::V2,
+            codec: self.codec,
+            n: new_n,
+            count: self.order.len(),
+            cap: new_cap,
+        };
+        recovery::write_intent(
+            &self.path,
+            &Intent {
+                op,
+                source: 0,
+                payload_checksum: 0,
+                old: Geometry::of(&old_header),
+                new: Geometry::of(&new_header),
+            },
+        )?;
+        if crash == Some(RewriteCrash::AfterIntent) {
+            return Ok(());
+        }
+        let tmp_path = self.path.with_extension("tmp");
+        let mut tmp = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&tmp_path)?;
+        new_header.write_to(&mut tmp)?;
+        let new_stride = new_header.stride();
+        let mut out = vec![0u8; new_stride];
+        for slot in 0..self.order.len() {
+            self.read_record(slot)?; // old geometry
+            self.d.resize(new_cap, UNREACHABLE);
+            self.sigma.resize(new_cap, 0);
+            self.delta.resize(new_cap, 0.0);
+            self.codec
+                .encode_record(&self.d, &self.sigma, &self.delta, &mut out);
+            tmp.write_all(&out)?;
+            self.bytes_written += new_stride as u64;
+        }
+        tmp.sync_data()?;
+        if crash == Some(RewriteCrash::AfterTmp) {
+            return Ok(());
+        }
+        std::fs::rename(&tmp_path, &self.path)?;
+        self.file = tmp;
+        self.version = FormatVersion::V2;
+        self.n = new_n;
+        self.cap = new_cap;
+        if crash == Some(RewriteCrash::AfterRename) {
+            return Ok(());
+        }
+        recovery::clear_intent(&self.path)?;
         Ok(())
     }
 
     /// Force data and index to durable storage.
     pub fn flush(&mut self) -> BdResult<()> {
         self.file.sync_data()?;
-        self.write_sidecar()?;
+        write_sidecar_atomic(&self.path, &self.order)?;
         Ok(())
     }
 }
@@ -261,11 +635,13 @@ impl BdStore for DiskBdStore {
 
     fn update_with(&mut self, s: VertexId, f: SourceFn<'_>) -> BdResult<bool> {
         let slot = self.slot(s)?;
+        self.ensure_writable()?;
         self.read_record(slot)?;
+        let n = self.n;
         let dirty = f(SourceViewMut {
-            d: &mut self.d,
-            sigma: &mut self.sigma,
-            delta: &mut self.delta,
+            d: &mut self.d[..n],
+            sigma: &mut self.sigma[..n],
+            delta: &mut self.delta[..n],
         });
         if dirty {
             self.write_record(slot)?;
@@ -273,42 +649,112 @@ impl BdStore for DiskBdStore {
         Ok(dirty)
     }
 
-    /// Record size depends on `n`, so growing the vertex set rewrites the
-    /// file once (O(S·n)); the paper's deployment assumes a fixed vertex
-    /// universe per epoch, new vertices being comparatively rare.
-    fn grow_vertex(&mut self) -> BdResult<()> {
-        let old_n = self.n;
-        let new_n = old_n + 1;
-        let tmp_path = self.path.with_extension("tmp");
-        let mut tmp = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(true)
-            .open(&tmp_path)?;
-        let mut header = Vec::with_capacity(HEADER_LEN as usize);
-        header.extend_from_slice(MAGIC);
-        header.push(self.codec.id());
-        header.extend_from_slice(&(new_n as u64).to_le_bytes());
-        header.extend_from_slice(&(self.order.len() as u64).to_le_bytes());
-        tmp.write_all(&header)?;
-        let mut out = vec![0u8; self.codec.record_size(new_n)];
-        for slot in 0..self.order.len() {
-            self.read_record(slot)?;
-            self.d.push(UNREACHABLE);
-            self.sigma.push(0);
-            self.delta.push(0.0);
-            self.codec
-                .encode_record(&self.d, &self.sigma, &self.delta, &mut out);
-            tmp.write_all(&out)?;
-            self.bytes_written += out.len() as u64;
+    /// Coalesced batch path: per-source constant-offset peeks first, then
+    /// the affected records are read in contiguous [`BatchPlan`] runs (one
+    /// seek per run) and dirty records written back in coalesced sub-runs.
+    fn update_batch(
+        &mut self,
+        sources: &[VertexId],
+        u: VertexId,
+        v: VertexId,
+        f: BatchSourceFn<'_>,
+    ) -> BdResult<BatchStats> {
+        self.ensure_writable()?;
+        let mut stats = BatchStats::default();
+        let mut affected: Vec<(usize, VertexId)> = Vec::with_capacity(sources.len());
+        for &s in sources {
+            let (a, b) = self.peek_pair(s, u, v)?;
+            if a == b {
+                stats.skipped += 1;
+            } else {
+                affected.push((self.slot(s)?, s));
+            }
         }
-        tmp.sync_data()?;
-        std::fs::rename(&tmp_path, &self.path)?;
-        self.file = tmp;
-        self.n = new_n;
-        self.write_sidecar()?;
-        Ok(())
+        let plan = BatchPlan::build(affected);
+        let stride = self.stride();
+        let n = self.n;
+        // keep the run buffer bounded (and cache-resident): long runs are
+        // serviced in sequential chunks of up to MAX_RUN_BYTES
+        let chunk_records = (MAX_RUN_BYTES / stride).max(1);
+        let mut dirty: Vec<bool> = Vec::new();
+        for run in plan.runs() {
+            for (ci, chunk) in run.sources.chunks(chunk_records).enumerate() {
+                let first_slot = run.first_slot + ci * chunk_records;
+                let bytes = chunk.len() * stride;
+                let off = self.record_offset(first_slot);
+                self.batch.resize(bytes, 0);
+                self.file.seek(SeekFrom::Start(off))?;
+                self.file.read_exact(&mut self.batch).map_err(|_| {
+                    BdError::Corrupt(format!("record run at slot {first_slot} truncated"))
+                })?;
+                self.bytes_read += bytes as u64;
+                dirty.clear();
+                dirty.resize(chunk.len(), false);
+                for (i, &s) in chunk.iter().enumerate() {
+                    self.d.resize(self.cap, 0);
+                    self.sigma.resize(self.cap, 0);
+                    self.delta.resize(self.cap, 0.0);
+                    self.codec.decode_record(
+                        &self.batch[i * stride..(i + 1) * stride],
+                        &mut self.d,
+                        &mut self.sigma,
+                        &mut self.delta,
+                    );
+                    stats.processed += 1;
+                    let changed = f(
+                        s,
+                        SourceViewMut {
+                            d: &mut self.d[..n],
+                            sigma: &mut self.sigma[..n],
+                            delta: &mut self.delta[..n],
+                        },
+                    );
+                    if changed {
+                        self.codec.encode_record(
+                            &self.d,
+                            &self.sigma,
+                            &self.delta,
+                            &mut self.batch[i * stride..(i + 1) * stride],
+                        );
+                        dirty[i] = true;
+                        stats.written += 1;
+                    }
+                }
+                // write back maximal contiguous dirty stretches, one seek each
+                let mut i = 0;
+                while i < dirty.len() {
+                    if !dirty[i] {
+                        i += 1;
+                        continue;
+                    }
+                    let mut j = i + 1;
+                    while j < dirty.len() && dirty[j] {
+                        j += 1;
+                    }
+                    let off = self.record_offset(first_slot + i);
+                    self.file.seek(SeekFrom::Start(off))?;
+                    self.file.write_all(&self.batch[i * stride..j * stride])?;
+                    self.bytes_written += ((j - i) * stride) as u64;
+                    i = j;
+                }
+            }
+        }
+        Ok(stats)
+    }
+
+    /// With headroom available this is a single 8-byte header update — slot
+    /// `n` of every record already holds `d = ∞, σ = 0, δ = 0` by the slab
+    /// invariant — so growth costs O(1) I/O. Only when `n == cap` is the
+    /// file re-slabbed at a geometrically larger capacity.
+    fn grow_vertex(&mut self) -> BdResult<()> {
+        self.ensure_writable()?;
+        if self.n < self.cap {
+            self.n += 1;
+            write_header_n(&mut self.file, self.n as u64)?;
+            return Ok(());
+        }
+        let new_n = self.n + 1;
+        self.rewrite_file(new_n, slab_cap(new_n), IntentOp::Reslab)
     }
 
     fn add_source(
@@ -317,6 +763,81 @@ impl BdStore for DiskBdStore {
         d: Vec<u32>,
         sigma: Vec<u64>,
         delta: Vec<f64>,
+    ) -> BdResult<()> {
+        self.add_source_inner(s, d, sigma, delta, None)
+    }
+}
+
+/// Simulated kill points inside the guarded `add_source` sequence. Test
+/// support for the crash-recovery suite; not part of the stable API — the
+/// store must be dropped (like a killed process) after a simulated crash.
+#[doc(hidden)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AddCrash {
+    /// Die right after the intent record is durable, before the record.
+    AfterIntent,
+    /// Die with the record half-appended (torn payload).
+    MidRecord,
+    /// Die after the record append, before the header count update.
+    AfterRecord,
+    /// Die after the header count update, before the sidecar rewrite.
+    AfterHeader,
+    /// Die after the sidecar rewrite, before the intent is cleared.
+    AfterSidecar,
+}
+
+/// Simulated kill points inside the guarded whole-file rewrite (re-slab /
+/// v1→v2 migration). Test support for the crash-recovery suite.
+#[doc(hidden)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RewriteCrash {
+    /// Die right after the intent record is durable, before `<path>.tmp`.
+    AfterIntent,
+    /// Die with `<path>.tmp` fully written but not yet renamed.
+    AfterTmp,
+    /// Die after the atomic rename, before the intent is cleared.
+    AfterRename,
+}
+
+impl DiskBdStore {
+    /// [`BdStore::add_source`] with a simulated crash (test support; the
+    /// store must be dropped afterwards, like a killed process).
+    #[doc(hidden)]
+    pub fn add_source_crashing(
+        &mut self,
+        s: VertexId,
+        d: Vec<u32>,
+        sigma: Vec<u64>,
+        delta: Vec<f64>,
+        crash: AddCrash,
+    ) -> BdResult<()> {
+        self.add_source_inner(s, d, sigma, delta, Some(crash))
+    }
+
+    /// [`BdStore::grow_vertex`]'s rewrite path (migration on a v1 store,
+    /// re-slab otherwise) with a simulated crash (test support; the store
+    /// must be dropped afterwards).
+    #[doc(hidden)]
+    pub fn grow_vertex_crashing(&mut self, crash: RewriteCrash) -> BdResult<()> {
+        if self.version == FormatVersion::V1 {
+            return self.rewrite_file_inner(
+                self.n,
+                slab_cap(self.n),
+                IntentOp::Migrate,
+                Some(crash),
+            );
+        }
+        let new_n = self.n + 1;
+        self.rewrite_file_inner(new_n, slab_cap(new_n), IntentOp::Reslab, Some(crash))
+    }
+
+    fn add_source_inner(
+        &mut self,
+        s: VertexId,
+        d: Vec<u32>,
+        sigma: Vec<u64>,
+        delta: Vec<f64>,
+        crash: Option<AddCrash>,
     ) -> BdResult<()> {
         if self.index.contains_key(&s) {
             return Err(BdError::DuplicateSource(s));
@@ -327,15 +848,58 @@ impl BdStore for DiskBdStore {
                 got: d.len(),
             });
         }
-        let slot = self.order.len();
+        self.ensure_writable()?;
+        // stage the slab record (live prefix = the new arrays, tail empty)
         self.d = d;
         self.sigma = sigma;
         self.delta = delta;
+        self.reset_scratch_tail();
+        let stride = self.stride();
+        self.raw.resize(stride, 0);
+        self.codec
+            .encode_record(&self.d, &self.sigma, &self.delta, &mut self.raw);
+        let slot = self.order.len();
+        let old = Geometry::of(&self.header());
+        recovery::write_intent(
+            &self.path,
+            &Intent {
+                op: IntentOp::AddSource,
+                source: s,
+                payload_checksum: recovery::fnv1a64(&self.raw),
+                old,
+                new: Geometry {
+                    count: old.count + 1,
+                    ..old
+                },
+            },
+        )?;
+        if crash == Some(AddCrash::AfterIntent) {
+            return Ok(());
+        }
+        // 1. the record itself
+        let off = self.record_offset(slot);
+        self.file.seek(SeekFrom::Start(off))?;
+        if crash == Some(AddCrash::MidRecord) {
+            self.file.write_all(&self.raw[..stride / 2])?;
+            return Ok(());
+        }
+        self.file.write_all(&self.raw)?;
+        self.bytes_written += stride as u64;
+        if crash == Some(AddCrash::AfterRecord) {
+            return Ok(());
+        }
+        // 2. header count, 3. sidecar, then commit
         self.index.insert(s, slot);
         self.order.push(s);
-        self.write_record(slot)?;
-        self.update_header_count()?;
-        self.write_sidecar()?;
+        write_header_count(&mut self.file, self.order.len() as u64)?;
+        if crash == Some(AddCrash::AfterHeader) {
+            return Ok(());
+        }
+        write_sidecar_atomic(&self.path, &self.order)?;
+        if crash == Some(AddCrash::AfterSidecar) {
+            return Ok(());
+        }
+        recovery::clear_intent(&self.path)?;
         Ok(())
     }
 }
@@ -433,6 +997,8 @@ mod tests {
         }
         let mut st = DiskBdStore::open(&path).unwrap();
         assert_eq!(st.codec(), CodecKind::Paper);
+        assert_eq!(st.version(), FormatVersion::V2);
+        assert_eq!(st.last_recovery(), None);
         assert_eq!(st.n(), 6);
         assert_eq!(st.sources(), vec![4, 2, 9]);
         let (d, s, _) = sample_record(6, 2);
@@ -445,20 +1011,130 @@ mod tests {
     }
 
     #[test]
-    fn grow_vertex_rewrites_records() {
+    fn grow_vertex_with_headroom_is_o1_io() {
         let path = tmpdir("grow").join("bd.dat");
         let mut st = DiskBdStore::create(&path, 3, CodecKind::Wide).unwrap();
+        assert!(st.headroom() >= 8);
         let (d, s, del) = sample_record(3, 5);
         st.add_source(0, d, s, del).unwrap();
+        let written = st.bytes_written;
+        let read = st.bytes_read;
         st.grow_vertex().unwrap();
         assert_eq!(st.n(), 4);
+        assert_eq!(
+            st.bytes_written, written,
+            "in-headroom growth must not touch any record"
+        );
+        assert_eq!(st.bytes_read, read);
         assert_eq!(st.peek_pair(0, 3, 0).unwrap().0, UNREACHABLE);
         st.update_with(0, &mut |view| {
             assert_eq!(view.d.len(), 4);
+            assert_eq!(view.d[3], UNREACHABLE);
             assert_eq!(view.sigma[3], 0);
+            assert_eq!(view.delta[3], 0.0);
             false
         })
         .unwrap();
+    }
+
+    #[test]
+    fn exhausted_headroom_reslabs_and_preserves_records() {
+        let path = tmpdir("reslab").join("bd.dat");
+        let mut st = DiskBdStore::create_with_capacity(&path, 3, 4, CodecKind::Wide).unwrap();
+        let (d, s, del) = sample_record(3, 5);
+        st.add_source(2, d.clone(), s.clone(), del.clone()).unwrap();
+        st.grow_vertex().unwrap(); // consumes the single headroom slot
+        assert_eq!(st.headroom(), 0);
+        let written = st.bytes_written;
+        st.grow_vertex().unwrap(); // must re-slab
+        assert_eq!(st.n(), 5);
+        assert!(st.capacity() >= 5 + 8);
+        assert!(st.bytes_written > written, "re-slab rewrites records");
+        st.update_with(2, &mut |view| {
+            assert_eq!(&view.d[..3], &d[..]);
+            assert_eq!(&view.sigma[..3], &s[..]);
+            assert_eq!(&view.delta[..3], &del[..]);
+            assert_eq!(&view.d[3..], &[UNREACHABLE, UNREACHABLE]);
+            false
+        })
+        .unwrap();
+        // reopen sees the re-slabbed file cleanly
+        drop(st);
+        let st = DiskBdStore::open(&path).unwrap();
+        assert_eq!(st.n(), 5);
+        assert_eq!(st.last_recovery(), None);
+    }
+
+    #[test]
+    fn batch_plan_groups_contiguous_slots() {
+        let plan = BatchPlan::build(vec![(5, 50), (0, 10), (1, 11), (2, 12), (7, 70), (6, 60)]);
+        assert_eq!(plan.seeks(), 2);
+        assert_eq!(plan.records(), 6);
+        assert_eq!(plan.runs()[0].first_slot, 0);
+        assert_eq!(plan.runs()[0].sources, vec![10, 11, 12]);
+        assert_eq!(plan.runs()[1].first_slot, 5);
+        assert_eq!(plan.runs()[1].sources, vec![50, 60, 70]);
+        assert_eq!(BatchPlan::build(Vec::new()).seeks(), 0);
+    }
+
+    #[test]
+    fn update_batch_coalesces_contiguous_runs() {
+        let path = tmpdir("batch").join("bd.dat");
+        let n = 6;
+        let mut st = DiskBdStore::create(&path, n, CodecKind::Wide).unwrap();
+        // sources 0..5: make endpoint distances differ for all of them
+        for s in 0..5u32 {
+            let mut d = vec![1u32; n];
+            d[0] = 0;
+            d[1] = 3;
+            st.add_source(s, d, vec![1; n], vec![0.0; n]).unwrap();
+        }
+        let stride = st.stride() as u64;
+        let (r0, w0) = (st.bytes_read, st.bytes_written);
+        let sources = st.sources();
+        let stats = st
+            .update_batch(&sources, 0, 1, &mut |s, view| {
+                view.delta[2] = s as f64;
+                s % 2 == 0 // dirty: slots 0, 2, 4
+            })
+            .unwrap();
+        assert_eq!(stats.processed, 5);
+        assert_eq!(stats.skipped, 0);
+        assert_eq!(stats.written, 3);
+        // one run of 5 records: record reads = 5·stride (+ 5 peeks of 8 B)
+        assert_eq!(st.bytes_read - r0, 5 * stride + 5 * 8);
+        // writes: three non-adjacent dirty records = 3·stride
+        assert_eq!(st.bytes_written - w0, 3 * stride);
+        // persisted exactly the dirty ones
+        for s in 0..5u32 {
+            st.update_with(s, &mut |view| {
+                let expect = if s % 2 == 0 { s as f64 } else { 0.0 };
+                assert_eq!(view.delta[2], expect, "source {s}");
+                false
+            })
+            .unwrap();
+        }
+    }
+
+    #[test]
+    fn update_batch_matches_default_loop_semantics() {
+        let path = tmpdir("batch_skip").join("bd.dat");
+        let n = 4;
+        let mut st = DiskBdStore::create(&path, n, CodecKind::Wide).unwrap();
+        // source 0: d[0] == d[1] → skipped; source 1: differs → processed
+        st.add_source(0, vec![1, 1, 2, 2], vec![1; n], vec![0.0; n])
+            .unwrap();
+        st.add_source(1, vec![0, 1, 2, 2], vec![1; n], vec![0.0; n])
+            .unwrap();
+        let stats = st
+            .update_batch(&[0, 1], 0, 1, &mut |s, _| {
+                assert_eq!(s, 1, "skipped source must not reach the kernel");
+                false
+            })
+            .unwrap();
+        assert_eq!(stats.skipped, 1);
+        assert_eq!(stats.processed, 1);
+        assert_eq!(stats.written, 0);
     }
 
     #[test]
@@ -488,12 +1164,31 @@ mod tests {
     }
 
     #[test]
+    fn trailing_garbage_detected() {
+        let path = tmpdir("garbage").join("bd.dat");
+        {
+            let mut st = DiskBdStore::create(&path, 4, CodecKind::Wide).unwrap();
+            let (d, s, del) = sample_record(4, 6);
+            st.add_source(0, d, s, del).unwrap();
+            st.flush().unwrap();
+        }
+        let mut raw = std::fs::read(&path).unwrap();
+        raw.extend_from_slice(&[0xAA; 13]);
+        std::fs::write(&path, raw).unwrap();
+        match DiskBdStore::open(&path) {
+            Err(BdError::Corrupt(msg)) => assert!(msg.contains("trailing garbage"), "{msg}"),
+            Err(other) => panic!("expected Corrupt, got {other}"),
+            Ok(_) => panic!("trailing garbage must be rejected"),
+        }
+    }
+
+    #[test]
     fn missing_sidecar_detected() {
         let path = tmpdir("sidecar").join("bd.dat");
         {
             DiskBdStore::create(&path, 2, CodecKind::Wide).unwrap();
         }
-        std::fs::remove_file(DiskBdStore::sidecar_for(&path)).unwrap();
+        std::fs::remove_file(sidecar_for(&path)).unwrap();
         assert!(matches!(DiskBdStore::open(&path), Err(BdError::Corrupt(_))));
     }
 

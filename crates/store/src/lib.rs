@@ -10,8 +10,8 @@
 //! > vertex IDs [...] by storing the data structures sequentially on disk,
 //! > and inferring the ID from the order."
 //!
-//! [`DiskBdStore`] implements exactly this layout behind the same
-//! [`BdStore`] trait the in-memory store uses, with:
+//! [`DiskBdStore`] implements this layout behind the same [`BdStore`] trait
+//! the in-memory store uses, hardened as **format v2** (DESIGN.md §7):
 //!
 //! * fixed-width per-vertex encodings ([`CodecKind::Paper`]: 1-byte `d`,
 //!   2-byte `σ`, 8-byte `δ` = the paper's 11 B/vertex; [`CodecKind::Wide`]:
@@ -19,14 +19,64 @@
 //! * the `dd == 0` fast path: [`BdStore::peek_pair`] reads just two entries
 //!   of the distance column at a constant offset, so unaffected sources are
 //!   skipped without touching `σ`/`δ` (§5.1);
-//! * in-place sequential record rewrites when a source *is* affected
-//!   ("updated in place on disk rather than overwriting the whole file").
+//! * **capacity slabs**: records carry headroom for future vertices, so
+//!   [`BdStore::grow_vertex`] is a single 8-byte header update until the
+//!   headroom is exhausted (amortized O(1) instead of an O(S·n) rewrite);
+//! * **batched I/O**: [`BdStore::update_batch`] coalesces one update's
+//!   record traffic into run-sorted reads/writes via [`BatchPlan`] — at
+//!   most one seek per contiguous slot run;
+//! * **crash recovery**: multi-file mutations are guarded by a write-ahead
+//!   intent record, and [`DiskBdStore::open`] rolls a torn
+//!   `add_source`/re-slab forward or back (see [`recovery`]);
+//! * legacy v1 files stay readable and migrate to v2 on first write.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ebc_store::{BdStore, CodecKind, DiskBdStore};
+//!
+//! let dir = std::env::temp_dir().join("ebc_store_doc");
+//! std::fs::create_dir_all(&dir).unwrap();
+//! let path = dir.join(format!("quickstart_{}.bd", std::process::id()));
+//!
+//! // A store for records of 4 vertices; register source 0.
+//! let mut store = DiskBdStore::create(&path, 4, CodecKind::Wide)?;
+//! store.add_source(0, vec![0, 1, 2, 2], vec![1, 1, 1, 2], vec![0.0; 4])?;
+//!
+//! // The dd == 0 skip check reads only two distance entries.
+//! assert_eq!(store.peek_pair(0, 1, 3)?, (1, 2));
+//!
+//! // Kernel-style in-place update; the record persists because the
+//! // callback reports it dirty.
+//! store.update_with(0, &mut |view| {
+//!     view.delta[3] = 1.5;
+//!     true
+//! })?;
+//!
+//! // A new vertex arriving is O(1) I/O while slab headroom remains.
+//! store.grow_vertex()?;
+//! assert_eq!(store.n(), 5);
+//!
+//! store.flush()?;
+//! drop(store);
+//!
+//! // Reopening validates the header, sidecar, and exact file length —
+//! // and repairs any mutation a crash tore in half.
+//! let store = DiskBdStore::open(&path)?;
+//! assert_eq!(store.sources(), vec![0]);
+//! assert_eq!(store.last_recovery(), None);
+//! # Ok::<(), ebc_store::BdError>(())
+//! ```
+
+#![deny(missing_docs)]
 
 pub mod codec;
 pub mod disk;
+pub mod recovery;
 
 pub use codec::CodecKind;
-pub use disk::DiskBdStore;
+pub use disk::{BatchPlan, DiskBdStore, FormatVersion, SlotRun};
+pub use recovery::{IntentOp, RecoveryAction};
 
 // re-export the trait so downstream users need only this crate
-pub use ebc_core::bd::{BdError, BdResult, BdStore, SourceViewMut};
+pub use ebc_core::bd::{BatchStats, BdError, BdResult, BdStore, SourceViewMut};

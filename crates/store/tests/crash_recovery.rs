@@ -1,0 +1,391 @@
+//! Crash-injection suite: kill the store at every point of the guarded
+//! `add_source` and rewrite (re-slab / migration) sequences, reopen, and
+//! verify `open()` repairs the files to a consistent state — rolling the
+//! torn mutation forward when its payload is durable and back when it is
+//! not. Each case is one row of the DESIGN.md §7 crash matrix.
+
+use ebc_core::bd::{BdError, BdStore};
+use ebc_store::disk::{AddCrash, RewriteCrash};
+use ebc_store::{CodecKind, DiskBdStore, FormatVersion, IntentOp, RecoveryAction};
+use std::path::PathBuf;
+
+/// One v1 record: `(source id, d, sigma, delta)`.
+type V1Record = (u32, Vec<u32>, Vec<u64>, Vec<f64>);
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("ebc_store_crash");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{name}_{}.bd", std::process::id()))
+}
+
+fn sample(n: usize, salt: u64) -> (Vec<u32>, Vec<u64>, Vec<f64>) {
+    let d = (0..n).map(|i| ((i as u64 + salt) % 5) as u32).collect();
+    let sigma = (0..n).map(|i| (i as u64 + salt) % 9 + 1).collect();
+    let delta = (0..n).map(|i| i as f64 * 0.5 + salt as f64).collect();
+    (d, sigma, delta)
+}
+
+/// Store with two committed sources (7 and 3), flushed and dropped.
+fn seeded(path: &PathBuf, n: usize) {
+    let mut st = DiskBdStore::create(path, n, CodecKind::Wide).unwrap();
+    for s in [7u32, 3] {
+        let (d, sig, del) = sample(n, s as u64);
+        st.add_source(s, d, sig, del).unwrap();
+    }
+    st.flush().unwrap();
+}
+
+/// Assert the reopened store matches the pre-crash two-source state and is
+/// fully usable (round-trips a fresh add of the torn source).
+fn assert_rolled_back(path: &PathBuf, n: usize) {
+    let mut st = DiskBdStore::open(path).unwrap();
+    assert_eq!(st.sources(), vec![7, 3]);
+    for s in [7u32, 3] {
+        let (d, sig, del) = sample(n, s as u64);
+        st.update_with(s, &mut |view| {
+            assert_eq!(view.d, &d[..]);
+            assert_eq!(view.sigma, &sig[..]);
+            assert_eq!(view.delta, &del[..]);
+            false
+        })
+        .unwrap();
+    }
+    // the rolled-back source can be re-added cleanly
+    let (d, sig, del) = sample(n, 11);
+    st.add_source(11, d, sig, del).unwrap();
+    drop(st);
+    let st = DiskBdStore::open(path).unwrap();
+    assert_eq!(st.sources(), vec![7, 3, 11]);
+    assert_eq!(st.last_recovery(), None, "commit left no pending intent");
+}
+
+/// Assert the reopened store contains the torn source with its exact
+/// record.
+fn assert_rolled_forward(path: &PathBuf, n: usize) {
+    let mut st = DiskBdStore::open(path).unwrap();
+    assert_eq!(st.sources(), vec![7, 3, 11]);
+    let (d, sig, del) = sample(n, 11);
+    st.update_with(11, &mut |view| {
+        assert_eq!(view.d, &d[..]);
+        assert_eq!(view.sigma, &sig[..]);
+        assert_eq!(view.delta, &del[..]);
+        false
+    })
+    .unwrap();
+}
+
+fn tear_add(path: &PathBuf, n: usize, crash: AddCrash) {
+    let mut st = DiskBdStore::open(path).unwrap();
+    let (d, sig, del) = sample(n, 11);
+    st.add_source_crashing(11, d, sig, del, crash).unwrap();
+    // dropped without commit — the simulated kill
+}
+
+#[test]
+fn add_source_crash_after_intent_rolls_back() {
+    let n = 6;
+    let path = tmp("add_intent");
+    seeded(&path, n);
+    tear_add(&path, n, AddCrash::AfterIntent);
+    let st = DiskBdStore::open(&path).unwrap();
+    assert_eq!(
+        st.last_recovery(),
+        Some(RecoveryAction::RolledBack(IntentOp::AddSource))
+    );
+    drop(st);
+    assert_rolled_back(&path, n);
+}
+
+#[test]
+fn add_source_crash_mid_record_rolls_back() {
+    let n = 6;
+    let path = tmp("add_midrec");
+    seeded(&path, n);
+    tear_add(&path, n, AddCrash::MidRecord);
+    let st = DiskBdStore::open(&path).unwrap();
+    assert_eq!(
+        st.last_recovery(),
+        Some(RecoveryAction::RolledBack(IntentOp::AddSource)),
+        "a half-written record must never be adopted"
+    );
+    drop(st);
+    assert_rolled_back(&path, n);
+}
+
+#[test]
+fn add_source_crash_after_record_rolls_forward() {
+    let n = 6;
+    let path = tmp("add_rec");
+    seeded(&path, n);
+    tear_add(&path, n, AddCrash::AfterRecord);
+    let st = DiskBdStore::open(&path).unwrap();
+    assert_eq!(
+        st.last_recovery(),
+        Some(RecoveryAction::RolledForward(IntentOp::AddSource)),
+        "a durable record (checksum verified) completes the add"
+    );
+    drop(st);
+    assert_rolled_forward(&path, n);
+}
+
+#[test]
+fn add_source_crash_after_header_rolls_forward() {
+    let n = 6;
+    let path = tmp("add_hdr");
+    seeded(&path, n);
+    tear_add(&path, n, AddCrash::AfterHeader);
+    // this is exactly the formerly fatal state: header and sidecar disagree
+    let st = DiskBdStore::open(&path).unwrap();
+    assert_eq!(
+        st.last_recovery(),
+        Some(RecoveryAction::RolledForward(IntentOp::AddSource))
+    );
+    drop(st);
+    assert_rolled_forward(&path, n);
+}
+
+#[test]
+fn add_source_crash_after_sidecar_rolls_forward() {
+    let n = 6;
+    let path = tmp("add_side");
+    seeded(&path, n);
+    tear_add(&path, n, AddCrash::AfterSidecar);
+    let st = DiskBdStore::open(&path).unwrap();
+    assert_eq!(
+        st.last_recovery(),
+        Some(RecoveryAction::RolledForward(IntentOp::AddSource))
+    );
+    drop(st);
+    assert_rolled_forward(&path, n);
+}
+
+#[test]
+fn torn_intent_record_is_discarded() {
+    let n = 6;
+    let path = tmp("torn_wal");
+    seeded(&path, n);
+    // garbage .wal: the guarded mutation never began
+    let mut wal = path.as_os_str().to_owned();
+    wal.push(".wal");
+    std::fs::write(PathBuf::from(wal), b"EBCWAL\n garbage").unwrap();
+    let st = DiskBdStore::open(&path).unwrap();
+    assert_eq!(st.last_recovery(), Some(RecoveryAction::DiscardedIntent));
+    assert_eq!(st.sources(), vec![7, 3]);
+}
+
+#[test]
+fn reslab_crash_after_intent_rolls_back() {
+    let n = 4;
+    let path = tmp("reslab_intent");
+    {
+        // zero headroom so the next growth must re-slab
+        let mut st = DiskBdStore::create_with_capacity(&path, n, n, CodecKind::Wide).unwrap();
+        let (d, sig, del) = sample(n, 1);
+        st.add_source(0, d, sig, del).unwrap();
+        st.grow_vertex_crashing(RewriteCrash::AfterIntent).unwrap();
+    }
+    let st = DiskBdStore::open(&path).unwrap();
+    assert_eq!(
+        st.last_recovery(),
+        Some(RecoveryAction::RolledBack(IntentOp::Reslab))
+    );
+    assert_eq!(st.n(), n, "growth never became visible");
+    assert_eq!(st.capacity(), n);
+}
+
+#[test]
+fn reslab_crash_after_tmp_rolls_back_and_removes_tmp() {
+    let n = 4;
+    let path = tmp("reslab_tmp");
+    {
+        let mut st = DiskBdStore::create_with_capacity(&path, n, n, CodecKind::Wide).unwrap();
+        let (d, sig, del) = sample(n, 2);
+        st.add_source(0, d, sig, del).unwrap();
+        st.grow_vertex_crashing(RewriteCrash::AfterTmp).unwrap();
+    }
+    assert!(
+        path.with_extension("tmp").exists(),
+        "crash left the tmp file"
+    );
+    let mut st = DiskBdStore::open(&path).unwrap();
+    assert_eq!(
+        st.last_recovery(),
+        Some(RecoveryAction::RolledBack(IntentOp::Reslab))
+    );
+    assert!(!path.with_extension("tmp").exists(), "recovery cleans up");
+    assert_eq!(st.n(), n);
+    let (d, sig, del) = sample(n, 2);
+    st.update_with(0, &mut |view| {
+        assert_eq!(view.d, &d[..]);
+        assert_eq!(view.sigma, &sig[..]);
+        assert_eq!(view.delta, &del[..]);
+        false
+    })
+    .unwrap();
+}
+
+#[test]
+fn reslab_crash_after_rename_rolls_forward() {
+    let n = 4;
+    let path = tmp("reslab_rename");
+    {
+        let mut st = DiskBdStore::create_with_capacity(&path, n, n, CodecKind::Wide).unwrap();
+        let (d, sig, del) = sample(n, 3);
+        st.add_source(0, d, sig, del).unwrap();
+        st.grow_vertex_crashing(RewriteCrash::AfterRename).unwrap();
+    }
+    let mut st = DiskBdStore::open(&path).unwrap();
+    assert_eq!(
+        st.last_recovery(),
+        Some(RecoveryAction::RolledForward(IntentOp::Reslab))
+    );
+    assert_eq!(st.n(), n + 1, "the renamed file carries the grown geometry");
+    assert!(st.capacity() > n + 1);
+    let (d, sig, del) = sample(n, 3);
+    st.update_with(0, &mut |view| {
+        assert_eq!(&view.d[..n], &d[..]);
+        assert_eq!(view.d[n], ebc_graph::UNREACHABLE);
+        assert_eq!(&view.sigma[..n], &sig[..]);
+        assert_eq!(&view.delta[..n], &del[..]);
+        false
+    })
+    .unwrap();
+}
+
+/// Build a legacy v1 file by hand (the documented 24-byte-header layout).
+fn write_v1_file(path: &PathBuf, codec: CodecKind, n: usize, records: &[V1Record]) {
+    let mut data = Vec::new();
+    data.extend_from_slice(b"EBCBD1\n");
+    data.push(codec.id());
+    data.extend_from_slice(&(n as u64).to_le_bytes());
+    data.extend_from_slice(&(records.len() as u64).to_le_bytes());
+    let mut buf = vec![0u8; codec.record_size(n)];
+    for (_, d, sig, del) in records {
+        codec.encode_record(d, sig, del, &mut buf);
+        data.extend_from_slice(&buf);
+    }
+    std::fs::write(path, data).unwrap();
+    let mut idx = Vec::new();
+    idx.extend_from_slice(&(records.len() as u64).to_le_bytes());
+    for (s, ..) in records {
+        idx.extend_from_slice(&s.to_le_bytes());
+    }
+    let mut sidecar = path.as_os_str().to_owned();
+    sidecar.push(".idx");
+    std::fs::write(PathBuf::from(sidecar), idx).unwrap();
+}
+
+#[test]
+fn migration_crash_before_rename_leaves_readable_v1() {
+    let n = 5;
+    let path = tmp("migrate_tear");
+    let (d, sig, del) = sample(n, 4);
+    write_v1_file(&path, CodecKind::Wide, n, &[(2, d.clone(), sig, del)]);
+    {
+        let mut st = DiskBdStore::open(&path).unwrap();
+        assert_eq!(st.version(), FormatVersion::V1);
+        st.grow_vertex_crashing(RewriteCrash::AfterTmp).unwrap();
+    }
+    let mut st = DiskBdStore::open(&path).unwrap();
+    assert_eq!(
+        st.last_recovery(),
+        Some(RecoveryAction::RolledBack(IntentOp::Migrate))
+    );
+    assert_eq!(st.version(), FormatVersion::V1, "still the old format");
+    assert_eq!(st.peek_pair(2, 0, 1).unwrap(), (d[0], d[1]));
+}
+
+#[test]
+fn migration_crash_after_rename_completes_v2() {
+    let n = 5;
+    let path = tmp("migrate_fwd");
+    let (d, sig, del) = sample(n, 5);
+    write_v1_file(
+        &path,
+        CodecKind::Wide,
+        n,
+        &[(2, d.clone(), sig.clone(), del.clone())],
+    );
+    {
+        let mut st = DiskBdStore::open(&path).unwrap();
+        st.grow_vertex_crashing(RewriteCrash::AfterRename).unwrap();
+    }
+    let mut st = DiskBdStore::open(&path).unwrap();
+    assert_eq!(
+        st.last_recovery(),
+        Some(RecoveryAction::RolledForward(IntentOp::Migrate))
+    );
+    assert_eq!(st.version(), FormatVersion::V2);
+    assert!(st.headroom() > 0);
+    st.update_with(2, &mut |view| {
+        assert_eq!(view.d, &d[..]);
+        assert_eq!(view.sigma, &sig[..]);
+        assert_eq!(view.delta, &del[..]);
+        false
+    })
+    .unwrap();
+}
+
+#[test]
+fn double_crash_recovery_is_idempotent() {
+    // recover, then crash the *next* mutation too: each reopen must repair
+    // independently
+    let n = 6;
+    let path = tmp("double");
+    seeded(&path, n);
+    tear_add(&path, n, AddCrash::AfterHeader);
+    {
+        let st = DiskBdStore::open(&path).unwrap();
+        assert!(matches!(
+            st.last_recovery(),
+            Some(RecoveryAction::RolledForward(IntentOp::AddSource))
+        ));
+    }
+    {
+        let mut st = DiskBdStore::open(&path).unwrap();
+        let (d, sig, del) = sample(n, 12);
+        st.add_source_crashing(12, d, sig, del, AddCrash::MidRecord)
+            .unwrap();
+    }
+    let st = DiskBdStore::open(&path).unwrap();
+    assert_eq!(
+        st.last_recovery(),
+        Some(RecoveryAction::RolledBack(IntentOp::AddSource))
+    );
+    assert_eq!(st.sources(), vec![7, 3, 11]);
+}
+
+#[test]
+fn stale_intent_with_clean_files_is_harmless() {
+    // AfterSidecar tear twice in a row exercises the "sidecar already new"
+    // branch; a second reopen after recovery sees no intent at all
+    let n = 6;
+    let path = tmp("stale");
+    seeded(&path, n);
+    tear_add(&path, n, AddCrash::AfterSidecar);
+    {
+        DiskBdStore::open(&path).unwrap();
+    }
+    let st = DiskBdStore::open(&path).unwrap();
+    assert_eq!(
+        st.last_recovery(),
+        None,
+        "first recovery cleared the intent"
+    );
+    assert_eq!(st.sources(), vec![7, 3, 11]);
+}
+
+#[test]
+fn unrecoverable_states_still_error() {
+    // no intent + header/sidecar disagreement must stay a hard error (it
+    // cannot be attributed to a known torn mutation)
+    let n = 6;
+    let path = tmp("hard_err");
+    seeded(&path, n);
+    let mut sidecar = path.as_os_str().to_owned();
+    sidecar.push(".idx");
+    let mut idx = std::fs::read(PathBuf::from(sidecar.clone())).unwrap();
+    idx[0] += 1; // count 2 → 3 without any intent
+    std::fs::write(PathBuf::from(sidecar), idx).unwrap();
+    assert!(matches!(DiskBdStore::open(&path), Err(BdError::Corrupt(_))));
+}

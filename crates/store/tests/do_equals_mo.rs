@@ -2,11 +2,15 @@
 //! the in-memory (MO) one — same kernel, different storage. This is the
 //! correctness half of the paper's Figure 5 comparison.
 
+use ebc_core::bd::BdStore;
+use ebc_core::brandes::{single_source_update_with, BrandesScratch};
+use ebc_core::scores::Scores;
 use ebc_core::state::{BetweennessState, Update};
 use ebc_core::verify::assert_matches_scratch;
 use ebc_core::UpdateConfig;
 use ebc_graph::Graph;
-use ebc_store::{CodecKind, DiskBdStore};
+use ebc_store::disk::AddCrash;
+use ebc_store::{CodecKind, DiskBdStore, IntentOp, RecoveryAction};
 
 fn ring_with_chords(n: u32) -> Graph {
     let mut g = Graph::with_vertices(n as usize);
@@ -69,6 +73,90 @@ fn disk_backed_state_handles_new_vertices() {
     st.apply(Update::add(3, 12)).unwrap(); // vertex 12 arrives, file is rewritten
     st.apply(Update::add(12, 7)).unwrap();
     assert_matches_scratch(st.graph(), st.scores(), 1e-6, "after growth");
+}
+
+/// Bootstrap `g` into a fresh disk store at `path`, tearing the very last
+/// `add_source` at `crash` (simulated kill).
+fn bootstrap_torn(g: &Graph, path: &std::path::Path, crash: AddCrash) {
+    let mut store = DiskBdStore::create(path, g.n(), CodecKind::Wide).unwrap();
+    let mut scores = Scores::zeros_for(g);
+    let mut scratch = BrandesScratch::new(g.n());
+    let last = (g.n() - 1) as u32;
+    for s in 0..last {
+        let r = single_source_update_with(g, s, &mut scores, &mut scratch);
+        store.add_source(s, r.d, r.sigma, r.delta).unwrap();
+    }
+    let r = single_source_update_with(g, last, &mut scores, &mut scratch);
+    store
+        .add_source_crashing(last, r.d, r.sigma, r.delta, crash)
+        .unwrap();
+}
+
+fn drive_and_compare(g: &Graph, mut dob: BetweennessState<DiskBdStore>) {
+    let mut mo = BetweennessState::init(g);
+    // resumed scores come from the exact reduction; MO's incremental ones
+    // agree up to floating-point summation order
+    assert!(mo.scores().max_vbc_diff(dob.scores()) < 1e-9);
+    let script = [
+        Update::add(0, 9),
+        Update::remove(1, 2),
+        Update::add(4, 15),
+        Update::remove(0, 1),
+    ];
+    for (i, u) in script.into_iter().enumerate() {
+        mo.apply(u).unwrap();
+        dob.apply(u).unwrap();
+        let ctx = format!("recovered step {i}");
+        assert_matches_scratch(dob.graph(), dob.scores(), 1e-6, &ctx);
+        assert!(
+            mo.scores().max_vbc_diff(dob.scores()) < 1e-9,
+            "{ctx}: MO and recovered DO diverged"
+        );
+        assert!(
+            mo.scores().max_ebc_diff(dob.scores(), mo.graph()) < 1e-9,
+            "{ctx}: EBC"
+        );
+    }
+}
+
+#[test]
+fn store_torn_mid_add_source_recovers_forward_and_matches_mo() {
+    let g = ring_with_chords(20);
+    let path = tmp("do_recover_fwd.dat");
+    bootstrap_torn(&g, &path, AddCrash::AfterRecord);
+    let store = DiskBdStore::open(&path).unwrap();
+    assert_eq!(
+        store.last_recovery(),
+        Some(RecoveryAction::RolledForward(IntentOp::AddSource))
+    );
+    assert_eq!(store.num_sources(), g.n(), "the durable record was adopted");
+    let dob = BetweennessState::resume(g.clone(), store, UpdateConfig::default()).unwrap();
+    drive_and_compare(&g, dob);
+}
+
+#[test]
+fn store_torn_mid_add_source_recovers_back_and_matches_mo() {
+    let g = ring_with_chords(20);
+    let path = tmp("do_recover_back.dat");
+    bootstrap_torn(&g, &path, AddCrash::MidRecord);
+    let mut store = DiskBdStore::open(&path).unwrap();
+    assert_eq!(
+        store.last_recovery(),
+        Some(RecoveryAction::RolledBack(IntentOp::AddSource))
+    );
+    assert_eq!(
+        store.num_sources(),
+        g.n() - 1,
+        "the torn record was dropped"
+    );
+    // redo the lost bootstrap iteration, then everything must line up
+    let mut scores = Scores::zeros_for(&g);
+    let mut scratch = BrandesScratch::new(g.n());
+    let last = (g.n() - 1) as u32;
+    let r = single_source_update_with(&g, last, &mut scores, &mut scratch);
+    store.add_source(last, r.d, r.sigma, r.delta).unwrap();
+    let dob = BetweennessState::resume(g.clone(), store, UpdateConfig::default()).unwrap();
+    drive_and_compare(&g, dob);
 }
 
 #[test]

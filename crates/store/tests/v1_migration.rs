@@ -1,0 +1,200 @@
+//! Backward compatibility: legacy v1 files (fixed layout, 24-byte header)
+//! must stay readable, and the first write-capable operation must migrate
+//! them to the v2 slab layout with every record's live prefix preserved
+//! **bit-identically**.
+
+use ebc_core::bd::BdStore;
+use ebc_graph::UNREACHABLE;
+use ebc_store::{CodecKind, DiskBdStore, FormatVersion};
+use proptest::prelude::*;
+use std::path::PathBuf;
+
+/// One v1 record: `(source id, d, sigma, delta)`.
+type V1Record = (u32, Vec<u32>, Vec<u64>, Vec<f64>);
+
+fn tmp(tag: &str, case: u64) -> PathBuf {
+    let dir = std::env::temp_dir().join("ebc_store_migration");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{tag}_{case}_{}.bd", std::process::id()))
+}
+
+/// Hand-write a legacy v1 store (the documented pre-slab format): 24-byte
+/// header, records at stride `record_size(n)`, plain sidecar.
+fn write_v1_file(path: &PathBuf, codec: CodecKind, n: usize, records: &[V1Record]) {
+    let mut data = Vec::new();
+    data.extend_from_slice(b"EBCBD1\n");
+    data.push(codec.id());
+    data.extend_from_slice(&(n as u64).to_le_bytes());
+    data.extend_from_slice(&(records.len() as u64).to_le_bytes());
+    let mut buf = vec![0u8; codec.record_size(n)];
+    for (_, d, sig, del) in records {
+        codec.encode_record(d, sig, del, &mut buf);
+        data.extend_from_slice(&buf);
+    }
+    std::fs::write(path, data).unwrap();
+    let mut idx = Vec::new();
+    idx.extend_from_slice(&(records.len() as u64).to_le_bytes());
+    for (s, ..) in records {
+        idx.extend_from_slice(&s.to_le_bytes());
+    }
+    let mut sidecar = path.as_os_str().to_owned();
+    sidecar.push(".idx");
+    std::fs::write(PathBuf::from(sidecar), idx).unwrap();
+}
+
+fn record_strategy(n: usize) -> impl Strategy<Value = (Vec<u32>, Vec<u64>, Vec<f64>)> {
+    (
+        proptest::collection::vec(prop_oneof![3 => 0u32..1000, 1 => Just(UNREACHABLE)], n..=n),
+        proptest::collection::vec(any::<u64>(), n..=n),
+        proptest::collection::vec(-1e12f64..1e12, n..=n),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// v1 → open (still v1, readable) → first write migrates → reopen as
+    /// v2: every record's live prefix survives bit-identically, and the
+    /// migrated store has usable growth headroom.
+    #[test]
+    fn v1_records_roundtrip_migration_bit_identically(
+        case in any::<u64>(),
+        records in proptest::collection::vec(record_strategy(9), 1..6),
+    ) {
+        let n = 9;
+        let path = tmp("prop", case);
+        let recs: Vec<V1Record> = records
+            .into_iter()
+            .enumerate()
+            .map(|(i, (d, s, del))| (i as u32 * 3, d, s, del))
+            .collect();
+        write_v1_file(&path, CodecKind::Wide, n, &recs);
+
+        // pure reads do not migrate
+        let mut st = DiskBdStore::open(&path).unwrap();
+        prop_assert_eq!(st.version(), FormatVersion::V1);
+        prop_assert_eq!(st.capacity(), n, "v1 has no headroom");
+        for (s, d, ..) in &recs {
+            let (a, b) = st.peek_pair(*s, 0, (n - 1) as u32).unwrap();
+            prop_assert_eq!(a, d[0]);
+            prop_assert_eq!(b, d[n - 1]);
+        }
+        prop_assert_eq!(st.version(), FormatVersion::V1, "peeks must not migrate");
+
+        // first write-capable op migrates the whole file once
+        st.update_with(recs[0].0, &mut |_| false).unwrap();
+        prop_assert_eq!(st.version(), FormatVersion::V2);
+        prop_assert!(st.headroom() > 0);
+        drop(st);
+
+        // reopen: clean v2 file, every record bit-identical
+        let mut st = DiskBdStore::open(&path).unwrap();
+        prop_assert_eq!(st.version(), FormatVersion::V2);
+        prop_assert_eq!(st.last_recovery(), None);
+        prop_assert_eq!(st.n(), n);
+        prop_assert_eq!(st.sources(), recs.iter().map(|r| r.0).collect::<Vec<_>>());
+        for (s, d, sig, del) in &recs {
+            st.update_with(*s, &mut |view| {
+                assert_eq!(view.d, &d[..]);
+                assert_eq!(view.sigma, &sig[..]);
+                assert_eq!(view.delta, &del[..]);
+                false
+            })
+            .unwrap();
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+#[test]
+fn migrated_store_grows_in_o1_and_accepts_updates() {
+    let n = 4;
+    let path = tmp("grow", 0);
+    let d = vec![0, 1, 2, UNREACHABLE];
+    let sig = vec![1, 1, 2, 0];
+    let del = vec![0.5, 0.0, 1.25, 0.0];
+    write_v1_file(&path, CodecKind::Wide, n, &[(5, d.clone(), sig, del)]);
+    let mut st = DiskBdStore::open(&path).unwrap();
+    // grow on a v1 store: migrates (one rewrite), then the growth itself is
+    // a pure header update against the fresh headroom
+    st.grow_vertex().unwrap();
+    assert_eq!(st.version(), FormatVersion::V2);
+    assert_eq!(st.n(), n + 1);
+    let written = st.bytes_written;
+    st.grow_vertex().unwrap();
+    assert_eq!(st.bytes_written, written, "second growth is O(1)");
+    st.update_with(5, &mut |view| {
+        assert_eq!(&view.d[..n], &d[..]);
+        assert_eq!(&view.d[n..], &[UNREACHABLE, UNREACHABLE]);
+        view.delta[5] = 9.0;
+        true
+    })
+    .unwrap();
+}
+
+#[test]
+fn paper_codec_v1_files_migrate_too() {
+    let n = 6;
+    let path = tmp("paper", 0);
+    let d = vec![0, 1, 2, 254, UNREACHABLE, 3];
+    let sig = vec![1, 2, 65_534, 7, 0, 9];
+    let del = vec![0.0, -1.5, 2.25, 1e-3, 0.0, 4.0];
+    write_v1_file(
+        &path,
+        CodecKind::Paper,
+        n,
+        &[(0, d.clone(), sig.clone(), del.clone())],
+    );
+    let mut st = DiskBdStore::open(&path).unwrap();
+    assert_eq!(st.codec(), CodecKind::Paper);
+    st.update_with(0, &mut |view| {
+        assert_eq!(view.d, &d[..]);
+        assert_eq!(view.sigma, &sig[..]);
+        assert_eq!(view.delta, &del[..]);
+        false
+    })
+    .unwrap();
+    assert_eq!(st.version(), FormatVersion::V2);
+    drop(st);
+    let mut st = DiskBdStore::open(&path).unwrap();
+    st.update_with(0, &mut |view| {
+        assert_eq!(view.d, &d[..]);
+        false
+    })
+    .unwrap();
+}
+
+#[test]
+fn v1_batch_update_migrates_then_coalesces() {
+    let n = 5;
+    let path = tmp("batch", 0);
+    let recs: Vec<V1Record> = (0..4u32)
+        .map(|s| {
+            let mut d = vec![1u32; n];
+            d[0] = 0;
+            d[1] = 2;
+            (s, d, vec![1; n], vec![0.0; n])
+        })
+        .collect();
+    write_v1_file(&path, CodecKind::Wide, n, &recs);
+    let mut st = DiskBdStore::open(&path).unwrap();
+    let sources = st.sources();
+    let stats = st
+        .update_batch(&sources, 0, 1, &mut |s, view| {
+            view.delta[0] = s as f64 + 1.0;
+            true
+        })
+        .unwrap();
+    assert_eq!(stats.processed, 4);
+    assert_eq!(stats.written, 4);
+    assert_eq!(st.version(), FormatVersion::V2);
+    drop(st);
+    let mut st = DiskBdStore::open(&path).unwrap();
+    for s in 0..4u32 {
+        st.update_with(s, &mut |view| {
+            assert_eq!(view.delta[0], s as f64 + 1.0);
+            false
+        })
+        .unwrap();
+    }
+}

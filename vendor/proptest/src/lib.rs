@@ -275,7 +275,7 @@ pub mod collection {
         }
     }
 
-    /// Strategy returned by [`vec`].
+    /// Strategy returned by [`fn@vec`].
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,
