@@ -92,6 +92,21 @@ pub struct BatchStats {
     pub written: u64,
 }
 
+/// One source's full `BD[s]` record serialized out of a store by
+/// [`BdStore::export_source`] — the unit of data a shard handoff moves
+/// between machines.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExportedRecord {
+    /// The source the record belongs to.
+    pub source: VertexId,
+    /// Distances from the source.
+    pub d: Vec<u32>,
+    /// Shortest-path counts from the source.
+    pub sigma: Vec<u64>,
+    /// Accumulated dependencies `δ_s(·)`.
+    pub delta: Vec<f64>,
+}
+
 /// Storage contract for the per-source `BD[s]` records of one partition.
 pub trait BdStore: Send {
     /// Number of vertex slots in every record.
@@ -156,6 +171,49 @@ pub trait BdStore: Send {
         sigma: Vec<u64>,
         delta: Vec<f64>,
     ) -> BdResult<()>;
+
+    /// Unregister source `s` and drop its record — the store no longer
+    /// answers for it. Slot compaction is backend-specific; the surviving
+    /// sources and their records must be unaffected.
+    fn remove_source(&mut self, s: VertexId) -> BdResult<()>;
+
+    /// Serialize source `s`'s record out of the store and unregister it —
+    /// the donor half of a shard handoff.
+    ///
+    /// `tag` is an opaque caller token travelling with the export (the
+    /// sharded layer passes the recipient shard id). Backends with a crash
+    /// story persist the payload and the tag durably *before* removing the
+    /// source, so a kill between the removal here and the installation in
+    /// the recipient store can be rolled forward from the journal; once the
+    /// handoff has committed elsewhere the journal is discarded via
+    /// [`BdStore::retire_export`]. This default implementation (in-memory
+    /// backends) reads and removes without journaling.
+    fn export_source(&mut self, s: VertexId, tag: u64) -> BdResult<ExportedRecord> {
+        let _ = tag;
+        let (mut d, mut sigma, mut delta) = (Vec::new(), Vec::new(), Vec::new());
+        self.update_with(s, &mut |view| {
+            d = view.d.to_vec();
+            sigma = view.sigma.to_vec();
+            delta = view.delta.to_vec();
+            false
+        })?;
+        self.remove_source(s)?;
+        Ok(ExportedRecord {
+            source: s,
+            d,
+            sigma,
+            delta,
+        })
+    }
+
+    /// Discard any durable export journal [`BdStore::export_source`] left
+    /// for `s`, once the handoff has committed on the recipient side. No-op
+    /// for backends without one; discarding a journal that does not exist
+    /// must succeed.
+    fn retire_export(&mut self, s: VertexId) -> BdResult<()> {
+        let _ = s;
+        Ok(())
+    }
 }
 
 /// Fully in-memory `BD` store — the paper's *MO* configuration.
@@ -250,6 +308,19 @@ impl BdStore for MemoryBdStore {
         self.d.push(d);
         self.sigma.push(sigma);
         self.delta.push(delta);
+        Ok(())
+    }
+
+    fn remove_source(&mut self, s: VertexId) -> BdResult<()> {
+        let slot = self.slot(s)?;
+        self.index.remove(&s);
+        self.order.swap_remove(slot);
+        self.d.swap_remove(slot);
+        self.sigma.swap_remove(slot);
+        self.delta.swap_remove(slot);
+        if let Some(&moved) = self.order.get(slot) {
+            self.index.insert(moved, slot);
+        }
         Ok(())
     }
 }
@@ -378,5 +449,47 @@ mod tests {
         let st = store_with_two_sources();
         assert_eq!(st.sources(), vec![0, 1]);
         assert_eq!(st.num_sources(), 2);
+    }
+
+    #[test]
+    fn remove_source_compacts_and_preserves_survivors() {
+        let mut st = store_with_two_sources();
+        st.add_source(2, vec![2, 1, 0], vec![1, 1, 1], vec![0.5, 0.25, 0.0])
+            .unwrap();
+        st.remove_source(0).unwrap();
+        assert_eq!(st.sources(), vec![2, 1], "swap-remove order");
+        assert!(matches!(
+            st.peek_pair(0, 0, 1),
+            Err(BdError::UnknownSource(0))
+        ));
+        // survivors keep their exact records
+        assert_eq!(st.peek_pair(1, 0, 2).unwrap(), (1, 1));
+        assert_eq!(st.peek_pair(2, 0, 2).unwrap(), (2, 0));
+        // removing the last slot needs no index fixup
+        st.remove_source(1).unwrap();
+        assert_eq!(st.sources(), vec![2]);
+        assert!(matches!(
+            st.remove_source(9),
+            Err(BdError::UnknownSource(9))
+        ));
+    }
+
+    #[test]
+    fn export_source_hands_back_the_record_and_removes_it() {
+        let mut st = store_with_two_sources();
+        let rec = st.export_source(0, 7).unwrap();
+        assert_eq!(rec.source, 0);
+        assert_eq!(rec.d, vec![0, 1, 2]);
+        assert_eq!(rec.sigma, vec![1, 1, 1]);
+        assert_eq!(rec.delta, vec![2.0, 1.0, 0.0]);
+        assert_eq!(st.sources(), vec![1], "export removes the source");
+        // re-importing on another store round-trips
+        let mut other = MemoryBdStore::new(3);
+        other
+            .add_source(rec.source, rec.d, rec.sigma, rec.delta)
+            .unwrap();
+        assert_eq!(other.peek_pair(0, 1, 2).unwrap(), (1, 2));
+        // retiring an export that left no journal is a no-op
+        st.retire_export(0).unwrap();
     }
 }

@@ -169,6 +169,26 @@ pub fn tree_segments(
     Ok(out)
 }
 
+/// Canonical segments of an **arbitrary** owned-source set — a shard's view
+/// of the source→shard map: sort the membership list, group it into maximal
+/// contiguous runs, and decompose each run into fixed-tree segments.
+///
+/// Shard handoffs make owned sets non-contiguous (a shard can own
+/// `{0..5, 17, 23}` after a rebalance), so segment derivation must start
+/// from the membership list itself, never from an assumed contiguous
+/// bootstrap range: the fixed tree guarantees the assembled root is bitwise
+/// identical for *any* disjoint cover of `[0, n)`, contiguous or not.
+pub fn tree_segments_of(
+    sources: &[VertexId],
+    n: usize,
+    shape: (usize, usize),
+    leaf: LeafFn<'_>,
+) -> BdResult<Vec<TreeSegment>> {
+    let mut sorted = sources.to_vec();
+    sorted.sort_unstable();
+    tree_segments(&contiguous_runs(&sorted), n, shape, leaf)
+}
+
 /// Group a sorted list of source ids into maximal contiguous runs (the input
 /// to [`tree_segments`]).
 pub fn contiguous_runs(sorted: &[VertexId]) -> Vec<Range<u32>> {
@@ -333,6 +353,33 @@ mod tests {
             assemble(doubled, n, shape).is_none(),
             "overlap not detected"
         );
+    }
+
+    #[test]
+    fn scattered_ownership_assembles_to_the_same_bits() {
+        // a handoff-shaped cover: shard A owns {0..9} minus {2, 6} plus
+        // {13}, shard B owns the complement — still bit-identical
+        let g = ring_with_chords(18);
+        let mut st = BetweennessState::init(&g);
+        st.apply(Update::add(0, 7)).unwrap();
+        let reference = st.exact_scores().unwrap();
+        let (g2, n) = (st.graph().clone(), st.graph().n());
+        let shape = (n, g2.edge_slots());
+        let a: Vec<u32> = (0..9).filter(|s| *s != 2 && *s != 6).chain([13]).collect();
+        let b: Vec<u32> = (0..n as u32).filter(|s| !a.contains(s)).collect();
+        let mut segments = Vec::new();
+        for owned in [a, b] {
+            let mut leaf = |s: VertexId, out: &mut Scores| -> BdResult<()> {
+                st.store_mut().update_with(s, &mut |view| {
+                    source_contribution(&g2, s, view.d, view.sigma, view.delta, out);
+                    false
+                })?;
+                Ok(())
+            };
+            segments.extend(tree_segments_of(&owned, n, shape, &mut leaf).unwrap());
+        }
+        let total = assemble(segments, n, shape).expect("complete cover");
+        assert_eq!(bits(&total), bits(&reference), "scattered cover diverged");
     }
 
     #[test]

@@ -11,12 +11,15 @@
 //! Workers are **persistent threads** (see the private `pool` module) spawned once at
 //! bootstrap and driven over channels, so the steady-state update path pays
 //! one channel round-trip per worker instead of a thread spawn. The
-//! coordinator keeps its own *validation replica* of the graph plus an
-//! [`AdoptionLedger`], and never touches worker-owned state: graph
-//! mutations are validated locally before dispatch (making worker-side
-//! graph errors impossible by construction), adoption decisions come from
-//! the ledger, and post-update facts such as edge-slot growth travel back
-//! in the [`ApplyReport`] replies.
+//! coordinator keeps its own *validation replica* of the graph plus a
+//! versioned [`ShardMap`] — the single ownership authority for bootstrap
+//! partitioning, adoption of arriving vertices, and rebalance handoffs —
+//! and never touches worker-owned state: graph mutations are validated
+//! locally before dispatch (making worker-side graph errors impossible by
+//! construction), ownership decisions come from the map, and post-update
+//! facts such as edge-slot growth travel back in the [`ApplyReport`]
+//! replies. [`ClusterEngine::rebalance`] executes the map's deterministic
+//! plans through the pool's `Export`/`Import` handoff commands.
 //!
 //! Two reduce paths are offered:
 //!
@@ -29,8 +32,8 @@
 //!   [`ebc_core::exact`]: bitwise identical across worker counts, store
 //!   backends, and the single-machine [`ebc_core::state::BetweennessState`].
 
-use crate::partition::{partition_ranges, AdoptionLedger};
 use crate::pool::{ApplyEcho, Command, Reply, WorkerPool};
+use crate::shardmap::{ShardMap, ShardMapError, SourceMove};
 use ebc_core::bd::{BdError, BdStore, MemoryBdStore};
 use ebc_core::exact::assemble;
 use ebc_core::incremental::UpdateConfig;
@@ -52,6 +55,9 @@ pub enum EngineError {
     Store(BdError),
     /// An addition referenced a vertex more than one past the maximum id.
     SparseVertex(VertexId),
+    /// A handoff request violated the shard map's ownership rules.
+    /// Rejected before dispatch; the engine stays usable.
+    Shard(ShardMapError),
     /// A worker thread died (panic or channel loss). The engine is poisoned.
     WorkerLost(usize),
     /// The engine (or one of its workers) failed earlier; the state is no
@@ -65,6 +71,7 @@ impl fmt::Display for EngineError {
             EngineError::Graph(e) => write!(f, "graph error: {e}"),
             EngineError::Store(e) => write!(f, "store error: {e}"),
             EngineError::SparseVertex(v) => write!(f, "vertex {v} skips ids"),
+            EngineError::Shard(e) => write!(f, "shard map error: {e}"),
             EngineError::WorkerLost(w) => write!(f, "worker {w} thread lost"),
             EngineError::Poisoned(why) => write!(f, "engine poisoned: {why}"),
         }
@@ -85,6 +92,24 @@ impl From<BdError> for EngineError {
     }
 }
 
+impl From<ShardMapError> for EngineError {
+    fn from(e: ShardMapError) -> Self {
+        EngineError::Shard(e)
+    }
+}
+
+/// Outcome of one [`ClusterEngine::rebalance`] call.
+#[derive(Debug, Clone)]
+pub struct RebalanceReport {
+    /// The executed handoffs, in order (empty when the skew was already
+    /// within the threshold).
+    pub moves: Vec<SourceMove>,
+    /// The effective threshold (requests below 1 are clamped up).
+    pub threshold: usize,
+    /// Map version after the last committed move.
+    pub map_version: u64,
+}
+
 /// Timing breakdown of one parallel update (the quantities of §5.3).
 #[derive(Debug, Clone)]
 pub struct ApplyReport {
@@ -96,7 +121,7 @@ pub struct ApplyReport {
     /// paper compares against Brandes in Figure 6).
     pub cumulative: Duration,
     /// Worker that adopted a newly arrived vertex, if the update grew the
-    /// graph (the pinned rule of [`AdoptionLedger`]).
+    /// graph (the pinned rule of [`ShardMap::adopt`]).
     pub adopter: Option<usize>,
 }
 
@@ -118,7 +143,9 @@ pub struct ClusterEngine<S: BdStore = MemoryBdStore> {
     /// Coordinator-side replica used to validate updates before dispatch and
     /// to answer shape queries; evolves in lockstep with worker replicas.
     replica: Graph,
-    ledger: AdoptionLedger,
+    /// The source→shard ownership authority; mirrors the workers' store
+    /// membership move for move.
+    map: ShardMap,
     /// First unrecoverable failure; sticky.
     dead: Option<String>,
     _store: PhantomData<fn() -> S>,
@@ -145,19 +172,17 @@ impl<S: BdStore + 'static> ClusterEngine<S> {
         mut store_factory: impl FnMut(usize, usize) -> Result<S, EngineError>,
     ) -> Result<Self, EngineError> {
         let n = graph.n();
-        let ranges = partition_ranges(n, p);
-        let mut stores = Vec::with_capacity(ranges.len());
-        for (id, _) in ranges.iter().enumerate() {
+        // the map's bootstrap layout is bit-identical to partition_ranges
+        let map = ShardMap::bootstrap(n, p);
+        let p = map.num_shards();
+        let mut stores = Vec::with_capacity(p);
+        for id in 0..p {
             stores.push(store_factory(id, n)?);
         }
         let pool = WorkerPool::spawn(graph, cfg, stores);
-        for (worker, range) in ranges.iter().enumerate() {
-            pool.send(
-                worker,
-                Command::Bootstrap {
-                    sources: range.clone(),
-                },
-            )?;
+        for worker in 0..p {
+            let sources = map.sources_of(worker).to_vec();
+            pool.send(worker, Command::Bootstrap { sources })?;
         }
         let mut first_err = None;
         for worker in 0..pool.len() {
@@ -177,7 +202,7 @@ impl<S: BdStore + 'static> ClusterEngine<S> {
         Ok(ClusterEngine {
             pool,
             replica: graph.clone(),
-            ledger: AdoptionLedger::new(n, ranges.len()),
+            map,
             dead: None,
             _store: PhantomData,
         })
@@ -199,14 +224,19 @@ impl<S: BdStore + 'static> ClusterEngine<S> {
         &self.replica
     }
 
-    /// Per-worker owned-source counts (coordinator ledger; sums to `n`).
+    /// Per-worker owned-source counts (coordinator map; sums to `n`).
     pub fn source_counts(&self) -> &[usize] {
-        self.ledger.counts()
+        self.map.counts()
     }
 
     /// Sum of per-worker source counts (sanity: equals current n).
     pub fn total_sources(&self) -> usize {
-        self.ledger.total()
+        self.map.total()
+    }
+
+    /// The coordinator's source→shard map (ownership, skew, version).
+    pub fn shard_map(&self) -> &ShardMap {
+        &self.map
     }
 
     fn ensure_live(&self) -> Result<(), EngineError> {
@@ -246,7 +276,12 @@ impl<S: BdStore + 'static> ClusterEngine<S> {
                     // trace; with u != v checked, an add that grows the
                     // graph cannot fail (the new endpoint has no edges yet).
                     self.replica.add_vertex();
-                    adopter = Some(self.ledger.adopt());
+                    match self.map.adopt(hi) {
+                        Ok(k) => adopter = Some(k),
+                        // unreachable by construction (hi == n is fresh);
+                        // an owned id here means map and replica diverged
+                        Err(e) => return Err(self.poison(EngineError::Shard(e))),
+                    }
                 }
                 if let Err(e) = self.replica.add_edge(u, v) {
                     if adopter.is_some() {
@@ -372,6 +407,101 @@ impl<S: BdStore + 'static> ClusterEngine<S> {
             Some(e) => Err(e),
             None => Ok(reports),
         }
+    }
+
+    /// Execute one source handoff through the worker pool: the donor
+    /// exports (journal + removal inside its private store), the recipient
+    /// imports, the map commits, and the donor's export journal is retired
+    /// — the live rendition of the `ebc-store` `ShardSet` protocol.
+    /// Ownership violations are rejected before any worker is touched;
+    /// worker-side failures poison the engine (the move may be
+    /// half-applied).
+    fn execute_move(&mut self, mv: SourceMove) -> Result<(), EngineError> {
+        let p = self.pool.len();
+        if mv.from >= p || mv.to >= p || mv.from == mv.to {
+            return Err(EngineError::Shard(ShardMapError::BadShard(
+                mv.to.max(mv.from),
+            )));
+        }
+        match self.map.owner_of(mv.source) {
+            Some(k) if k == mv.from => {}
+            _ => {
+                return Err(EngineError::Shard(ShardMapError::NotOwnedBy(
+                    mv.source, mv.from,
+                )))
+            }
+        }
+        let export = Command::Export {
+            source: mv.source,
+            tag: mv.to as u64,
+        };
+        if let Err(e) = self.pool.send(mv.from, export) {
+            return Err(self.poison(e));
+        }
+        let record = match self.pool.recv(mv.from) {
+            Ok(Reply::Exported(r)) => match *r {
+                Ok(rec) => rec,
+                Err(e) => return Err(self.poison(e)),
+            },
+            Ok(_) => return Err(self.poison(protocol_error(mv.from))),
+            Err(e) => return Err(self.poison(e)),
+        };
+        if let Err(e) = self.pool.send(mv.to, Command::Import { record }) {
+            return Err(self.poison(e));
+        }
+        match self.pool.recv(mv.to) {
+            Ok(Reply::Imported(Ok(()))) => {}
+            Ok(Reply::Imported(Err(e))) => return Err(self.poison(e)),
+            Ok(_) => return Err(self.poison(protocol_error(mv.to))),
+            Err(e) => return Err(self.poison(e)),
+        }
+        // map commit, then retire the donor's export journal (same order as
+        // the at-rest protocol: commit before cleanup)
+        if let Err(e) = self.map.apply_move(&mv) {
+            return Err(self.poison(EngineError::Shard(e)));
+        }
+        let retire = Command::Retire { source: mv.source };
+        if let Err(e) = self.pool.send(mv.from, retire) {
+            return Err(self.poison(e));
+        }
+        match self.pool.recv(mv.from) {
+            Ok(Reply::Retired(Ok(()))) => Ok(()),
+            Ok(Reply::Retired(Err(e))) => Err(self.poison(e)),
+            Ok(_) => Err(self.poison(protocol_error(mv.from))),
+            Err(e) => Err(self.poison(e)),
+        }
+    }
+
+    /// Hand one source to the given worker (an explicit, out-of-plan move —
+    /// e.g. draining a machine). Scores are unaffected: the exact reduce is
+    /// bitwise invariant to ownership, and the fast reduce's partial sums
+    /// still cover every source exactly once.
+    pub fn handoff(&mut self, source: VertexId, to: usize) -> Result<(), EngineError> {
+        self.ensure_live()?;
+        let from = self
+            .map
+            .owner_of(source)
+            .ok_or(EngineError::Shard(ShardMapError::Unowned(source)))?;
+        self.execute_move(SourceMove { source, from, to })
+    }
+
+    /// Restore the owned-source skew invariant: compute the map's
+    /// deterministic plan for `threshold` (see
+    /// [`ShardMap::plan_rebalance`]) and execute it move by move through
+    /// the pool's handoff path. After success `max − min ≤ threshold`
+    /// across workers, and the map version has advanced once per move.
+    pub fn rebalance(&mut self, threshold: usize) -> Result<RebalanceReport, EngineError> {
+        self.ensure_live()?;
+        let plan = self.map.plan_rebalance(threshold);
+        for &mv in &plan.moves {
+            self.execute_move(mv)?;
+        }
+        debug_assert!(self.map.skew() <= plan.threshold);
+        Ok(RebalanceReport {
+            moves: plan.moves,
+            threshold: plan.threshold,
+            map_version: self.map.version(),
+        })
     }
 
     /// Reduce phase (the paper's `t_M`): fold the per-worker incremental
@@ -633,5 +763,100 @@ mod tests {
         cluster.apply(Update::remove(0, 19)).unwrap();
         let exact = cluster.reduce_exact().unwrap();
         assert_matches_scratch(cluster.graph(), &exact, 1e-6, "exact reduce");
+    }
+
+    fn bits(s: &Scores) -> (Vec<u64>, Vec<u64>) {
+        (
+            s.vbc.iter().map(|x| x.to_bits()).collect(),
+            s.ebc.iter().map(|x| x.to_bits()).collect(),
+        )
+    }
+
+    #[test]
+    fn handoff_moves_ownership_without_changing_scores() {
+        let g = holme_kim(24, 3, 0.4, 17);
+        let mut cluster = ClusterEngine::bootstrap(&g, 3).unwrap();
+        cluster.apply(Update::add(0, 24)).unwrap(); // grows: vertex 24
+        let before = cluster.reduce_exact().unwrap();
+        // drain worker 0 entirely onto the others
+        let owned: Vec<u32> = cluster.shard_map().sources_of(0).to_vec();
+        for (i, s) in owned.into_iter().enumerate() {
+            cluster.handoff(s, 1 + i % 2).unwrap();
+        }
+        assert_eq!(cluster.source_counts()[0], 0);
+        assert_eq!(cluster.total_sources(), 25);
+        let after = cluster.reduce_exact().unwrap();
+        assert_eq!(bits(&before), bits(&after), "handoff changed the scores");
+        // the cluster keeps working: updates land on the new owners
+        cluster.apply(Update::add(5, 25)).unwrap();
+        let exact = cluster.reduce_exact().unwrap();
+        assert_matches_scratch(cluster.graph(), &exact, 1e-6, "post-handoff");
+    }
+
+    #[test]
+    fn rebalance_restores_skew_and_is_score_neutral() {
+        let g = holme_kim(20, 2, 0.3, 19);
+        let mut cluster = ClusterEngine::bootstrap(&g, 4).unwrap();
+        // skew: pile everything worker 2 and 3 own onto worker 0
+        for s in cluster.shard_map().sources_of(2).to_vec() {
+            cluster.handoff(s, 0).unwrap();
+        }
+        for s in cluster.shard_map().sources_of(3).to_vec() {
+            cluster.handoff(s, 0).unwrap();
+        }
+        assert_eq!(cluster.shard_map().skew(), 15);
+        let version_before = cluster.shard_map().version();
+        let before = cluster.reduce_exact().unwrap();
+        let report = cluster.rebalance(1).unwrap();
+        assert!(!report.moves.is_empty());
+        assert!(cluster.shard_map().skew() <= 1);
+        assert_eq!(
+            report.map_version,
+            version_before + report.moves.len() as u64
+        );
+        let after = cluster.reduce_exact().unwrap();
+        assert_eq!(bits(&before), bits(&after), "rebalance changed the scores");
+        // idempotent once balanced
+        assert!(cluster.rebalance(1).unwrap().moves.is_empty());
+    }
+
+    #[test]
+    fn invalid_handoffs_rejected_without_poisoning() {
+        let g = holme_kim(12, 2, 0.3, 23);
+        let mut cluster = ClusterEngine::bootstrap(&g, 2).unwrap();
+        assert!(matches!(
+            cluster.handoff(99, 1),
+            Err(EngineError::Shard(ShardMapError::Unowned(99)))
+        ));
+        assert!(matches!(
+            cluster.handoff(0, 7),
+            Err(EngineError::Shard(ShardMapError::BadShard(7)))
+        ));
+        // source 0 lives on worker 0: a self-handoff is rejected too
+        assert!(matches!(
+            cluster.handoff(0, 0),
+            Err(EngineError::Shard(ShardMapError::BadShard(0)))
+        ));
+        // none of that touched a worker: the engine stays healthy
+        cluster.apply(Update::add(0, 12)).unwrap();
+        cluster.handoff(0, 1).unwrap();
+        let exact = cluster.reduce_exact().unwrap();
+        assert_matches_scratch(cluster.graph(), &exact, 1e-6, "after rejects");
+    }
+
+    #[test]
+    fn adoption_and_handoff_share_the_map() {
+        let g = holme_kim(9, 2, 0.3, 29);
+        let mut cluster = ClusterEngine::bootstrap(&g, 3).unwrap();
+        // counts [3, 3, 3]; drain worker 0 (sources 0 and 2 to worker 1,
+        // source 1 to worker 2) → [0, 5, 4]
+        for (i, s) in (0..3u32).enumerate() {
+            cluster.handoff(s, 1 + i % 2).unwrap();
+        }
+        assert_eq!(cluster.source_counts(), &[0, 5, 4]);
+        // a new vertex must be adopted by the now-lightest worker 0
+        let r = cluster.apply(Update::add(0, 9)).unwrap();
+        assert_eq!(r.adopter, Some(0));
+        assert_eq!(cluster.shard_map().owner_of(9), Some(0));
     }
 }

@@ -19,15 +19,23 @@
 //! * [`partition`] — the `Π_i` source-range math plus the
 //!   [`partition::AdoptionLedger`] pinning how newly arrived vertices are
 //!   assigned (smallest partition, ties to the smallest worker id);
+//! * [`shardmap`] — the versioned [`shardmap::ShardMap`] generalising the
+//!   static ranges into a movable source→shard assignment: bootstrap
+//!   layouts bit-identical to [`partition::partition_ranges`], the pinned
+//!   adoption rule, and deterministic [`shardmap::RebalancePlan`]s that
+//!   restore the owned-source skew invariant via source handoffs;
 //! * `pool` (private) — worker threads, the
-//!   `Bootstrap`/`Apply`/`MergePartials`/`Segments`/`Shutdown` command
-//!   protocol, poison containment, and the pairwise merge-tree schedule;
+//!   `Bootstrap`/`Apply`/`MergePartials`/`Segments`/`Export`/`Import`/
+//!   `Shutdown` command protocol, poison containment, and the pairwise
+//!   merge-tree schedule;
 //! * [`cluster`] — [`cluster::ClusterEngine`]: validated dispatch from a
 //!   coordinator replica, the pipelined [`cluster::ClusterEngine::apply_stream`]
 //!   batch path, the tree-structured fast [`cluster::ClusterEngine::reduce`]
-//!   (the paper's `t_M`), and the partition-invariant
+//!   (the paper's `t_M`), the partition-invariant
 //!   [`cluster::ClusterEngine::reduce_exact`] oracle (bitwise identical
-//!   across worker counts and store backends);
+//!   across worker counts, store backends, and ownership layouts), and the
+//!   live handoff path ([`cluster::ClusterEngine::rebalance`] /
+//!   [`cluster::ClusterEngine::handoff`]);
 //! * [`online`] — the online-updates experiment (§5.3, Figure 8, Table 5):
 //!   replay a timestamped stream and record, per update, the inter-arrival
 //!   gap, the processing time, queueing delays, and missed deadlines. Both
@@ -39,7 +47,9 @@ pub mod cluster;
 pub mod online;
 pub mod partition;
 mod pool;
+pub mod shardmap;
 
-pub use cluster::{ApplyReport, ClusterEngine, EngineError};
+pub use cluster::{ApplyReport, ClusterEngine, EngineError, RebalanceReport};
 pub use online::{simulate_modeled, simulate_online, OnlineEvent, OnlineReport};
 pub use partition::{partition_ranges, AdoptionLedger};
+pub use shardmap::{RebalancePlan, ShardMap, ShardMapError, SourceMove};

@@ -5,11 +5,21 @@
 //! and last ID of the range of sources for which the particular mapper is
 //! responsible". Ranges are balanced to within one source.
 
+use crate::shardmap::ShardMap;
 use std::ops::Range;
 
 /// Split `0..n` into `p` contiguous near-equal ranges (the first `n % p`
 /// ranges get one extra source). Empty ranges are produced when `p > n`.
+///
+/// # Contract
+///
+/// `p` must be at least 1 — there is no meaningful partitioning over zero
+/// workers, and silently producing one would hide a caller bug (a worker
+/// pool sized from a miscomputed core count, say). Debug builds assert;
+/// release builds clamp `p` up to 1 so a long-running production replay
+/// degrades to the single-machine layout instead of aborting.
 pub fn partition_ranges(n: usize, p: usize) -> Vec<Range<u32>> {
+    debug_assert!(p > 0, "partition_ranges requires p >= 1 (got p = 0)");
     let p = p.max(1);
     let base = n / p;
     let extra = n % p;
@@ -35,44 +45,43 @@ pub fn partition_ranges(n: usize, p: usize) -> Vec<Range<u32>> {
 /// preserved forever: `max − min ≤ 1` across workers after any arrival
 /// sequence.
 ///
-/// The ledger lives on the coordinator so adoption decisions never read
-/// worker-owned state (stores stay private to their threads).
+/// Since the shard-map generalisation the ledger is a thin counting facade
+/// over a [`ShardMap`] — adoption and rebalance share that single ownership
+/// authority, and this type remains for callers that only ever adopt
+/// (dense source ids `0..total`, no handoffs). It lives on the coordinator
+/// so adoption decisions never read worker-owned state (stores stay private
+/// to their threads).
 #[derive(Debug, Clone)]
 pub struct AdoptionLedger {
-    counts: Vec<usize>,
+    map: ShardMap,
 }
 
 impl AdoptionLedger {
-    /// Ledger matching `partition_ranges(n, p)`.
+    /// Ledger matching `partition_ranges(n, p)` (same `p >= 1` contract).
     pub fn new(n: usize, p: usize) -> Self {
         AdoptionLedger {
-            counts: partition_ranges(n, p).iter().map(|r| r.len()).collect(),
+            map: ShardMap::bootstrap(n, p),
         }
     }
 
     /// Per-worker owned-source counts.
     pub fn counts(&self) -> &[usize] {
-        &self.counts
+        self.map.counts()
     }
 
     /// Total sources across all workers.
     pub fn total(&self) -> usize {
-        self.counts.iter().sum()
+        self.map.total()
     }
 
     /// Assign one newly arrived source: smallest count wins, ties go to the
     /// smallest worker id. Returns the adopting worker and records the
     /// adoption.
     pub fn adopt(&mut self) -> usize {
-        let adopter = self
-            .counts
-            .iter()
-            .enumerate()
-            .min_by_key(|&(_, c)| c)
-            .map(|(i, _)| i)
-            .expect("at least one worker");
-        self.counts[adopter] += 1;
-        adopter
+        let next = self.map.total() as u32;
+        self.map
+            .adopt(next)
+            .expect("ledger ids are dense 0..total and never collide")
     }
 }
 
@@ -106,8 +115,50 @@ mod tests {
     }
 
     #[test]
-    fn zero_workers_clamped() {
-        assert_eq!(partition_ranges(4, 0).len(), 1);
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "partition_ranges requires p >= 1")]
+    fn zero_workers_is_a_debug_contract_violation() {
+        let _ = partition_ranges(4, 0);
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn zero_workers_clamped_in_release() {
+        // release builds degrade to the single-machine layout
+        assert_eq!(partition_ranges(4, 0), vec![0..4]);
+    }
+
+    #[test]
+    fn more_workers_than_sources_yields_empty_tail_ranges() {
+        let ranges = partition_ranges(3, 8);
+        assert_eq!(ranges.len(), 8);
+        assert_eq!(&ranges[..3], &[0..1, 1..2, 2..3]);
+        for (k, r) in ranges.iter().enumerate().skip(3) {
+            assert!(r.is_empty(), "range {k} should be empty, got {r:?}");
+        }
+        // degenerate all-empty case
+        let ranges = partition_ranges(0, 5);
+        assert!(ranges.iter().all(|r| r.is_empty()));
+    }
+
+    #[test]
+    fn ledger_over_empty_ranges_fills_the_empty_workers_first() {
+        // p > n: workers 2..5 bootstrap with zero sources; the pinned rule
+        // must hand arrivals to them (lowest id first) before anyone else
+        let mut ledger = AdoptionLedger::new(2, 5);
+        assert_eq!(ledger.counts(), &[1, 1, 0, 0, 0]);
+        assert_eq!(ledger.adopt(), 2);
+        assert_eq!(ledger.adopt(), 3);
+        assert_eq!(ledger.adopt(), 4);
+        assert_eq!(ledger.adopt(), 0);
+        assert_eq!(ledger.counts(), &[2, 1, 1, 1, 1]);
+        assert_eq!(ledger.total(), 6);
+        // n = 0: every worker starts empty and adoption still works
+        let mut ledger = AdoptionLedger::new(0, 3);
+        assert_eq!(ledger.counts(), &[0, 0, 0]);
+        assert_eq!(ledger.adopt(), 0);
+        assert_eq!(ledger.adopt(), 1);
+        assert_eq!(ledger.total(), 2);
     }
 
     #[test]

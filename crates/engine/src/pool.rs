@@ -16,6 +16,11 @@
 //!   reduce: receive and fold peer partials, then forward up the tree;
 //! * [`Command::Segments`] — derive the canonical exact-reduce segments of
 //!   its owned sources (see [`ebc_core::exact`]);
+//! * [`Command::Export`] / [`Command::Import`] — the two halves of a shard
+//!   handoff: the donor serializes one owned source's `BD` record out of
+//!   its private store (journaled by backends with a crash story) and the
+//!   recipient installs it; [`Command::Retire`] discards the donor's export
+//!   journal once the coordinator has committed the move in its shard map;
 //! * [`Command::Shutdown`] — drain and exit (also triggered by channel
 //!   disconnect, so dropping the pool can never leak a thread).
 //!
@@ -27,14 +32,13 @@
 //! never block on a silent partner.
 
 use crate::cluster::EngineError;
-use ebc_core::bd::{BdError, BdStore};
+use ebc_core::bd::{BdError, BdStore, ExportedRecord};
 use ebc_core::brandes::{single_source_update_with, BrandesScratch};
-use ebc_core::exact::{contiguous_runs, source_contribution, tree_segments, TreeSegment};
+use ebc_core::exact::{source_contribution, tree_segments_of, TreeSegment};
 use ebc_core::incremental::{update_source, UpdateConfig, Workspace};
 use ebc_core::scores::Scores;
 use ebc_core::state::Update;
 use ebc_graph::{EdgeOp, Graph, VertexId};
-use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::thread::JoinHandle;
@@ -53,8 +57,10 @@ pub(crate) struct MergePlan {
 
 /// Commands a worker executes from its private queue, in order.
 pub(crate) enum Command {
-    /// Brandes-bootstrap the given source partition into the store.
-    Bootstrap { sources: Range<u32> },
+    /// Brandes-bootstrap the given owned sources into the store. A
+    /// membership list, not a range: the shard map may assign any subset
+    /// (contiguous only in the `partition_ranges` bootstrap case).
+    Bootstrap { sources: Vec<VertexId> },
     /// Map task for one update; `adopt` names a newly arrived vertex this
     /// worker takes into its partition.
     Apply {
@@ -65,6 +71,16 @@ pub(crate) enum Command {
     MergePartials { plan: MergePlan },
     /// Derive the canonical exact-reduce segments of the owned sources.
     Segments,
+    /// Serialize `source`'s record out of the private store and stop owning
+    /// it — the donor half of a shard handoff. `tag` is journaled with the
+    /// export by crash-safe backends (the coordinator passes the recipient
+    /// shard id).
+    Export { source: VertexId, tag: u64 },
+    /// Install a record exported by a peer — the recipient half.
+    Import { record: ExportedRecord },
+    /// Discard the export journal left for `source`, the coordinator having
+    /// committed the handoff in its shard map.
+    Retire { source: VertexId },
     /// Drain and exit.
     Shutdown,
 }
@@ -86,6 +102,9 @@ pub(crate) enum Reply {
     Applied(Result<ApplyEcho, EngineError>),
     Merged(Box<Scores>),
     Segments(Result<Vec<TreeSegment>, EngineError>),
+    Exported(Box<Result<ExportedRecord, EngineError>>),
+    Imported(Result<(), EngineError>),
+    Retired(Result<(), EngineError>),
 }
 
 /// Payload on the worker-to-worker merge channels: sender id + accumulated
@@ -127,6 +146,24 @@ impl<S: BdStore> WorkerThread<S> {
                     let result = self.guarded(|w| w.segments());
                     let _ = self.reply_tx.send(Reply::Segments(result));
                 }
+                Command::Export { source, tag } => {
+                    let result =
+                        self.guarded(|w| w.store.export_source(source, tag).map_err(Into::into));
+                    let _ = self.reply_tx.send(Reply::Exported(Box::new(result)));
+                }
+                Command::Import { record } => {
+                    let result = self.guarded(|w| {
+                        w.store
+                            .add_source(record.source, record.d, record.sigma, record.delta)
+                            .map_err(Into::into)
+                    });
+                    let _ = self.reply_tx.send(Reply::Imported(result));
+                }
+                Command::Retire { source } => {
+                    let result =
+                        self.guarded(|w| w.store.retire_export(source).map_err(Into::into));
+                    let _ = self.reply_tx.send(Reply::Retired(result));
+                }
             }
         }
     }
@@ -164,7 +201,7 @@ impl<S: BdStore> WorkerThread<S> {
 
     /// Bootstrap this worker's partition: one Brandes iteration per owned
     /// source, accumulating into the partial scores (step 1 of Figure 4).
-    fn bootstrap(&mut self, sources: Range<u32>) -> Result<(), EngineError> {
+    fn bootstrap(&mut self, sources: Vec<VertexId>) -> Result<(), EngineError> {
         for s in sources {
             let r = single_source_update_with(&self.graph, s, &mut self.partial, &mut self.scratch);
             self.store.add_source(s, r.d, r.sigma, r.delta)?;
@@ -270,12 +307,14 @@ impl<S: BdStore> WorkerThread<S> {
         }
     }
 
-    /// Canonical exact-reduce segments of the owned sources (initial range
-    /// plus adopted singles — always a handful of contiguous runs).
+    /// Canonical exact-reduce segments of the owned sources. Derived from
+    /// the store's membership list — the worker's mirror of the shard map —
+    /// never from an assumed contiguous range: after handoffs the owned set
+    /// can be any subset of the source ids, and
+    /// [`ebc_core::exact::tree_segments_of`] guarantees the assembled root
+    /// is bitwise invariant for any disjoint cover.
     fn segments(&mut self) -> Result<Vec<TreeSegment>, EngineError> {
-        let mut sources = self.store.sources();
-        sources.sort_unstable();
-        let runs = contiguous_runs(&sources);
+        let sources = self.store.sources();
         let n = self.graph.n();
         let shape = (n, self.graph.edge_slots());
         let graph = &self.graph;
@@ -287,7 +326,7 @@ impl<S: BdStore> WorkerThread<S> {
             })?;
             Ok(())
         };
-        Ok(tree_segments(&runs, n, shape, &mut leaf)?)
+        Ok(tree_segments_of(&sources, n, shape, &mut leaf)?)
     }
 }
 

@@ -72,6 +72,9 @@ impl BdStore for InstrumentedStore {
     ) -> BdResult<()> {
         self.inner.add_source(s, d, sigma, delta)
     }
+    fn remove_source(&mut self, s: VertexId) -> BdResult<()> {
+        self.inner.remove_source(s)
+    }
 }
 
 #[test]

@@ -33,7 +33,7 @@
 use crate::codec::CodecKind;
 use crate::recovery::{self, Geometry, Intent, IntentOp, RecoveryAction};
 use ebc_core::bd::{
-    BatchSourceFn, BatchStats, BdError, BdResult, BdStore, SourceFn, SourceViewMut,
+    BatchSourceFn, BatchStats, BdError, BdResult, BdStore, ExportedRecord, SourceFn, SourceViewMut,
 };
 use ebc_graph::{FxHashMap, VertexId, UNREACHABLE};
 use std::fs::{File, OpenOptions};
@@ -164,6 +164,123 @@ pub(crate) fn sidecar_for(path: &Path) -> PathBuf {
     let mut p = path.as_os_str().to_owned();
     p.push(".idx");
     PathBuf::from(p)
+}
+
+pub(crate) const EXPORT_MAGIC: &[u8; 7] = b"EBCEXP\n";
+
+/// Path of the export journal [`BdStore::export_source`] writes for source
+/// `s` of the data file at `path` (`<path>.exp<s>`).
+pub fn export_path(path: &Path, s: VertexId) -> PathBuf {
+    let mut p = path.as_os_str().to_owned();
+    p.push(format!(".exp{s}"));
+    PathBuf::from(p)
+}
+
+/// A parsed donor-side export journal: the serialized record of one source
+/// mid-handoff, durable from before the donor removed it until the handoff
+/// committed (see DESIGN.md §8).
+///
+/// Layout of `<path>.exp<s>`:
+///
+/// ```text
+/// offset  size  field
+///      0     7  magic "EBCEXP\n"
+///      7     1  codec id
+///      8     4  source id, u32 LE
+///     12     8  tag, u64 LE (opaque caller token; the sharded layer
+///                            stores the recipient shard id)
+///     20     8  n, u64 LE — live vertex count at export time
+///     28     V  payload: one codec-encoded record of n slots
+///   28+V     8  FNV-1a checksum of bytes 0..28+V, u64 LE
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExportJournal {
+    /// The exported source.
+    pub source: VertexId,
+    /// Opaque caller token journaled with the export (recipient shard id
+    /// for sharded callers).
+    pub tag: u64,
+    /// Distances from the source.
+    pub d: Vec<u32>,
+    /// Shortest-path counts from the source.
+    pub sigma: Vec<u64>,
+    /// Accumulated dependencies.
+    pub delta: Vec<f64>,
+}
+
+impl ExportJournal {
+    /// The journaled payload as an [`ExportedRecord`] ready to install in a
+    /// recipient store.
+    pub fn into_record(self) -> ExportedRecord {
+        ExportedRecord {
+            source: self.source,
+            d: self.d,
+            sigma: self.sigma,
+            delta: self.delta,
+        }
+    }
+}
+
+/// Parse an export journal file. Returns `Ok(None)` when the file is torn
+/// or unparsable — by write ordering a torn journal proves the guarded
+/// export never began, so callers discard it.
+pub fn read_export_journal(path: &Path) -> BdResult<Option<ExportJournal>> {
+    let raw = std::fs::read(path)?;
+    if raw.len() < 28 + 8 || &raw[..7] != EXPORT_MAGIC {
+        return Ok(None);
+    }
+    let ck = u64::from_le_bytes(raw[raw.len() - 8..].try_into().expect("8 bytes"));
+    if ck != recovery::fnv1a64(&raw[..raw.len() - 8]) {
+        return Ok(None);
+    }
+    let codec = match CodecKind::from_id(raw[7]) {
+        Some(c) => c,
+        None => return Ok(None),
+    };
+    let source = u32::from_le_bytes(raw[8..12].try_into().expect("4 bytes"));
+    let tag = u64::from_le_bytes(raw[12..20].try_into().expect("8 bytes"));
+    let n = u64::from_le_bytes(raw[20..28].try_into().expect("8 bytes")) as usize;
+    if raw.len() != 28 + codec.record_size(n) + 8 {
+        return Ok(None);
+    }
+    let mut d = vec![0u32; n];
+    let mut sigma = vec![0u64; n];
+    let mut delta = vec![0f64; n];
+    codec.decode_record(&raw[28..raw.len() - 8], &mut d, &mut sigma, &mut delta);
+    Ok(Some(ExportJournal {
+        source,
+        tag,
+        d,
+        sigma,
+        delta,
+    }))
+}
+
+/// Export journals pending next to the data file at `path`, in ascending
+/// source order. Used by the sharded layer's `open()` to resolve handoffs
+/// a crash left in flight.
+pub fn pending_exports(path: &Path) -> BdResult<Vec<PathBuf>> {
+    let parent = path.parent().unwrap_or(Path::new("."));
+    let prefix = {
+        let mut name = path
+            .file_name()
+            .ok_or_else(|| BdError::Corrupt("store path has no file name".into()))?
+            .to_os_string();
+        name.push(".exp");
+        name.to_string_lossy().into_owned()
+    };
+    let mut out: Vec<(u64, PathBuf)> = Vec::new();
+    for entry in std::fs::read_dir(parent)? {
+        let entry = entry?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if let Some(suffix) = name.strip_prefix(&prefix) {
+            if let Ok(s) = suffix.parse::<u64>() {
+                out.push((s, entry.path()));
+            }
+        }
+    }
+    out.sort_unstable_by_key(|&(s, _)| s);
+    Ok(out.into_iter().map(|(_, p)| p).collect())
 }
 
 /// Read the sidecar's self-described id table.
@@ -766,6 +883,31 @@ impl BdStore for DiskBdStore {
     ) -> BdResult<()> {
         self.add_source_inner(s, d, sigma, delta, None)
     }
+
+    /// Journaled swap-remove: the final record is copied into the vacated
+    /// slot, the header count drops by one, the sidecar is rewritten, and
+    /// the file is truncated — all guarded by a `RemoveSource` intent that
+    /// recovery can always roll *forward* (see [`crate::recovery`]).
+    fn remove_source(&mut self, s: VertexId) -> BdResult<()> {
+        self.remove_source_inner(s, None)
+    }
+
+    /// Donor half of a shard handoff: the record (and `tag`) are journaled
+    /// durably in `<path>.exp<s>` *before* the journaled
+    /// [`BdStore::remove_source`], so a kill at any point leaves either the
+    /// source still owned here or its full payload recoverable from the
+    /// journal — never neither.
+    fn export_source(&mut self, s: VertexId, tag: u64) -> BdResult<ExportedRecord> {
+        self.export_source_inner(s, tag, None)
+    }
+
+    fn retire_export(&mut self, s: VertexId) -> BdResult<()> {
+        match std::fs::remove_file(export_path(&self.path, s)) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e.into()),
+        }
+    }
 }
 
 /// Simulated kill points inside the guarded `add_source` sequence. Test
@@ -799,6 +941,30 @@ pub enum RewriteCrash {
     AfterRename,
 }
 
+/// Simulated kill points inside the guarded `remove_source` sequence. Test
+/// support for the crash-recovery suite; the store must be dropped after.
+#[doc(hidden)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RemoveCrash {
+    /// Die right after the intent record is durable, before any mutation.
+    AfterIntent,
+    /// Die after the final record was copied into the vacated slot.
+    AfterCopy,
+    /// Die after the header count update, before the sidecar rewrite.
+    AfterHeader,
+    /// Die after the sidecar rewrite, before the truncate and commit.
+    AfterSidecar,
+}
+
+/// Simulated kill points inside the guarded `export_source` sequence (the
+/// removal sub-steps are covered by [`RemoveCrash`]). Test support.
+#[doc(hidden)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExportCrash {
+    /// Die right after the export journal is durable, before the removal.
+    AfterJournal,
+}
+
 impl DiskBdStore {
     /// [`BdStore::add_source`] with a simulated crash (test support; the
     /// store must be dropped afterwards, like a killed process).
@@ -829,6 +995,124 @@ impl DiskBdStore {
         }
         let new_n = self.n + 1;
         self.rewrite_file_inner(new_n, slab_cap(new_n), IntentOp::Reslab, Some(crash))
+    }
+
+    /// [`BdStore::remove_source`] with a simulated crash (test support; the
+    /// store must be dropped afterwards, like a killed process).
+    #[doc(hidden)]
+    pub fn remove_source_crashing(&mut self, s: VertexId, crash: RemoveCrash) -> BdResult<()> {
+        self.remove_source_inner(s, Some(crash))
+    }
+
+    /// [`BdStore::export_source`] with a simulated crash (test support; the
+    /// store must be dropped afterwards).
+    #[doc(hidden)]
+    pub fn export_source_crashing(
+        &mut self,
+        s: VertexId,
+        tag: u64,
+        crash: ExportCrash,
+    ) -> BdResult<ExportedRecord> {
+        self.export_source_inner(s, tag, Some(crash))
+    }
+
+    fn remove_source_inner(&mut self, s: VertexId, crash: Option<RemoveCrash>) -> BdResult<()> {
+        let slot = self.slot(s)?;
+        self.ensure_writable()?;
+        let last = self.order.len() - 1;
+        let old = Geometry::of(&self.header());
+        recovery::write_intent(
+            &self.path,
+            &Intent {
+                op: IntentOp::RemoveSource,
+                source: s,
+                payload_checksum: 0,
+                old,
+                new: Geometry {
+                    count: old.count - 1,
+                    ..old
+                },
+            },
+        )?;
+        if crash == Some(RemoveCrash::AfterIntent) {
+            return Ok(());
+        }
+        let stride = self.stride();
+        if slot != last {
+            // raw byte copy of the final record into the vacated slot (no
+            // decode round-trip: the moved record must stay bit-identical)
+            self.raw.resize(stride, 0);
+            self.file.seek(SeekFrom::Start(self.record_offset(last)))?;
+            self.file
+                .read_exact(&mut self.raw)
+                .map_err(|_| BdError::Corrupt(format!("record {last} truncated")))?;
+            self.bytes_read += stride as u64;
+            self.file.seek(SeekFrom::Start(self.record_offset(slot)))?;
+            self.file.write_all(&self.raw[..stride])?;
+            self.bytes_written += stride as u64;
+        }
+        if crash == Some(RemoveCrash::AfterCopy) {
+            return Ok(());
+        }
+        self.index.remove(&s);
+        self.order.swap_remove(slot);
+        if let Some(&moved) = self.order.get(slot) {
+            self.index.insert(moved, slot);
+        }
+        write_header_count(&mut self.file, self.order.len() as u64)?;
+        if crash == Some(RemoveCrash::AfterHeader) {
+            return Ok(());
+        }
+        write_sidecar_atomic(&self.path, &self.order)?;
+        if crash == Some(RemoveCrash::AfterSidecar) {
+            return Ok(());
+        }
+        self.file.set_len(self.record_offset(self.order.len()))?;
+        recovery::clear_intent(&self.path)?;
+        Ok(())
+    }
+
+    fn export_source_inner(
+        &mut self,
+        s: VertexId,
+        tag: u64,
+        crash: Option<ExportCrash>,
+    ) -> BdResult<ExportedRecord> {
+        let slot = self.slot(s)?;
+        self.ensure_writable()?;
+        self.read_record(slot)?;
+        let n = self.n;
+        let d = self.d[..n].to_vec();
+        let sigma = self.sigma[..n].to_vec();
+        let delta = self.delta[..n].to_vec();
+        let psize = self.codec.record_size(n);
+        let mut buf = Vec::with_capacity(28 + psize + 8);
+        buf.extend_from_slice(EXPORT_MAGIC);
+        buf.push(self.codec.id());
+        buf.extend_from_slice(&s.to_le_bytes());
+        buf.extend_from_slice(&tag.to_le_bytes());
+        buf.extend_from_slice(&(n as u64).to_le_bytes());
+        let payload_off = buf.len();
+        buf.resize(payload_off + psize, 0);
+        self.codec
+            .encode_record(&d, &sigma, &delta, &mut buf[payload_off..]);
+        let ck = recovery::fnv1a64(&buf);
+        buf.extend_from_slice(&ck.to_le_bytes());
+        std::fs::write(export_path(&self.path, s), &buf)?;
+        // the journal is record payload leaving through this store: charge
+        // it to the write counter so byte accounting stays exact
+        self.bytes_written += buf.len() as u64;
+        let record = ExportedRecord {
+            source: s,
+            d,
+            sigma,
+            delta,
+        };
+        if crash == Some(ExportCrash::AfterJournal) {
+            return Ok(record);
+        }
+        self.remove_source_inner(s, None)?;
+        Ok(record)
     }
 
     fn add_source_inner(

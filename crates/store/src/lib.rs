@@ -27,8 +27,13 @@
 //!   most one seek per contiguous slot run;
 //! * **crash recovery**: multi-file mutations are guarded by a write-ahead
 //!   intent record, and [`DiskBdStore::open`] rolls a torn
-//!   `add_source`/re-slab forward or back (see [`recovery`]);
-//! * legacy v1 files stay readable and migrate to v2 on first write.
+//!   `add_source`/re-slab/`remove_source` forward or back (see [`recovery`]);
+//! * legacy v1 files stay readable and migrate to v2 on first write;
+//! * **per-shard files with source handoff**: a [`ShardSet`] keeps one
+//!   store file per shard (`shard-<k>.ebc`, each with its own sidecar and
+//!   WAL) plus a versioned map manifest, and moves a source between shards
+//!   through a journaled export/import protocol whose `open()` always
+//!   converges to exactly-once ownership (see [`shard`]).
 //!
 //! ## Quickstart
 //!
@@ -73,10 +78,12 @@
 pub mod codec;
 pub mod disk;
 pub mod recovery;
+pub mod shard;
 
 pub use codec::CodecKind;
-pub use disk::{BatchPlan, DiskBdStore, FormatVersion, SlotRun};
+pub use disk::{BatchPlan, DiskBdStore, ExportJournal, FormatVersion, SlotRun};
 pub use recovery::{IntentOp, RecoveryAction};
+pub use shard::{HandoffRecovery, ShardSet};
 
 // re-export the trait so downstream users need only this crate
-pub use ebc_core::bd::{BatchStats, BdError, BdResult, BdStore, SourceViewMut};
+pub use ebc_core::bd::{BatchStats, BdError, BdResult, BdStore, ExportedRecord, SourceViewMut};

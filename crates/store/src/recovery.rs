@@ -17,8 +17,8 @@
 //! ```text
 //! offset  size  field
 //!      0     7  magic "EBCWAL\n"
-//!      7     1  op (1 = AddSource, 2 = Reslab, 3 = Migrate)
-//!      8     4  source id, u32 LE      (AddSource only, else 0)
+//!      7     1  op (1 = AddSource, 2 = Reslab, 3 = Migrate, 4 = RemoveSource)
+//!      8     4  source id, u32 LE      (AddSource/RemoveSource only, else 0)
 //!     12     8  payload checksum, u64 LE (FNV-1a of the encoded record
 //!                                         being appended; AddSource only)
 //!     20    24  old geometry: n, count, cap (u64 LE each)
@@ -52,7 +52,7 @@ use crate::disk::{
 use ebc_core::bd::{BdError, BdResult};
 use ebc_graph::VertexId;
 use std::fs::OpenOptions;
-use std::io::{Read, Seek, SeekFrom};
+use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
 const WAL_MAGIC: &[u8; 7] = b"EBCWAL\n";
@@ -69,6 +69,9 @@ pub enum IntentOp {
     Reslab,
     /// v1→v2 migration: rewrite a legacy fixed-layout file as format v2.
     Migrate,
+    /// `remove_source`: copy the final record into the vacated slot,
+    /// decrement the header count, rewrite the sidecar, truncate.
+    RemoveSource,
 }
 
 impl IntentOp {
@@ -77,6 +80,7 @@ impl IntentOp {
             IntentOp::AddSource => 1,
             IntentOp::Reslab => 2,
             IntentOp::Migrate => 3,
+            IntentOp::RemoveSource => 4,
         }
     }
 
@@ -85,6 +89,7 @@ impl IntentOp {
             1 => Some(IntentOp::AddSource),
             2 => Some(IntentOp::Reslab),
             3 => Some(IntentOp::Migrate),
+            4 => Some(IntentOp::RemoveSource),
             _ => None,
         }
     }
@@ -230,6 +235,7 @@ pub(crate) fn run_recovery(path: &Path) -> BdResult<Option<RecoveryAction>> {
     let action = match intent.op {
         IntentOp::AddSource => recover_add_source(path, &intent)?,
         IntentOp::Reslab | IntentOp::Migrate => recover_rewrite(path, &intent)?,
+        IntentOp::RemoveSource => recover_remove_source(path, &intent)?,
     };
     std::fs::remove_file(&wal)?;
     Ok(Some(action))
@@ -284,6 +290,58 @@ fn recover_add_source(path: &Path, intent: &Intent) -> BdResult<RecoveryAction> 
         }
         Ok(RecoveryAction::RolledBack(IntentOp::AddSource))
     }
+}
+
+/// Repair a torn `remove_source`. Unlike `add_source`, a removal can
+/// **always** be rolled forward: every byte it needs (the final record it
+/// copies into the vacated slot) survives until the truncate, which is the
+/// last step before commit — so recovery simply finishes the removal,
+/// idempotently, from whichever step the kill interrupted. The intent is
+/// only ever written *after* the caller has secured the removed record
+/// elsewhere (an export journal, for handoffs), so completing the removal
+/// never loses data.
+fn recover_remove_source(path: &Path, intent: &Intent) -> BdResult<RecoveryAction> {
+    let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+    let header = Header::read_from(&mut file)?;
+    // remove_source never changes n/cap and only runs on v2 files
+    if header.version != FormatVersion::V2
+        || header.n as u64 != intent.old.n
+        || header.cap as u64 != intent.old.cap
+        || intent.old.count != intent.new.count + 1
+    {
+        return Err(BdError::Corrupt(
+            "intent record does not match store geometry".into(),
+        ));
+    }
+    let stride = header.stride() as u64;
+    let mut ids = read_sidecar_ids(path)?;
+    if let Some(slot) = ids.iter().position(|&id| id == intent.source) {
+        // The sidecar still lists the source: the removal did not commit.
+        if ids.len() as u64 != intent.old.count {
+            return Err(BdError::Corrupt("sidecar matches neither side".into()));
+        }
+        let last = intent.new.count; // index of the final record, old layout
+        if (slot as u64) != last {
+            // (re)do the idempotent last→slot copy; the donor bytes are
+            // still on disk because the truncate below has not happened
+            let mut rec = vec![0u8; stride as usize];
+            file.seek(SeekFrom::Start(header.len() + last * stride))?;
+            file.read_exact(&mut rec)
+                .map_err(|_| BdError::Corrupt("final record truncated".into()))?;
+            file.seek(SeekFrom::Start(header.len() + slot as u64 * stride))?;
+            file.write_all(&rec)?;
+        }
+        write_header_count(&mut file, intent.new.count)?;
+        ids.swap_remove(slot);
+        write_sidecar_atomic(path, &ids)?;
+    } else if ids.len() as u64 == intent.new.count {
+        // Sidecar already new: the copy and count are durable by ordering.
+        write_header_count(&mut file, intent.new.count)?;
+    } else {
+        return Err(BdError::Corrupt("sidecar matches neither side".into()));
+    }
+    file.set_len(header.len() + intent.new.count * stride)?;
+    Ok(RecoveryAction::RolledForward(IntentOp::RemoveSource))
 }
 
 /// Repair a torn re-slab or migration. The rewrite goes through a fully

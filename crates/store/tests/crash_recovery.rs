@@ -1,12 +1,16 @@
 //! Crash-injection suite: kill the store at every point of the guarded
-//! `add_source` and rewrite (re-slab / migration) sequences, reopen, and
-//! verify `open()` repairs the files to a consistent state — rolling the
-//! torn mutation forward when its payload is durable and back when it is
-//! not. Each case is one row of the DESIGN.md §7 crash matrix.
+//! `add_source`, rewrite (re-slab / migration), and `remove_source`
+//! sequences — plus the sharded handoff protocol at every window between
+//! donor-export journal, recipient import, and map commit — reopen, and
+//! verify `open()` repairs the files to a consistent state. Each
+//! single-store case is one row of the DESIGN.md §7 crash matrix; each
+//! handoff case is one row of the §8 matrix, whose acceptance bar is that
+//! the mid-handoff source ends up **owned by exactly one shard**.
 
 use ebc_core::bd::{BdError, BdStore};
-use ebc_store::disk::{AddCrash, RewriteCrash};
-use ebc_store::{CodecKind, DiskBdStore, FormatVersion, IntentOp, RecoveryAction};
+use ebc_store::disk::{AddCrash, ExportCrash, RemoveCrash, RewriteCrash};
+use ebc_store::shard::{HandoffKill, HandoffRecovery};
+use ebc_store::{CodecKind, DiskBdStore, FormatVersion, IntentOp, RecoveryAction, ShardSet};
 use std::path::PathBuf;
 
 /// One v1 record: `(source id, d, sigma, delta)`.
@@ -373,6 +377,280 @@ fn stale_intent_with_clean_files_is_harmless() {
         "first recovery cleared the intent"
     );
     assert_eq!(st.sources(), vec![7, 3, 11]);
+}
+
+/// Removal kills: every kill point must roll *forward* (the removal's
+/// inputs survive until the final truncate, and the intent is only written
+/// once the caller has secured the record elsewhere).
+fn assert_removal_completed(path: &PathBuf, n: usize) {
+    let mut st = DiskBdStore::open(path).unwrap();
+    assert_eq!(
+        st.last_recovery(),
+        Some(RecoveryAction::RolledForward(IntentOp::RemoveSource))
+    );
+    assert_eq!(st.sources(), vec![3], "survivor after swap-remove of 7");
+    // the swapped record (source 3 moved into slot 0) is bit-intact
+    let (d, sig, del) = sample(n, 3);
+    st.update_with(3, &mut |view| {
+        assert_eq!(view.d, &d[..]);
+        assert_eq!(view.sigma, &sig[..]);
+        assert_eq!(view.delta, &del[..]);
+        false
+    })
+    .unwrap();
+    // the removed source is gone and can be freshly re-added
+    assert!(matches!(
+        st.peek_pair(7, 0, 1),
+        Err(BdError::UnknownSource(7))
+    ));
+    let (d, sig, del) = sample(n, 7);
+    st.add_source(7, d, sig, del).unwrap();
+    drop(st);
+    let st = DiskBdStore::open(path).unwrap();
+    assert_eq!(st.sources(), vec![3, 7]);
+    assert_eq!(st.last_recovery(), None);
+}
+
+#[test]
+fn remove_source_crashes_all_roll_forward() {
+    let n = 6;
+    for (name, crash) in [
+        ("rm_intent", RemoveCrash::AfterIntent),
+        ("rm_copy", RemoveCrash::AfterCopy),
+        ("rm_hdr", RemoveCrash::AfterHeader),
+        ("rm_side", RemoveCrash::AfterSidecar),
+    ] {
+        let path = tmp(name);
+        seeded(&path, n);
+        {
+            let mut st = DiskBdStore::open(&path).unwrap();
+            st.remove_source_crashing(7, crash).unwrap();
+        }
+        assert_removal_completed(&path, n);
+    }
+}
+
+#[test]
+fn remove_source_crash_on_last_slot_needs_no_copy() {
+    let n = 6;
+    let path = tmp("rm_last");
+    seeded(&path, n); // sources [7, 3]; 3 occupies the last slot
+    {
+        let mut st = DiskBdStore::open(&path).unwrap();
+        st.remove_source_crashing(3, RemoveCrash::AfterIntent)
+            .unwrap();
+    }
+    let mut st = DiskBdStore::open(&path).unwrap();
+    assert_eq!(
+        st.last_recovery(),
+        Some(RecoveryAction::RolledForward(IntentOp::RemoveSource))
+    );
+    assert_eq!(st.sources(), vec![7]);
+    let (d, sig, del) = sample(n, 7);
+    st.update_with(7, &mut |view| {
+        assert_eq!(view.d, &d[..]);
+        assert_eq!(view.sigma, &sig[..]);
+        assert_eq!(view.delta, &del[..]);
+        false
+    })
+    .unwrap();
+}
+
+#[test]
+fn export_crash_after_journal_leaves_source_owned() {
+    // the export journal is durable but the removal never began: a plain
+    // single-store reopen sees the source untouched (the journal is a
+    // shard-level concern the ShardSet resolves)
+    let n = 6;
+    let path = tmp("exp_journal");
+    seeded(&path, n);
+    {
+        let mut st = DiskBdStore::open(&path).unwrap();
+        st.export_source_crashing(7, 1, ExportCrash::AfterJournal)
+            .unwrap();
+    }
+    let st = DiskBdStore::open(&path).unwrap();
+    assert_eq!(st.last_recovery(), None, "no WAL intent was written");
+    assert_eq!(st.sources(), vec![7, 3]);
+    let pending = ebc_store::disk::pending_exports(&path).unwrap();
+    assert_eq!(pending.len(), 1, "the journal awaits shard-level recovery");
+    let journal = ebc_store::disk::read_export_journal(&pending[0])
+        .unwrap()
+        .expect("journal parses");
+    assert_eq!(journal.source, 7);
+    assert_eq!(journal.tag, 1);
+    let (d, sig, del) = sample(n, 7);
+    assert_eq!(journal.d, d);
+    assert_eq!(journal.sigma, sig);
+    assert_eq!(journal.delta, del);
+}
+
+// ---- sharded handoff crash matrix (DESIGN.md §8) ----
+
+fn shard_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("ebc_shard_crash")
+        .join(format!("{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Two shards, shard 0 owning {7, 3}, shard 1 owning {5}, flushed.
+fn seeded_set(dir: &PathBuf, n: usize) {
+    let mut set = ShardSet::create(dir, n, 2, CodecKind::Wide).unwrap();
+    for (shard, s) in [(0usize, 7u32), (0, 3), (1, 5)] {
+        let (d, sig, del) = sample(n, s as u64);
+        set.shard_mut(shard).add_source(s, d, sig, del).unwrap();
+    }
+    set.flush().unwrap();
+}
+
+/// Every source of the seeded set is owned by exactly one shard, and every
+/// record (including the mid-handoff one, wherever it landed) is
+/// bit-intact.
+fn assert_exactly_once_and_intact(set: &mut ShardSet, n: usize) {
+    let assignment = set.assignment();
+    for s in [7u32, 3, 5] {
+        let owners: Vec<usize> = (0..set.num_shards())
+            .filter(|&k| assignment[k].contains(&s))
+            .collect();
+        assert_eq!(owners.len(), 1, "source {s} owned by {owners:?}");
+        let (d, sig, del) = sample(n, s as u64);
+        set.shard_mut(owners[0])
+            .update_with(s, &mut |view| {
+                assert_eq!(view.d, &d[..], "source {s} distances");
+                assert_eq!(view.sigma, &sig[..], "source {s} sigma");
+                assert_eq!(view.delta, &del[..], "source {s} delta");
+                false
+            })
+            .unwrap();
+    }
+}
+
+#[test]
+fn handoff_kill_after_export_journal_rolls_back() {
+    let n = 5;
+    let dir = shard_dir("ho_journal");
+    seeded_set(&dir, n);
+    {
+        let mut set = ShardSet::open(&dir).unwrap();
+        set.handoff_crashing(7, 0, 1, HandoffKill::AfterExportJournal)
+            .unwrap();
+    }
+    let mut set = ShardSet::open(&dir).unwrap();
+    assert_eq!(
+        set.recovered(),
+        &[HandoffRecovery::RolledBack {
+            source: 7,
+            donor: 0
+        }]
+    );
+    assert_eq!(set.version(), 0, "nothing committed");
+    assert_eq!(set.assignment()[0], vec![7, 3], "donor still owns 7");
+    assert_exactly_once_and_intact(&mut set, n);
+    drop(set);
+    let set = ShardSet::open(&dir).unwrap();
+    assert!(set.recovered().is_empty(), "recovery is not re-run");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn handoff_kill_after_export_reinstalls_from_journal() {
+    // the kill window where the source is owned by *nobody* on disk: only
+    // the journal payload can resurrect it
+    let n = 5;
+    let dir = shard_dir("ho_export");
+    seeded_set(&dir, n);
+    {
+        let mut set = ShardSet::open(&dir).unwrap();
+        set.handoff_crashing(7, 0, 1, HandoffKill::AfterExport)
+            .unwrap();
+    }
+    let mut set = ShardSet::open(&dir).unwrap();
+    assert_eq!(
+        set.recovered(),
+        &[HandoffRecovery::Reinstalled { source: 7, to: 1 }]
+    );
+    assert!(set.version() >= 1, "the completed handoff is committed");
+    assert!(set.assignment()[1].contains(&7), "recipient owns 7");
+    assert_exactly_once_and_intact(&mut set, n);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn handoff_kill_after_import_completes_the_commit() {
+    let n = 5;
+    let dir = shard_dir("ho_import");
+    seeded_set(&dir, n);
+    {
+        let mut set = ShardSet::open(&dir).unwrap();
+        set.handoff_crashing(7, 0, 1, HandoffKill::AfterImport)
+            .unwrap();
+    }
+    let mut set = ShardSet::open(&dir).unwrap();
+    assert_eq!(
+        set.recovered(),
+        &[HandoffRecovery::Completed { source: 7, to: 1 }]
+    );
+    assert!(set.version() >= 1);
+    assert!(set.assignment()[1].contains(&7));
+    assert_exactly_once_and_intact(&mut set, n);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn handoff_kill_after_map_commit_retires_the_journal() {
+    let n = 5;
+    let dir = shard_dir("ho_commit");
+    seeded_set(&dir, n);
+    {
+        let mut set = ShardSet::open(&dir).unwrap();
+        set.handoff_crashing(7, 0, 1, HandoffKill::AfterMapCommit)
+            .unwrap();
+    }
+    let mut set = ShardSet::open(&dir).unwrap();
+    assert_eq!(
+        set.recovered(),
+        &[HandoffRecovery::Completed { source: 7, to: 1 }]
+    );
+    // version is monotonic; recovery may advance it past the manifest's 1
+    assert!(set.version() >= 1);
+    assert!(set.assignment()[1].contains(&7));
+    assert_exactly_once_and_intact(&mut set, n);
+    drop(set);
+    let set = ShardSet::open(&dir).unwrap();
+    assert!(set.recovered().is_empty(), "journal gone after recovery");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn double_kill_export_then_remove_converges() {
+    // kill during the handoff's donor removal (not just between protocol
+    // steps): the per-shard WAL rolls the removal forward, then the shard
+    // layer sees an ownerless source and reinstalls it at the recipient
+    let n = 5;
+    let dir = shard_dir("ho_double");
+    seeded_set(&dir, n);
+    {
+        let mut set = ShardSet::open(&dir).unwrap();
+        // export journal durable...
+        set.shard_mut(0)
+            .export_source_crashing(7, 1, ExportCrash::AfterJournal)
+            .unwrap();
+    }
+    {
+        // ...then the removal itself dies halfway
+        let mut st = DiskBdStore::open(dir.join("shard-0.ebc")).unwrap();
+        st.remove_source_crashing(7, RemoveCrash::AfterHeader)
+            .unwrap();
+    }
+    let mut set = ShardSet::open(&dir).unwrap();
+    assert_eq!(
+        set.recovered(),
+        &[HandoffRecovery::Reinstalled { source: 7, to: 1 }]
+    );
+    assert_exactly_once_and_intact(&mut set, n);
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

@@ -150,6 +150,88 @@ fn disk_matrix_is_bit_identical_to_single_state() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Replay `updates` with a rebalance wedged in after `k` of them: force a
+/// skewed ownership layout via explicit handoffs, let `rebalance(1)`
+/// restore the invariant, then finish the stream. The exact reduce must
+/// stay bit-identical to the no-handoff oracle — ownership movement can
+/// never change scores.
+fn check_rebalanced_cluster<S: streaming_bc::core::BdStore + 'static>(
+    mut cluster: ClusterEngine<S>,
+    updates: &[Update],
+    k: usize,
+    oracle_exact: &Scores,
+    ctx: &str,
+) {
+    let p = cluster.num_workers();
+    cluster.apply_stream(&updates[..k]).unwrap();
+    if p > 1 {
+        // skew: the first three sources worker 0 owns pile onto the last
+        // worker, then the deterministic plan pulls things level again
+        let victims: Vec<u32> = cluster
+            .shard_map()
+            .sources_of(0)
+            .iter()
+            .copied()
+            .take(3)
+            .collect();
+        for s in victims {
+            cluster.handoff(s, p - 1).unwrap();
+        }
+        let report = cluster.rebalance(1).unwrap();
+        assert!(
+            cluster.shard_map().skew() <= 1,
+            "{ctx}: skew {} after rebalance ({} moves)",
+            cluster.shard_map().skew(),
+            report.moves.len()
+        );
+    } else {
+        // p = 1: nothing to move, but the call must be a safe no-op
+        assert!(cluster.rebalance(1).unwrap().moves.is_empty(), "{ctx}");
+    }
+    cluster.apply_stream(&updates[k..]).unwrap();
+    let exact = cluster.reduce_exact().unwrap();
+    assert_eq!(
+        bits(&exact),
+        bits(oracle_exact),
+        "{ctx}: rebalance-mid-stream diverged bitwise from the no-handoff run"
+    );
+}
+
+#[test]
+fn rebalance_mid_stream_matrix_is_bit_identical() {
+    let dir = std::env::temp_dir().join(format!("sbc_rebalance_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    for (name, g, updates) in scenarios() {
+        if name == "additions" || name == "removals" {
+            continue; // the mixed and disconnect streams cover both op kinds
+        }
+        let (_, oracle_exact) = single_oracle(&g, &updates);
+        for p in [1usize, 3, 8] {
+            for k in [2usize, updates.len() / 2] {
+                let mem = ClusterEngine::bootstrap(&g, p).unwrap();
+                let ctx = format!("mem × p={p} × {name} × handoff-after-{k}");
+                check_rebalanced_cluster(mem, &updates, k, &oracle_exact, &ctx);
+
+                let dir = dir.clone();
+                let disk = ClusterEngine::bootstrap_with(
+                    &g,
+                    p,
+                    UpdateConfig::default(),
+                    move |worker, n| {
+                        let path = dir.join(format!("rb_{name}_{p}_{k}_w{worker}.bd"));
+                        let _ = std::fs::remove_file(&path);
+                        DiskBdStore::create(path, n, CodecKind::Wide).map_err(EngineError::from)
+                    },
+                )
+                .unwrap();
+                let ctx = format!("disk × p={p} × {name} × handoff-after-{k}");
+                check_rebalanced_cluster(disk, &updates, k, &oracle_exact, &ctx);
+            }
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn worker_counts_do_not_change_results() {
     // the historical epsilon test, upgraded: across worker counts the exact
