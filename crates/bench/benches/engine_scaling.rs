@@ -24,7 +24,7 @@ fn bench_engine(c: &mut Criterion) {
     for p in [1usize, 2, 4, 8] {
         group.bench_with_input(BenchmarkId::new("workers", p), &p, |b, &p| {
             b.iter_batched(
-                || ClusterEngine::bootstrap(&s.graph, p).expect("bootstrap"),
+                || ClusterEngine::new(&s.graph, p).expect("bootstrap"),
                 |mut cluster| {
                     cluster.apply_stream(&adds).expect("valid stream");
                     cluster

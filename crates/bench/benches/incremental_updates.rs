@@ -38,7 +38,7 @@ fn bench_updates(c: &mut Criterion) {
     ] {
         group.bench_function(BenchmarkId::new("add_stream", name), |b| {
             b.iter_batched(
-                || BetweennessState::init_with(s.graph.clone(), cfg.clone()),
+                || BetweennessState::new_with(s.graph.clone(), cfg.clone()),
                 |mut st| {
                     for &(u, v) in &adds {
                         st.apply(Update::add(u, v)).expect("valid");
@@ -50,7 +50,7 @@ fn bench_updates(c: &mut Criterion) {
         });
         group.bench_function(BenchmarkId::new("remove_stream", name), |b| {
             b.iter_batched(
-                || BetweennessState::init_with(s.graph.clone(), cfg.clone()),
+                || BetweennessState::new_with(s.graph.clone(), cfg.clone()),
                 |mut st| {
                     for &(u, v) in &rems {
                         st.apply(Update::remove(u, v)).expect("valid");

@@ -63,7 +63,7 @@ fn bench_shard_handoff(c: &mut Criterion) {
 
     // live path: skew one source over and let the plan pull it back
     let g = holme_kim(200, 3, 0.4, 7);
-    let mut cluster = ClusterEngine::bootstrap(&g, 4).unwrap();
+    let mut cluster = ClusterEngine::new(&g, 4).unwrap();
     group.bench_function("live_skew_and_rebalance", |b| {
         b.iter(|| {
             let s = *cluster.shard_map().sources_of(0).last().unwrap();

@@ -56,7 +56,7 @@ fn main() {
             prune_unchanged: prune,
             ..Default::default()
         };
-        let mut st = BetweennessState::init_with(s.graph.clone(), cfg);
+        let mut st = BetweennessState::new_with(s.graph.clone(), cfg);
         let (_, dt) = time_once(|| {
             for &(op, u, v) in adds.iter().chain(&rems) {
                 st.apply(Update { op, u, v }).expect("valid");
@@ -80,7 +80,7 @@ fn main() {
         let path = dir.join(format!("{codec:?}.bd"));
         let store = DiskBdStore::create(&path, s.graph.n(), codec).unwrap();
         let mut st =
-            BetweennessState::init_into_store(s.graph.clone(), store, UpdateConfig::default())
+            BetweennessState::new_into_store(s.graph.clone(), store, UpdateConfig::default())
                 .unwrap();
         let (_, dt) = time_once(|| {
             for &(op, u, v) in &adds {
@@ -97,7 +97,7 @@ fn main() {
     }
 
     // 4. skip rate
-    let mut st = BetweennessState::init(&s.graph);
+    let mut st = BetweennessState::new(&s.graph);
     for &(op, u, v) in adds.iter().chain(&rems) {
         st.apply(Update { op, u, v }).expect("valid");
     }

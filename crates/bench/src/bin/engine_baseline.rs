@@ -206,7 +206,7 @@ fn main() {
         };
         for _ in 0..reps {
             // pool, sequential applies: the per-update map critical path
-            let mut cluster = ClusterEngine::bootstrap(&s.graph, p).expect("bootstrap pool");
+            let mut cluster = ClusterEngine::new(&s.graph, p).expect("bootstrap pool");
             let walls: Vec<Duration> = adds
                 .iter()
                 .map(|&u| cluster.apply(u).expect("valid update").map_wall)
@@ -214,7 +214,7 @@ fn main() {
             row.pool_map_wall = row.pool_map_wall.min(mean_secs(&walls));
 
             // pool, pipelined stream: end-to-end wall clock per update
-            let mut cluster = ClusterEngine::bootstrap(&s.graph, p).expect("bootstrap pool");
+            let mut cluster = ClusterEngine::new(&s.graph, p).expect("bootstrap pool");
             let t0 = Instant::now();
             cluster.apply_stream(&adds).expect("valid stream");
             row.pool_stream_wall = row

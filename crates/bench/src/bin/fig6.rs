@@ -43,7 +43,7 @@ fn panel_speedups(s: &Standin, op: EdgeOp, args: &Args) -> Vec<f64> {
     let (_, tb) = time_brandes(&s.graph);
     // one mapper per ~1k sources, as in the paper's setup
     let p = (s.graph.n() / 1000).max(1);
-    let mut cluster = ClusterEngine::bootstrap(&s.graph, p).expect("bootstrap cluster");
+    let mut cluster = ClusterEngine::new(&s.graph, p).expect("bootstrap cluster");
     let updates = match op {
         EdgeOp::Add => addition_updates(&s.graph, args.updates, args.seed),
         EdgeOp::Remove => removal_updates(&s.graph, args.updates, args.seed + 1),
@@ -51,7 +51,7 @@ fn panel_speedups(s: &Standin, op: EdgeOp, args: &Args) -> Vec<f64> {
     let mut sp = Vec::with_capacity(updates.len());
     for (o, u, v) in updates {
         let rep = cluster.apply(Update { op: o, u, v }).expect("valid update");
-        let (_, merge) = cluster.reduce().expect("live cluster");
+        let merge = cluster.reduce().expect("live cluster").wall;
         let cumulative = (rep.cumulative + merge).as_secs_f64().max(1e-9);
         sp.push(tb.as_secs_f64() / cumulative);
     }

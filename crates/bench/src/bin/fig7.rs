@@ -26,7 +26,7 @@ fn main() {
     for s in synthetic_rows(&args) {
         // measure the single-worker total busy time for 300 additions
         let adds = addition_updates(&s.graph, 300.min(args.updates.max(100) * 3), args.seed);
-        let mut st = BetweennessState::init(&s.graph);
+        let mut st = BetweennessState::new(&s.graph);
         let mut cum = Vec::with_capacity(adds.len());
         let mut total = Duration::ZERO;
         for &(op, u, v) in &adds {
@@ -65,7 +65,7 @@ fn main() {
             if p > cores {
                 break;
             }
-            let mut cluster = ClusterEngine::bootstrap(&s.graph, p).expect("bootstrap");
+            let mut cluster = ClusterEngine::new(&s.graph, p).expect("bootstrap");
             let probe: Vec<Update> = adds[..20.min(adds.len())]
                 .iter()
                 .map(|&(op, u, v)| Update { op, u, v })

@@ -25,7 +25,7 @@ fn run(kind: StandinKind, ps: &[usize], gap_factor: f64, args: &Args) {
     // calibrate arrivals exactly like table5
     let (boot, probe_stream) =
         replay_growth(&s.arrival_order, s.graph.n(), tail, 1.0, 1.4, args.seed);
-    let mut probe = BetweennessState::init(&boot);
+    let mut probe = BetweennessState::new(&boot);
     let t1 = simulate_modeled(&mut probe, &probe_stream, 1, Duration::ZERO)
         .expect("probe")
         .mean_update_time()
@@ -42,7 +42,7 @@ fn run(kind: StandinKind, ps: &[usize], gap_factor: f64, args: &Args) {
     let reports: Vec<(usize, OnlineReport)> = ps
         .iter()
         .map(|&p| {
-            let mut st = BetweennessState::init(&boot);
+            let mut st = BetweennessState::new(&boot);
             let r = simulate_modeled(&mut st, &stream, p, Duration::from_micros(50))
                 .expect("modeled replay");
             (p, r)

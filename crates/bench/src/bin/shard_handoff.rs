@@ -167,7 +167,7 @@ fn bench_live() -> Live {
     let mut best_rebalance = f64::INFINITY;
     let mut moves = 0;
     for _ in 0..REPS {
-        let mut cluster = ClusterEngine::bootstrap(&g, p).unwrap();
+        let mut cluster = ClusterEngine::new(&g, p).unwrap();
         for s in cluster.shard_map().sources_of(0).to_vec() {
             cluster.handoff(s, 1).unwrap();
         }
@@ -180,7 +180,7 @@ fn bench_live() -> Live {
     let mut best_bootstrap = f64::INFINITY;
     for _ in 0..REPS {
         let t0 = Instant::now();
-        let cluster = ClusterEngine::bootstrap(&g, p).unwrap();
+        let cluster = ClusterEngine::new(&g, p).unwrap();
         best_bootstrap = best_bootstrap.min(t0.elapsed().as_secs_f64());
         drop(cluster);
     }

@@ -38,7 +38,7 @@ fn run(s: &Standin, mappers: &[usize], args: &Args) {
     let tail = args.updates.min(s.arrival_order.len() / 2).max(10);
     let (boot, probe_stream) =
         replay_growth(&s.arrival_order, s.graph.n(), tail, 1.0, 1.4, args.seed);
-    let mut probe = BetweennessState::init(&boot);
+    let mut probe = BetweennessState::new(&boot);
     let probe_report =
         simulate_modeled(&mut probe, &probe_stream, 1, Duration::ZERO).expect("probe replay");
     let t1 = probe_report.mean_update_time().max(1e-6);
@@ -55,7 +55,7 @@ fn run(s: &Standin, mappers: &[usize], args: &Args) {
         args.seed,
     );
     for &p in mappers {
-        let mut st = BetweennessState::init(&boot);
+        let mut st = BetweennessState::new(&boot);
         let report = simulate_modeled(&mut st, &stream, p, Duration::from_micros(50))
             .expect("modeled replay");
         println!(

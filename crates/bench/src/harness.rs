@@ -157,7 +157,7 @@ pub fn update_times(g: &Graph, updates: &[(EdgeOp, u32, u32)], variant: Variant)
         Variant::Do => {
             let store =
                 DiskBdStore::create(unique_tmp("do"), g.n(), CodecKind::Wide).expect("tmp store");
-            let mut st = BetweennessState::init_into_store(g.clone(), store, cfg)
+            let mut st = BetweennessState::new_into_store(g.clone(), store, cfg)
                 .expect("bootstrap into disk store");
             for &(op, u, v) in updates {
                 let (_, dt) = time_once(|| st.apply(Update { op, u, v }).expect("valid update"));
@@ -165,7 +165,7 @@ pub fn update_times(g: &Graph, updates: &[(EdgeOp, u32, u32)], variant: Variant)
             }
         }
         _ => {
-            let mut st = BetweennessState::init_with(g.clone(), cfg);
+            let mut st = BetweennessState::new_with(g.clone(), cfg);
             for &(op, u, v) in updates {
                 let (_, dt) = time_once(|| st.apply(Update { op, u, v }).expect("valid update"));
                 times.push(dt);

@@ -214,6 +214,14 @@ pub trait BdStore: Send {
         let _ = s;
         Ok(())
     }
+
+    /// Flush buffered record data to durable storage. No-op for in-memory
+    /// backends; out-of-core backends override to sync their data and
+    /// sidecar files (the session checkpoint path calls this through the
+    /// trait, without knowing the backend).
+    fn flush(&mut self) -> BdResult<()> {
+        Ok(())
+    }
 }
 
 /// Fully in-memory `BD` store — the paper's *MO* configuration.

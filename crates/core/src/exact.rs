@@ -291,7 +291,7 @@ mod tests {
     #[test]
     fn exact_scores_match_brandes_within_epsilon() {
         let g = ring_with_chords(24);
-        let mut st = BetweennessState::init(&g);
+        let mut st = BetweennessState::new(&g);
         st.apply(Update::add(0, 5)).unwrap();
         st.apply(Update::remove(1, 2)).unwrap();
         let exact = st.exact_scores().unwrap();
@@ -302,7 +302,7 @@ mod tests {
     #[allow(clippy::single_range_in_vec_init)] // runs really are range lists
     fn any_partitioning_assembles_to_the_same_bits() {
         let g = ring_with_chords(21);
-        let mut st = BetweennessState::init(&g);
+        let mut st = BetweennessState::new(&g);
         st.apply(Update::add(2, 9)).unwrap();
         let reference = st.exact_scores().unwrap();
         let (g2, n) = (st.graph().clone(), st.graph().n());
@@ -335,7 +335,7 @@ mod tests {
     #[allow(clippy::single_range_in_vec_init)] // runs really are range lists
     fn incomplete_or_overlapping_covers_rejected() {
         let g = ring_with_chords(9);
-        let mut st = BetweennessState::init(&g);
+        let mut st = BetweennessState::new(&g);
         let n = g.n();
         let shape = (n, g.edge_slots());
         let mut leaf = |s: VertexId, out: &mut Scores| -> BdResult<()> {
@@ -360,7 +360,7 @@ mod tests {
         // a handoff-shaped cover: shard A owns {0..9} minus {2, 6} plus
         // {13}, shard B owns the complement — still bit-identical
         let g = ring_with_chords(18);
-        let mut st = BetweennessState::init(&g);
+        let mut st = BetweennessState::new(&g);
         st.apply(Update::add(0, 7)).unwrap();
         let reference = st.exact_scores().unwrap();
         let (g2, n) = (st.graph().clone(), st.graph().n());

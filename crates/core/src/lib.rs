@@ -22,8 +22,13 @@
 //! * [`state`] — [`BetweennessState`]: the end-to-end framework of Figure 1
 //!   (bootstrap once, then stream updates).
 //! * [`scores`] — score containers and merge (reduce) operations.
+//! * [`api`] — the polymorphic [`api::EbcEngine`] surface (one trait over
+//!   the single-machine and clustered embodiments, one [`api::Reduced`]
+//!   query report, one [`api::EbcError`]) that the `streaming-bc` facade's
+//!   `Session` drives.
 //! * [`verify`] — recompute-from-scratch oracles for tests and experiments.
 
+pub mod api;
 pub mod approx;
 pub mod bd;
 pub mod brandes;
@@ -35,6 +40,7 @@ pub mod scores;
 pub mod state;
 pub mod verify;
 
+pub use api::{EbcEngine, EbcError, Reduced};
 pub use approx::approx_betweenness;
 pub use bd::{BdStore, MemoryBdStore, SourceViewMut};
 pub use brandes::{brandes, brandes_with_predecessors, single_source_update};

@@ -95,12 +95,22 @@ pub struct BetweennessState<S: BdStore = MemoryBdStore> {
 impl BetweennessState<MemoryBdStore> {
     /// Bootstrap (step 1, Figure 1): run the predecessor-free Brandes over
     /// every source, keeping the records in memory.
-    pub fn init(graph: &Graph) -> Self {
-        Self::init_with(graph.clone(), UpdateConfig::default())
+    pub fn new(graph: &Graph) -> Self {
+        Self::new_with(graph.clone(), UpdateConfig::default())
     }
 
-    /// [`BetweennessState::init`] with a custom kernel configuration.
-    pub fn init_with(graph: Graph, cfg: UpdateConfig) -> Self {
+    /// Deprecated name of [`BetweennessState::new`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use BetweennessState::new, or streaming_bc::Session::builder() for the \
+                unified facade"
+    )]
+    pub fn init(graph: &Graph) -> Self {
+        Self::new(graph)
+    }
+
+    /// [`BetweennessState::new`] with a custom kernel configuration.
+    pub fn new_with(graph: Graph, cfg: UpdateConfig) -> Self {
         let mut store = MemoryBdStore::new(graph.n());
         let mut scores = Scores::zeros_for(&graph);
         let mut scratch = BrandesScratch::new(graph.n());
@@ -119,12 +129,18 @@ impl BetweennessState<MemoryBdStore> {
             cfg,
         }
     }
+
+    /// Deprecated name of [`BetweennessState::new_with`].
+    #[deprecated(since = "0.1.0", note = "use BetweennessState::new_with")]
+    pub fn init_with(graph: Graph, cfg: UpdateConfig) -> Self {
+        Self::new_with(graph, cfg)
+    }
 }
 
 impl<S: BdStore> BetweennessState<S> {
     /// Bootstrap into a caller-provided (e.g. out-of-core) store. The store
     /// must be empty; records for every vertex of `graph` are inserted.
-    pub fn init_into_store(
+    pub fn new_into_store(
         graph: Graph,
         mut store: S,
         cfg: UpdateConfig,
@@ -143,6 +159,12 @@ impl<S: BdStore> BetweennessState<S> {
             ws: Workspace::new(n),
             cfg,
         })
+    }
+
+    /// Deprecated name of [`BetweennessState::new_into_store`].
+    #[deprecated(since = "0.1.0", note = "use BetweennessState::new_into_store")]
+    pub fn init_into_store(graph: Graph, store: S, cfg: UpdateConfig) -> Result<Self, StateError> {
+        Self::new_into_store(graph, store, cfg)
     }
 
     /// Resume from previously persisted records alone: the running scores
@@ -315,7 +337,7 @@ mod tests {
         for (u, v) in [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)] {
             g.add_edge(u, v).unwrap();
         }
-        let mut st = BetweennessState::init(&g);
+        let mut st = BetweennessState::new(&g);
         st.apply(Update::add(1, 3)).unwrap();
         check(&st);
         st.apply(Update::remove(0, 2)).unwrap();
@@ -327,7 +349,7 @@ mod tests {
         let mut g = Graph::with_vertices(3);
         g.add_edge(0, 1).unwrap();
         g.add_edge(1, 2).unwrap();
-        let mut st = BetweennessState::init(&g);
+        let mut st = BetweennessState::new(&g);
         st.apply(Update::add(2, 3)).unwrap(); // vertex 3 arrives
         assert_eq!(st.graph().n(), 4);
         check(&st);
@@ -339,7 +361,7 @@ mod tests {
     fn sparse_vertex_rejected() {
         let mut g = Graph::with_vertices(2);
         g.add_edge(0, 1).unwrap();
-        let mut st = BetweennessState::init(&g);
+        let mut st = BetweennessState::new(&g);
         assert!(matches!(
             st.apply(Update::add(0, 7)),
             Err(StateError::SparseVertex(7))
@@ -350,7 +372,7 @@ mod tests {
     fn duplicate_add_rejected_cleanly() {
         let mut g = Graph::with_vertices(2);
         g.add_edge(0, 1).unwrap();
-        let mut st = BetweennessState::init(&g);
+        let mut st = BetweennessState::new(&g);
         assert!(matches!(
             st.apply(Update::add(0, 1)),
             Err(StateError::Graph(_))
@@ -363,7 +385,7 @@ mod tests {
         let mut g = Graph::with_vertices(3);
         g.add_edge(0, 1).unwrap();
         g.add_edge(1, 2).unwrap();
-        let mut st = BetweennessState::init(&g);
+        let mut st = BetweennessState::new(&g);
         let v = st.add_vertex().unwrap();
         assert_eq!(v, 3);
         check(&st);
@@ -376,7 +398,7 @@ mod tests {
         let mut g = Graph::with_vertices(3);
         g.add_edge(0, 1).unwrap();
         g.add_edge(1, 2).unwrap();
-        let mut st = BetweennessState::init(&g);
+        let mut st = BetweennessState::new(&g);
         let eid = st.graph().edge_id(0, 1).unwrap();
         st.apply(Update::remove(0, 1)).unwrap();
         assert_eq!(st.scores().ebc[eid as usize], 0.0);
@@ -390,7 +412,7 @@ mod tests {
         for (u, v) in [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)] {
             g.add_edge(u, v).unwrap();
         }
-        let mut st = BetweennessState::init(&g);
+        let mut st = BetweennessState::new(&g);
         for _ in 0..5 {
             let Some((key, _)) = st.scores().top_edge(st.graph()) else {
                 break;

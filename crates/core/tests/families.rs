@@ -13,7 +13,7 @@ fn check_family(g: Graph, label: &str) {
     // Exercise: remove a quarter of the edges (every 4th in sorted order),
     // then re-add them, verifying after every step.
     let victims: Vec<(u32, u32)> = g.sorted_edges().into_iter().step_by(4).collect();
-    let mut st = BetweennessState::init(&g);
+    let mut st = BetweennessState::new(&g);
     for (i, &(u, v)) in victims.iter().enumerate() {
         st.apply(Update::remove(u, v)).unwrap();
         assert_matches_scratch(st.graph(), st.scores(), TOL, &format!("{label} rm {i}"));
@@ -130,7 +130,7 @@ fn two_cliques_single_bridge_rewire() {
     }
     edges.push((0, 6));
     let g = Graph::from_edges(edges);
-    let mut st = BetweennessState::init(&g);
+    let mut st = BetweennessState::new(&g);
     for round in 0..3 {
         st.apply(Update::remove(0, 6)).unwrap();
         assert_matches_scratch(st.graph(), st.scores(), TOL, &format!("split {round}"));

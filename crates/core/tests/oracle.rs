@@ -68,7 +68,7 @@ fn absent_pairs(g: &Graph) -> Vec<(u32, u32)> {
 }
 
 fn run_script(g: Graph, script: &[Script], cfg: UpdateConfig) {
-    let mut st = BetweennessState::init_with(g, cfg);
+    let mut st = BetweennessState::new_with(g, cfg);
     for (step, s) in script.iter().enumerate() {
         let ctx = format!("step {step}: {s:?}");
         match *s {
@@ -128,7 +128,7 @@ proptest! {
         prop_assume!(!cands.is_empty());
         let (u, v) = cands[(k % cands.len() as u64) as usize];
         let before = ebc_core::brandes(&g);
-        let mut st = BetweennessState::init(&g);
+        let mut st = BetweennessState::new(&g);
         st.apply(Update::add(u, v)).unwrap();
         st.apply(Update::remove(u, v)).unwrap();
         prop_assert!(st.scores().max_vbc_diff(&before) < TOL);
@@ -143,7 +143,7 @@ proptest! {
         k in any::<u64>(),
         add in any::<bool>(),
     ) {
-        let mut st = BetweennessState::init(&g);
+        let mut st = BetweennessState::new(&g);
         if add {
             let cands = absent_pairs(st.graph());
             prop_assume!(!cands.is_empty());
@@ -158,7 +158,7 @@ proptest! {
         // Re-bootstrap a second state from the final graph: VBC/EBC and the
         // records must agree (records checked indirectly through scores of a
         // subsequent update in other tests; here compare centralities).
-        let fresh = BetweennessState::init(st.graph());
+        let fresh = BetweennessState::new(st.graph());
         prop_assert!(st.scores().max_vbc_diff(fresh.scores()) < TOL);
         prop_assert!(st.scores().max_ebc_diff(fresh.scores(), st.graph()) < TOL);
     }

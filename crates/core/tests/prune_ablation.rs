@@ -33,14 +33,14 @@ fn mixed_stream(g: &Graph, k: usize, seed: u64) -> Vec<Update> {
 /// Drive the same stream through a pruned and an unpruned state, asserting
 /// bit-identical scores after every update.
 fn assert_prune_bitwise_neutral(g: &Graph, stream: &[Update], label: &str) {
-    let mut pruned = BetweennessState::init_with(
+    let mut pruned = BetweennessState::new_with(
         g.clone(),
         UpdateConfig {
             prune_unchanged: true,
             ..Default::default()
         },
     );
-    let mut unpruned = BetweennessState::init_with(
+    let mut unpruned = BetweennessState::new_with(
         g.clone(),
         UpdateConfig {
             prune_unchanged: false,

@@ -34,10 +34,10 @@
 
 use crate::pool::{ApplyEcho, Command, Reply, WorkerPool};
 use crate::shardmap::{ShardMap, ShardMapError, SourceMove};
+use ebc_core::api::{EbcEngine, EbcError, Reduced};
 use ebc_core::bd::{BdError, BdStore, MemoryBdStore};
 use ebc_core::exact::assemble;
 use ebc_core::incremental::UpdateConfig;
-use ebc_core::scores::Scores;
 use ebc_core::state::Update;
 use ebc_graph::{EdgeOp, Graph, GraphError, VertexId};
 use std::fmt;
@@ -98,6 +98,17 @@ impl From<ShardMapError> for EngineError {
     }
 }
 
+impl From<EngineError> for EbcError {
+    fn from(e: EngineError) -> Self {
+        match e {
+            EngineError::Graph(g) => EbcError::Graph(g),
+            EngineError::Store(s) => EbcError::Store(s),
+            EngineError::SparseVertex(v) => EbcError::SparseVertex(v),
+            other => EbcError::Engine(other.to_string()),
+        }
+    }
+}
+
 /// Outcome of one [`ClusterEngine::rebalance`] call.
 #[derive(Debug, Clone)]
 pub struct RebalanceReport {
@@ -146,6 +157,11 @@ pub struct ClusterEngine<S: BdStore = MemoryBdStore> {
     /// The source→shard ownership authority; mirrors the workers' store
     /// membership move for move.
     map: ShardMap,
+    /// Brandes single-source iterations the workers have run for this
+    /// engine (bootstrap partitions plus adopted arrivals). A cluster
+    /// resumed from recovered records starts at 0 — the observable witness
+    /// that the restart was re-bootstrap-free.
+    brandes_runs: u64,
     /// First unrecoverable failure; sticky.
     dead: Option<String>,
     _store: PhantomData<fn() -> S>,
@@ -153,10 +169,20 @@ pub struct ClusterEngine<S: BdStore = MemoryBdStore> {
 
 impl ClusterEngine<MemoryBdStore> {
     /// Bootstrap a `p`-worker cluster with in-memory stores.
-    pub fn bootstrap(graph: &Graph, p: usize) -> Result<Self, EngineError> {
-        Self::bootstrap_with(graph, p, UpdateConfig::default(), |_worker, n| {
+    pub fn new(graph: &Graph, p: usize) -> Result<Self, EngineError> {
+        Self::new_with(graph, p, UpdateConfig::default(), |_worker, n| {
             Ok(MemoryBdStore::new(n))
         })
+    }
+
+    /// Deprecated name of [`ClusterEngine::new`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use ClusterEngine::new, or streaming_bc::Session::builder() for the \
+                unified facade"
+    )]
+    pub fn bootstrap(graph: &Graph, p: usize) -> Result<Self, EngineError> {
+        Self::new(graph, p)
     }
 }
 
@@ -165,7 +191,7 @@ impl<S: BdStore + 'static> ClusterEngine<S> {
     /// `ebc_store::DiskBdStore` file per worker, mirroring one disk per
     /// machine). Spawns the persistent pool, then runs the Brandes
     /// partitions in parallel on it.
-    pub fn bootstrap_with(
+    pub fn new_with(
         graph: &Graph,
         p: usize,
         cfg: UpdateConfig,
@@ -184,10 +210,105 @@ impl<S: BdStore + 'static> ClusterEngine<S> {
             let sources = map.sources_of(worker).to_vec();
             pool.send(worker, Command::Bootstrap { sources })?;
         }
+        let brandes_runs = Self::collect_bootstraps(&pool)?;
+        Ok(ClusterEngine {
+            pool,
+            replica: graph.clone(),
+            map,
+            brandes_runs,
+            dead: None,
+            _store: PhantomData,
+        })
+    }
+
+    /// Deprecated name of [`ClusterEngine::new_with`].
+    #[deprecated(since = "0.1.0", note = "use ClusterEngine::new_with")]
+    pub fn bootstrap_with(
+        graph: &Graph,
+        p: usize,
+        cfg: UpdateConfig,
+        store_factory: impl FnMut(usize, usize) -> Result<S, EngineError>,
+    ) -> Result<Self, EngineError> {
+        Self::new_with(graph, p, cfg, store_factory)
+    }
+
+    /// Restart a cluster from previously persisted per-worker stores
+    /// **without re-running the Brandes bootstrap**: one worker is spawned
+    /// per store, each rehydrating its partial scores from its own recovered
+    /// `BD[·]` records (the ROADMAP's "resume a `ClusterEngine` directly
+    /// from a recovered `ShardSet`" item — the facade's `Session::open`
+    /// passes `ebc_store::ShardSet::open(dir).into_stores()` here).
+    ///
+    /// The source→shard map is rebuilt from the stores' membership lists and
+    /// stamped with `map_version` (the recovered manifest version), so
+    /// adoption and rebalance continue exactly where the killed incarnation
+    /// stopped. Requirements checked up front: every store shaped for
+    /// `graph.n()` vertices, and the union of their sources covering each
+    /// vertex id exactly once. [`ClusterEngine::reduce_exact`] on the
+    /// resumed engine is bitwise identical to the pre-kill value (the exact
+    /// reduction depends only on the records), and
+    /// [`ClusterEngine::brandes_runs`] starts at 0.
+    pub fn resume(
+        graph: &Graph,
+        cfg: UpdateConfig,
+        stores: Vec<S>,
+        map_version: u64,
+    ) -> Result<Self, EngineError> {
+        let n = graph.n();
+        if stores.is_empty() {
+            return Err(EngineError::Store(BdError::Corrupt(
+                "resume needs at least one store".into(),
+            )));
+        }
+        for (k, store) in stores.iter().enumerate() {
+            if store.n() != n {
+                return Err(EngineError::Store(BdError::Corrupt(format!(
+                    "store {k} holds records of {} vertices, graph has {n}",
+                    store.n()
+                ))));
+            }
+        }
+        let owned: Vec<Vec<VertexId>> = stores.iter().map(|s| s.sources()).collect();
+        if let Some(&s) = owned.iter().flatten().find(|&&s| s as usize >= n) {
+            return Err(EngineError::Store(BdError::Corrupt(format!(
+                "recovered source {s} outside the graph's 0..{n}"
+            ))));
+        }
+        let total: usize = owned.iter().map(Vec::len).sum();
+        if total != n {
+            return Err(EngineError::Store(BdError::Corrupt(format!(
+                "recovered stores own {total} sources, graph has {n}"
+            ))));
+        }
+        let map = ShardMap::from_assignment_versioned(owned, map_version)?;
+        let pool = WorkerPool::spawn(graph, cfg, stores);
+        for worker in 0..pool.len() {
+            pool.send(worker, Command::Resume)?;
+        }
+        let brandes_runs = Self::collect_bootstraps(&pool)?;
+        debug_assert_eq!(brandes_runs, 0, "resume must not run Brandes");
+        Ok(ClusterEngine {
+            pool,
+            replica: graph.clone(),
+            map,
+            brandes_runs,
+            dead: None,
+            _store: PhantomData,
+        })
+    }
+
+    /// Collect one `Bootstrapped` reply per worker, summing the Brandes
+    /// iteration counts. On any failure the first error is returned
+    /// (dropping the pool joins whatever was spawned).
+    fn collect_bootstraps(pool: &WorkerPool) -> Result<u64, EngineError> {
         let mut first_err = None;
+        let mut runs = 0u64;
         for worker in 0..pool.len() {
             let err = match pool.recv(worker) {
-                Ok(Reply::Bootstrapped(Ok(()))) => None,
+                Ok(Reply::Bootstrapped(Ok(count))) => {
+                    runs += count;
+                    None
+                }
                 Ok(Reply::Bootstrapped(Err(e))) => Some(e),
                 Ok(_) => Some(protocol_error(worker)),
                 Err(e) => Some(e),
@@ -196,16 +317,10 @@ impl<S: BdStore + 'static> ClusterEngine<S> {
                 first_err = Some(e);
             }
         }
-        if let Some(e) = first_err {
-            return Err(e); // dropping `pool` joins whatever was spawned
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(runs),
         }
-        Ok(ClusterEngine {
-            pool,
-            replica: graph.clone(),
-            map,
-            dead: None,
-            _store: PhantomData,
-        })
     }
 
     /// Number of workers.
@@ -237,6 +352,14 @@ impl<S: BdStore + 'static> ClusterEngine<S> {
     /// The coordinator's source→shard map (ownership, skew, version).
     pub fn shard_map(&self) -> &ShardMap {
         &self.map
+    }
+
+    /// Brandes single-source iterations the workers have run for this
+    /// engine: `n` right after a fresh bootstrap (plus one per adopted
+    /// arrival since), and **0** right after [`ClusterEngine::resume`] —
+    /// the counter the durable-restart suite asserts on.
+    pub fn brandes_runs(&self) -> u64 {
+        self.brandes_runs
     }
 
     fn ensure_live(&self) -> Result<(), EngineError> {
@@ -338,6 +461,10 @@ impl<S: BdStore + 'static> ClusterEngine<S> {
         }
         if let Some(e) = first_err {
             return Err(self.poison(e));
+        }
+        if inflight.adopter.is_some() {
+            // the adopting worker ran one fresh Brandes iteration
+            self.brandes_runs += 1;
         }
         // workers must echo the replica shape as of *this* update, not the
         // coordinator's current one (later updates may already be dispatched)
@@ -507,12 +634,12 @@ impl<S: BdStore + 'static> ClusterEngine<S> {
     /// Reduce phase (the paper's `t_M`): fold the per-worker incremental
     /// partials up a binary tree, workers pre-merging pairwise over channels
     /// so the coordinator receives one vector instead of `p`. Returns the
-    /// scores and the merge wall-clock time.
+    /// scores together with the merge wall-clock time ([`Reduced`]).
     ///
     /// Deterministic for a fixed worker count; across different `p` the
     /// result varies in the last bits (floating-point summation order) — use
     /// [`ClusterEngine::reduce_exact`] for the partition-invariant value.
-    pub fn reduce(&mut self) -> Result<(Scores, Duration), EngineError> {
+    pub fn reduce(&mut self) -> Result<Reduced, EngineError> {
         self.ensure_live()?;
         let t0 = Instant::now();
         let p = self.pool.len();
@@ -527,7 +654,10 @@ impl<S: BdStore + 'static> ClusterEngine<S> {
             Err(e) => return Err(self.poison(e)),
         };
         scores.ensure_shape(self.replica.n(), self.replica.edge_slots());
-        Ok((scores, t0.elapsed()))
+        Ok(Reduced {
+            scores,
+            wall: t0.elapsed(),
+        })
     }
 
     /// Partition-invariant exact reduce: every worker derives its owned
@@ -536,8 +666,9 @@ impl<S: BdStore + 'static> ClusterEngine<S> {
     /// assembles the root. Bitwise identical across worker counts, store
     /// backends, and [`ebc_core::state::BetweennessState::exact_scores`] —
     /// the oracle the consistency suite pins the engine against.
-    pub fn reduce_exact(&mut self) -> Result<Scores, EngineError> {
+    pub fn reduce_exact(&mut self) -> Result<Reduced, EngineError> {
         self.ensure_live()?;
+        let t0 = Instant::now();
         let p = self.pool.len();
         for worker in 0..p {
             if let Err(e) = self.pool.send(worker, Command::Segments) {
@@ -565,11 +696,83 @@ impl<S: BdStore + 'static> ClusterEngine<S> {
         }
         let n = self.replica.n();
         let shape = (n, self.replica.edge_slots());
-        assemble(segments, n, shape).ok_or_else(|| {
+        let scores = assemble(segments, n, shape).ok_or_else(|| {
             self.poison(EngineError::Store(BdError::Corrupt(
                 "worker segments do not tile the source range".into(),
             )))
+        })?;
+        Ok(Reduced {
+            scores,
+            wall: t0.elapsed(),
         })
+    }
+
+    /// Flush every worker's store to durable storage (no-op for memory
+    /// stores) — the cluster half of the facade's checkpoint path.
+    pub fn flush(&mut self) -> Result<(), EngineError> {
+        self.ensure_live()?;
+        let p = self.pool.len();
+        for worker in 0..p {
+            if let Err(e) = self.pool.send(worker, Command::Flush) {
+                return Err(self.poison(e));
+            }
+        }
+        let mut first_err: Option<EngineError> = None;
+        for worker in 0..p {
+            let err = match self.pool.recv(worker) {
+                Ok(Reply::Flushed(Ok(()))) => None,
+                Ok(Reply::Flushed(Err(e))) => Some(e),
+                Ok(_) => Some(protocol_error(worker)),
+                Err(e) => Some(e),
+            };
+            if let (Some(e), None) = (err, &first_err) {
+                first_err = Some(e);
+            }
+        }
+        match first_err {
+            Some(e) => Err(self.poison(e)),
+            None => Ok(()),
+        }
+    }
+}
+
+impl<S: BdStore + 'static> EbcEngine for ClusterEngine<S> {
+    fn graph(&self) -> &Graph {
+        ClusterEngine::graph(self)
+    }
+
+    fn workers(&self) -> usize {
+        self.num_workers()
+    }
+
+    fn apply(&mut self, update: Update) -> Result<(), EbcError> {
+        ClusterEngine::apply(self, update)?;
+        Ok(())
+    }
+
+    fn apply_stream(&mut self, updates: &[Update]) -> Result<(), EbcError> {
+        ClusterEngine::apply_stream(self, updates)?;
+        Ok(())
+    }
+
+    fn scores(&mut self) -> Result<Reduced, EbcError> {
+        Ok(self.reduce()?)
+    }
+
+    fn reduce_exact(&mut self) -> Result<Reduced, EbcError> {
+        Ok(ClusterEngine::reduce_exact(self)?)
+    }
+
+    fn flush(&mut self) -> Result<(), EbcError> {
+        Ok(ClusterEngine::flush(self)?)
+    }
+
+    fn shard_map_version(&self) -> Option<u64> {
+        Some(self.map.version())
+    }
+
+    fn brandes_runs(&self) -> Option<u64> {
+        Some(ClusterEngine::brandes_runs(self))
     }
 }
 
@@ -580,6 +783,7 @@ fn protocol_error(worker: usize) -> EngineError {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ebc_core::scores::Scores;
     use ebc_core::state::BetweennessState;
     use ebc_core::verify::assert_matches_scratch;
     use ebc_gen::models::holme_kim;
@@ -587,10 +791,10 @@ mod tests {
     #[test]
     fn cluster_matches_single_state() {
         let g = holme_kim(40, 3, 0.4, 7);
-        let mut cluster = ClusterEngine::bootstrap(&g, 4).unwrap();
-        let mut single = BetweennessState::init(&g);
+        let mut cluster = ClusterEngine::new(&g, 4).unwrap();
+        let mut single = BetweennessState::new(&g);
         // bootstrap equivalence
-        let (scores, _) = cluster.reduce().unwrap();
+        let scores = cluster.reduce().unwrap().scores;
         assert!(scores.max_vbc_diff(single.scores()) < 1e-9);
 
         let updates = [
@@ -602,7 +806,7 @@ mod tests {
         for u in updates {
             cluster.apply(u).unwrap();
             single.apply(u).unwrap();
-            let (scores, _) = cluster.reduce().unwrap();
+            let scores = cluster.reduce().unwrap().scores;
             assert!(
                 scores.max_vbc_diff(single.scores()) < 1e-9,
                 "VBC after {u:?}"
@@ -620,16 +824,16 @@ mod tests {
         for (u, v) in [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)] {
             g.add_edge(u, v).unwrap();
         }
-        let mut cluster = ClusterEngine::bootstrap(&g, 3).unwrap();
+        let mut cluster = ClusterEngine::new(&g, 3).unwrap();
         cluster.apply(Update::remove(2, 3)).unwrap();
-        let (scores, _) = cluster.reduce().unwrap();
+        let scores = cluster.reduce().unwrap().scores;
         assert_matches_scratch(cluster.graph(), &scores, 1e-6, "disconnect");
     }
 
     #[test]
     fn cluster_adopts_new_vertices_balanced() {
         let g = holme_kim(20, 2, 0.3, 3);
-        let mut cluster = ClusterEngine::bootstrap(&g, 3).unwrap();
+        let mut cluster = ClusterEngine::new(&g, 3).unwrap();
         assert_eq!(cluster.total_sources(), 20);
         let r1 = cluster.apply(Update::add(5, 20)).unwrap(); // new vertex 20
         let r2 = cluster.apply(Update::add(20, 21)).unwrap(); // and 21
@@ -637,16 +841,16 @@ mod tests {
         assert_eq!(r1.adopter, Some(2));
         assert_eq!(r2.adopter, Some(0));
         assert_eq!(cluster.total_sources(), 22);
-        let (scores, _) = cluster.reduce().unwrap();
+        let scores = cluster.reduce().unwrap().scores;
         assert_matches_scratch(cluster.graph(), &scores, 1e-6, "growth");
     }
 
     #[test]
     fn single_worker_cluster_is_degenerate_case() {
         let g = holme_kim(15, 2, 0.2, 5);
-        let mut cluster = ClusterEngine::bootstrap(&g, 1).unwrap();
+        let mut cluster = ClusterEngine::new(&g, 1).unwrap();
         cluster.apply(Update::add(0, 9)).unwrap();
-        let (scores, _) = cluster.reduce().unwrap();
+        let scores = cluster.reduce().unwrap().scores;
         assert_matches_scratch(cluster.graph(), &scores, 1e-6, "p=1");
     }
 
@@ -655,16 +859,16 @@ mod tests {
         let mut g = Graph::with_vertices(3);
         g.add_edge(0, 1).unwrap();
         g.add_edge(1, 2).unwrap();
-        let mut cluster = ClusterEngine::bootstrap(&g, 8).unwrap();
+        let mut cluster = ClusterEngine::new(&g, 8).unwrap();
         cluster.apply(Update::add(0, 2)).unwrap();
-        let (scores, _) = cluster.reduce().unwrap();
+        let scores = cluster.reduce().unwrap().scores;
         assert_matches_scratch(cluster.graph(), &scores, 1e-6, "p>n");
     }
 
     #[test]
     fn apply_report_shapes() {
         let g = holme_kim(25, 2, 0.3, 9);
-        let mut cluster = ClusterEngine::bootstrap(&g, 4).unwrap();
+        let mut cluster = ClusterEngine::new(&g, 4).unwrap();
         let rep = cluster.apply(Update::add(0, 13)).unwrap();
         assert_eq!(rep.per_worker.len(), 4);
         assert!(rep.map_wall >= *rep.per_worker.iter().max().unwrap());
@@ -675,7 +879,7 @@ mod tests {
     #[test]
     fn sparse_vertex_rejected() {
         let g = holme_kim(10, 2, 0.3, 9);
-        let mut cluster = ClusterEngine::bootstrap(&g, 2).unwrap();
+        let mut cluster = ClusterEngine::new(&g, 2).unwrap();
         assert!(matches!(
             cluster.apply(Update::add(0, 99)),
             Err(EngineError::SparseVertex(99))
@@ -689,7 +893,7 @@ mod tests {
         let mut g = Graph::with_vertices(4);
         g.add_edge(0, 1).unwrap();
         g.add_edge(1, 2).unwrap();
-        let mut cluster = ClusterEngine::bootstrap(&g, 2).unwrap();
+        let mut cluster = ClusterEngine::new(&g, 2).unwrap();
         assert!(matches!(
             cluster.apply(Update::add(0, 1)),
             Err(EngineError::Graph(GraphError::DuplicateEdge(0, 1)))
@@ -703,7 +907,7 @@ mod tests {
             Err(EngineError::Graph(GraphError::SelfLoop(2)))
         ));
         cluster.apply(Update::add(0, 2)).unwrap();
-        let (scores, _) = cluster.reduce().unwrap();
+        let scores = cluster.reduce().unwrap().scores;
         assert_matches_scratch(cluster.graph(), &scores, 1e-6, "after rejects");
     }
 
@@ -717,16 +921,16 @@ mod tests {
             Update::add(5, 30), // grows
             Update::add(30, 31),
         ];
-        let mut streamed = ClusterEngine::bootstrap(&g, 3).unwrap();
+        let mut streamed = ClusterEngine::new(&g, 3).unwrap();
         let reports = streamed.apply_stream(&updates).unwrap();
         assert_eq!(reports.len(), updates.len());
-        let mut stepped = ClusterEngine::bootstrap(&g, 3).unwrap();
+        let mut stepped = ClusterEngine::new(&g, 3).unwrap();
         for u in updates {
             stepped.apply(u).unwrap();
         }
         // identical worker count and history => bitwise-equal partials
-        let a = streamed.reduce().unwrap().0;
-        let b = stepped.reduce().unwrap().0;
+        let a = streamed.reduce().unwrap().scores;
+        let b = stepped.reduce().unwrap().scores;
         assert_eq!(a, b);
         // and adopters recorded in stream order
         let adopters: Vec<_> = reports.iter().filter_map(|r| r.adopter).collect();
@@ -739,7 +943,7 @@ mod tests {
         for i in 0..19 {
             g.add_edge(i, i + 1).unwrap();
         }
-        let mut cluster = ClusterEngine::bootstrap(&g, 2).unwrap();
+        let mut cluster = ClusterEngine::new(&g, 2).unwrap();
         let updates = [
             Update::add(0, 15),
             Update::remove(0, 15),
@@ -751,17 +955,17 @@ mod tests {
             Err(EngineError::Graph(GraphError::MissingEdge(0, 15)))
         ));
         // prefix was applied, engine consistent and alive
-        let (scores, _) = cluster.reduce().unwrap();
+        let scores = cluster.reduce().unwrap().scores;
         assert_matches_scratch(cluster.graph(), &scores, 1e-6, "after stream error");
     }
 
     #[test]
     fn exact_reduce_matches_scratch() {
         let g = holme_kim(26, 3, 0.5, 13);
-        let mut cluster = ClusterEngine::bootstrap(&g, 3).unwrap();
+        let mut cluster = ClusterEngine::new(&g, 3).unwrap();
         cluster.apply(Update::add(0, 19)).unwrap();
         cluster.apply(Update::remove(0, 19)).unwrap();
-        let exact = cluster.reduce_exact().unwrap();
+        let exact = cluster.reduce_exact().unwrap().scores;
         assert_matches_scratch(cluster.graph(), &exact, 1e-6, "exact reduce");
     }
 
@@ -775,9 +979,9 @@ mod tests {
     #[test]
     fn handoff_moves_ownership_without_changing_scores() {
         let g = holme_kim(24, 3, 0.4, 17);
-        let mut cluster = ClusterEngine::bootstrap(&g, 3).unwrap();
+        let mut cluster = ClusterEngine::new(&g, 3).unwrap();
         cluster.apply(Update::add(0, 24)).unwrap(); // grows: vertex 24
-        let before = cluster.reduce_exact().unwrap();
+        let before = cluster.reduce_exact().unwrap().scores;
         // drain worker 0 entirely onto the others
         let owned: Vec<u32> = cluster.shard_map().sources_of(0).to_vec();
         for (i, s) in owned.into_iter().enumerate() {
@@ -785,18 +989,18 @@ mod tests {
         }
         assert_eq!(cluster.source_counts()[0], 0);
         assert_eq!(cluster.total_sources(), 25);
-        let after = cluster.reduce_exact().unwrap();
+        let after = cluster.reduce_exact().unwrap().scores;
         assert_eq!(bits(&before), bits(&after), "handoff changed the scores");
         // the cluster keeps working: updates land on the new owners
         cluster.apply(Update::add(5, 25)).unwrap();
-        let exact = cluster.reduce_exact().unwrap();
+        let exact = cluster.reduce_exact().unwrap().scores;
         assert_matches_scratch(cluster.graph(), &exact, 1e-6, "post-handoff");
     }
 
     #[test]
     fn rebalance_restores_skew_and_is_score_neutral() {
         let g = holme_kim(20, 2, 0.3, 19);
-        let mut cluster = ClusterEngine::bootstrap(&g, 4).unwrap();
+        let mut cluster = ClusterEngine::new(&g, 4).unwrap();
         // skew: pile everything worker 2 and 3 own onto worker 0
         for s in cluster.shard_map().sources_of(2).to_vec() {
             cluster.handoff(s, 0).unwrap();
@@ -806,7 +1010,7 @@ mod tests {
         }
         assert_eq!(cluster.shard_map().skew(), 15);
         let version_before = cluster.shard_map().version();
-        let before = cluster.reduce_exact().unwrap();
+        let before = cluster.reduce_exact().unwrap().scores;
         let report = cluster.rebalance(1).unwrap();
         assert!(!report.moves.is_empty());
         assert!(cluster.shard_map().skew() <= 1);
@@ -814,7 +1018,7 @@ mod tests {
             report.map_version,
             version_before + report.moves.len() as u64
         );
-        let after = cluster.reduce_exact().unwrap();
+        let after = cluster.reduce_exact().unwrap().scores;
         assert_eq!(bits(&before), bits(&after), "rebalance changed the scores");
         // idempotent once balanced
         assert!(cluster.rebalance(1).unwrap().moves.is_empty());
@@ -823,7 +1027,7 @@ mod tests {
     #[test]
     fn invalid_handoffs_rejected_without_poisoning() {
         let g = holme_kim(12, 2, 0.3, 23);
-        let mut cluster = ClusterEngine::bootstrap(&g, 2).unwrap();
+        let mut cluster = ClusterEngine::new(&g, 2).unwrap();
         assert!(matches!(
             cluster.handoff(99, 1),
             Err(EngineError::Shard(ShardMapError::Unowned(99)))
@@ -840,14 +1044,14 @@ mod tests {
         // none of that touched a worker: the engine stays healthy
         cluster.apply(Update::add(0, 12)).unwrap();
         cluster.handoff(0, 1).unwrap();
-        let exact = cluster.reduce_exact().unwrap();
+        let exact = cluster.reduce_exact().unwrap().scores;
         assert_matches_scratch(cluster.graph(), &exact, 1e-6, "after rejects");
     }
 
     #[test]
     fn adoption_and_handoff_share_the_map() {
         let g = holme_kim(9, 2, 0.3, 29);
-        let mut cluster = ClusterEngine::bootstrap(&g, 3).unwrap();
+        let mut cluster = ClusterEngine::new(&g, 3).unwrap();
         // counts [3, 3, 3]; drain worker 0 (sources 0 and 2 to worker 1,
         // source 1 to worker 2) → [0, 5, 4]
         for (i, s) in (0..3u32).enumerate() {

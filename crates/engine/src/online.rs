@@ -131,7 +131,7 @@ pub fn simulate_online<S: BdStore + 'static>(
             u: ev.u,
             v: ev.v,
         })?;
-        let (_, merge) = cluster.reduce()?;
+        let merge = cluster.reduce()?.wall;
         update_times.push((rep.map_wall + merge).as_secs_f64());
     }
     Ok(OnlineReport::from_events(fold_events(
@@ -219,7 +219,7 @@ mod tests {
         use ebc_gen::streams::replay_growth;
         let (full, order) = holme_kim_with_order(30, 3, 0.3, 4);
         let (boot, tail) = replay_growth(&order, full.n(), 8, 10.0, 0.3, 5);
-        let mut cluster = ClusterEngine::bootstrap(&boot, 2).unwrap();
+        let mut cluster = ClusterEngine::new(&boot, 2).unwrap();
         let report = simulate_online(&mut cluster, &tail).unwrap();
         assert_eq!(report.events.len(), 8);
         // tiny graph, 10s gaps: everything is on time
@@ -233,8 +233,8 @@ mod tests {
         use ebc_gen::streams::replay_growth;
         let (full, order) = holme_kim_with_order(60, 3, 0.3, 4);
         let (boot, tail) = replay_growth(&order, full.n(), 10, 5.0, 0.3, 5);
-        let mut st1 = BetweennessState::init(&boot);
-        let mut st8 = BetweennessState::init(&boot);
+        let mut st1 = BetweennessState::new(&boot);
+        let mut st8 = BetweennessState::new(&boot);
         let r1 = simulate_modeled(&mut st1, &tail, 1, Duration::ZERO).unwrap();
         let r8 = simulate_modeled(&mut st8, &tail, 8, Duration::ZERO).unwrap();
         assert!(

@@ -61,6 +61,14 @@ pub(crate) enum Command {
     /// membership list, not a range: the shard map may assign any subset
     /// (contiguous only in the `partition_ranges` bootstrap case).
     Bootstrap { sources: Vec<VertexId> },
+    /// Rehydrate from the store's existing records instead of running
+    /// Brandes: the partial score vector is rebuilt by summing each owned
+    /// source's derived contribution ([`ebc_core::exact::source_contribution`])
+    /// in ascending source order. The re-bootstrap-free restart path —
+    /// replies [`Reply::Bootstrapped`] with a Brandes count of zero.
+    Resume,
+    /// Flush the private store's durable backing (no-op for memory stores).
+    Flush,
     /// Map task for one update; `adopt` names a newly arrived vertex this
     /// worker takes into its partition.
     Apply {
@@ -98,13 +106,17 @@ pub(crate) struct ApplyEcho {
 /// Worker → coordinator replies (one per command, except `MergePartials`
 /// which replies only from the tree root and `Shutdown` which is silent).
 pub(crate) enum Reply {
-    Bootstrapped(Result<(), EngineError>),
+    /// Carries the number of Brandes single-source iterations the worker ran
+    /// (`sources.len()` for a bootstrap, 0 for a resume) — the coordinator
+    /// sums these into its re-bootstrap accounting.
+    Bootstrapped(Result<u64, EngineError>),
     Applied(Result<ApplyEcho, EngineError>),
     Merged(Box<Scores>),
     Segments(Result<Vec<TreeSegment>, EngineError>),
     Exported(Box<Result<ExportedRecord, EngineError>>),
     Imported(Result<(), EngineError>),
     Retired(Result<(), EngineError>),
+    Flushed(Result<(), EngineError>),
 }
 
 /// Payload on the worker-to-worker merge channels: sender id + accumulated
@@ -136,6 +148,14 @@ impl<S: BdStore> WorkerThread<S> {
                 Command::Bootstrap { sources } => {
                     let result = self.guarded(|w| w.bootstrap(sources));
                     let _ = self.reply_tx.send(Reply::Bootstrapped(result));
+                }
+                Command::Resume => {
+                    let result = self.guarded(|w| w.resume());
+                    let _ = self.reply_tx.send(Reply::Bootstrapped(result));
+                }
+                Command::Flush => {
+                    let result = self.guarded(|w| w.store.flush().map_err(Into::into));
+                    let _ = self.reply_tx.send(Reply::Flushed(result));
                 }
                 Command::Apply { update, adopt } => {
                     let result = self.guarded(|w| w.apply(update, adopt));
@@ -201,12 +221,39 @@ impl<S: BdStore> WorkerThread<S> {
 
     /// Bootstrap this worker's partition: one Brandes iteration per owned
     /// source, accumulating into the partial scores (step 1 of Figure 4).
-    fn bootstrap(&mut self, sources: Vec<VertexId>) -> Result<(), EngineError> {
+    /// Returns the Brandes iteration count.
+    fn bootstrap(&mut self, sources: Vec<VertexId>) -> Result<u64, EngineError> {
+        let count = sources.len() as u64;
         for s in sources {
             let r = single_source_update_with(&self.graph, s, &mut self.partial, &mut self.scratch);
             self.store.add_source(s, r.d, r.sigma, r.delta)?;
         }
-        Ok(())
+        Ok(count)
+    }
+
+    /// Rehydrate the partial score vector from the store's recovered
+    /// records: each owned source's contribution is derived from `BD[s]`
+    /// alone and folded in ascending source order (pinned, so a restart at
+    /// fixed `p` is reproducible). No Brandes iteration runs — the whole
+    /// point of the durable-restart path — hence the returned count of 0.
+    fn resume(&mut self) -> Result<u64, EngineError> {
+        let mut sources = self.store.sources();
+        sources.sort_unstable();
+        let (n, edge_slots) = (self.graph.n(), self.graph.edge_slots());
+        self.partial = Scores::zeros(n, edge_slots);
+        let mut leaf = Scores::zeros(n, edge_slots);
+        let graph = &self.graph;
+        let store = &mut self.store;
+        for s in sources {
+            leaf.vbc.fill(0.0);
+            leaf.ebc.fill(0.0);
+            store.update_with(s, &mut |view| {
+                source_contribution(graph, s, view.d, view.sigma, view.delta, &mut leaf);
+                false
+            })?;
+            self.partial.merge_from(&leaf);
+        }
+        Ok(0)
     }
 
     /// Map task for one update: refresh the replica, then run the kernel for

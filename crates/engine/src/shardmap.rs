@@ -126,6 +126,19 @@ impl ShardMap {
         Self::from_owned(owned)
     }
 
+    /// [`ShardMap::from_assignment`] stamped with a recovered version, so a
+    /// resumed cluster's map continues the killed incarnation's version
+    /// sequence instead of restarting at 0 (the `ClusterEngine::resume`
+    /// path hands the `ShardSet` manifest version here).
+    pub fn from_assignment_versioned(
+        owned: Vec<Vec<VertexId>>,
+        version: u64,
+    ) -> Result<Self, ShardMapError> {
+        let mut map = Self::from_owned(owned)?;
+        map.version = version;
+        Ok(map)
+    }
+
     fn from_owned(owned: Vec<Vec<VertexId>>) -> Result<Self, ShardMapError> {
         assert!(!owned.is_empty(), "a shard map needs at least one shard");
         let mut owner = FxHashMap::default();

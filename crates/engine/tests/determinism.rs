@@ -37,10 +37,10 @@ fn growth_stream() -> (ebc_graph::Graph, Vec<Update>) {
 }
 
 fn replay(g: &ebc_graph::Graph, updates: &[Update], p: usize) -> (Vec<Option<usize>>, Scores) {
-    let mut cluster = ClusterEngine::bootstrap(g, p).unwrap();
+    let mut cluster = ClusterEngine::new(g, p).unwrap();
     let reports = cluster.apply_stream(updates).unwrap();
     let adopters = reports.iter().map(|r| r.adopter).collect();
-    let exact = cluster.reduce_exact().unwrap();
+    let exact = cluster.reduce_exact().unwrap().scores;
     (adopters, exact)
 }
 
@@ -68,12 +68,12 @@ fn same_worker_count_replays_are_fully_identical() {
     );
     assert_eq!(bits(&exact_a), bits(&exact_b));
     // the fast reduce is also deterministic at fixed p (fixed merge tree)
-    let mut c1 = ClusterEngine::bootstrap(&g, 4).unwrap();
-    let mut c2 = ClusterEngine::bootstrap(&g, 4).unwrap();
+    let mut c1 = ClusterEngine::new(&g, 4).unwrap();
+    let mut c2 = ClusterEngine::new(&g, 4).unwrap();
     c1.apply_stream(&updates).unwrap();
     c2.apply_stream(&updates).unwrap();
-    let f1 = c1.reduce().unwrap().0;
-    let f2 = c2.reduce().unwrap().0;
+    let f1 = c1.reduce().unwrap().scores;
+    let f2 = c2.reduce().unwrap().scores;
     assert_eq!(
         bits(&f1),
         bits(&f2),

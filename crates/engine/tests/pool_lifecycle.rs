@@ -83,11 +83,10 @@ fn dropping_the_engine_joins_all_workers() {
     let drops = Arc::new(AtomicUsize::new(0));
     let p = 4;
     let drops_factory = drops.clone();
-    let mut cluster =
-        ClusterEngine::bootstrap_with(&g, p, UpdateConfig::default(), move |_worker, n| {
-            Ok(InstrumentedStore::new(n, None, drops_factory.clone()))
-        })
-        .unwrap();
+    let mut cluster = ClusterEngine::new_with(&g, p, UpdateConfig::default(), move |_worker, n| {
+        Ok(InstrumentedStore::new(n, None, drops_factory.clone()))
+    })
+    .unwrap();
     let updates: Vec<Update> = addition_stream(&g, 6, 5)
         .into_iter()
         .map(|(u, v)| Update::add(u, v))
@@ -108,12 +107,11 @@ fn poisoned_worker_surfaces_as_engine_error_not_a_hang() {
     let budget = Arc::new(AtomicIsize::new(2));
     let drops_factory = drops.clone();
     let budget_factory = budget.clone();
-    let mut cluster =
-        ClusterEngine::bootstrap_with(&g, p, UpdateConfig::default(), move |worker, n| {
-            let budget = (worker == 1).then(|| budget_factory.clone());
-            Ok(InstrumentedStore::new(n, budget, drops_factory.clone()))
-        })
-        .unwrap();
+    let mut cluster = ClusterEngine::new_with(&g, p, UpdateConfig::default(), move |worker, n| {
+        let budget = (worker == 1).then(|| budget_factory.clone());
+        Ok(InstrumentedStore::new(n, budget, drops_factory.clone()))
+    })
+    .unwrap();
 
     let updates: Vec<Update> = addition_stream(&g, 8, 7)
         .into_iter()
@@ -158,12 +156,11 @@ fn mid_stream_poison_still_tears_down_cleanly() {
     let budget = Arc::new(AtomicIsize::new(5));
     let drops_factory = drops.clone();
     let budget_factory = budget.clone();
-    let mut cluster =
-        ClusterEngine::bootstrap_with(&g, p, UpdateConfig::default(), move |worker, n| {
-            let budget = (worker == 2).then(|| budget_factory.clone());
-            Ok(InstrumentedStore::new(n, budget, drops_factory.clone()))
-        })
-        .unwrap();
+    let mut cluster = ClusterEngine::new_with(&g, p, UpdateConfig::default(), move |worker, n| {
+        let budget = (worker == 2).then(|| budget_factory.clone());
+        Ok(InstrumentedStore::new(n, budget, drops_factory.clone()))
+    })
+    .unwrap();
     // a long pipelined stream: the failure fires while later updates are
     // already queued on the workers' channels
     let updates: Vec<Update> = addition_stream(&g, 20, 9)

@@ -236,7 +236,7 @@ fn run_schedule<S: ebc_core::bd::BdStore + 'static>(
                     "{ctx}: skew after rebalance"
                 );
                 // compare right after every rebalance, not just at the end
-                let exact = cluster.reduce_exact().unwrap();
+                let exact = cluster.reduce_exact().unwrap().scores;
                 let oracle = single.exact_scores().unwrap();
                 assert_eq!(
                     bits(&exact),
@@ -247,7 +247,7 @@ fn run_schedule<S: ebc_core::bd::BdStore + 'static>(
             }
         }
     }
-    let exact = cluster.reduce_exact().unwrap();
+    let exact = cluster.reduce_exact().unwrap().scores;
     let oracle = single.exact_scores().unwrap();
     assert_eq!(bits(&exact), bits(&oracle), "{ctx}: final scores diverged");
     // ownership stayed exactly-once: counts on the map sum to the sources
@@ -270,8 +270,8 @@ proptest! {
     ) {
         let g = holme_kim(22, 2, 0.35, seed);
         // memory-backed cluster
-        let mut single = BetweennessState::init(&g);
-        let cluster = ClusterEngine::bootstrap(&g, p).unwrap();
+        let mut single = BetweennessState::new(&g);
+        let cluster = ClusterEngine::new(&g, p).unwrap();
         run_schedule(cluster, &mut single, p, &ops, &format!("mem seed={seed} p={p}"));
 
         // disk-backed cluster, fresh per case
@@ -281,9 +281,9 @@ proptest! {
             std::process::id()
         ));
         std::fs::create_dir_all(&dir).unwrap();
-        let mut single = BetweennessState::init(&g);
+        let mut single = BetweennessState::new(&g);
         let store_dir = dir.clone();
-        let cluster = ClusterEngine::bootstrap_with(
+        let cluster = ClusterEngine::new_with(
             &g,
             p,
             ebc_core::incremental::UpdateConfig::default(),

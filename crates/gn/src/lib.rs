@@ -78,7 +78,7 @@ pub fn modularity(g0: &Graph, labels: &[u32]) -> f64 {
 /// to an empty graph).
 pub fn girvan_newman_incremental(g: &Graph, max_removals: usize) -> Dendrogram {
     let g0 = g.clone();
-    let mut state = BetweennessState::init(g);
+    let mut state = BetweennessState::new(g);
     let mut steps = Vec::new();
     let mut best_partition: Vec<u32> = vec![0; g.n()];
     let mut best_modularity = f64::NEG_INFINITY;

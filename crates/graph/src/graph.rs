@@ -94,11 +94,11 @@ impl std::error::Error for GraphError {}
 /// validate in O(1).
 #[derive(Clone, Default)]
 pub struct Graph {
-    adj: Vec<Vec<Half>>,
-    index: FxHashMap<EdgeKey, EdgeId>,
+    pub(crate) adj: Vec<Vec<Half>>,
+    pub(crate) index: FxHashMap<EdgeKey, EdgeId>,
     /// Slot -> key; `None` for free slots.
-    slots: Vec<Option<EdgeKey>>,
-    free: Vec<EdgeId>,
+    pub(crate) slots: Vec<Option<EdgeKey>>,
+    pub(crate) free: Vec<EdgeId>,
 }
 
 impl Graph {

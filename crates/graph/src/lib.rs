@@ -18,12 +18,16 @@
 //!   coefficient, effective diameter, largest connected component) are
 //!   implemented here;
 //! * timestamped edge streams ([`stream::EdgeStream`]) model the paper's
-//!   evolving-graph input (§5.3, Figure 8).
+//!   evolving-graph input (§5.3, Figure 8);
+//! * checksummed structural [`snapshot`]s persist slot assignment, free-list
+//!   order and adjacency order, so a durable session restart continues the
+//!   exact graph state (not merely the edge set).
 
 pub mod digraph;
 pub mod fxhash;
 pub mod graph;
 pub mod io;
+pub mod snapshot;
 pub mod stats;
 pub mod stream;
 pub mod traversal;
@@ -31,6 +35,7 @@ pub mod traversal;
 pub use digraph::{ArcKey, DiGraph};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use graph::{EdgeId, EdgeKey, Graph, GraphError, Half, VertexId};
+pub use snapshot::SnapshotError;
 pub use stats::GraphStats;
 pub use stream::{EdgeEvent, EdgeOp, EdgeStream};
 

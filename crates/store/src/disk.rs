@@ -719,6 +719,10 @@ impl BdStore for DiskBdStore {
         self.n
     }
 
+    fn flush(&mut self) -> BdResult<()> {
+        DiskBdStore::flush(self)
+    }
+
     fn sources(&self) -> Vec<VertexId> {
         self.order.clone()
     }

@@ -82,7 +82,7 @@ pub mod shard;
 
 pub use codec::CodecKind;
 pub use disk::{BatchPlan, DiskBdStore, ExportJournal, FormatVersion, SlotRun};
-pub use recovery::{IntentOp, RecoveryAction};
+pub use recovery::{fnv1a64, IntentOp, RecoveryAction};
 pub use shard::{HandoffRecovery, ShardSet};
 
 // re-export the trait so downstream users need only this crate

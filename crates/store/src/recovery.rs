@@ -137,16 +137,11 @@ pub(crate) struct Intent {
     pub new: Geometry,
 }
 
-/// 64-bit FNV-1a over `bytes` — the checksum used by intent records and the
-/// appended-record payload guard.
-pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
+// 64-bit FNV-1a — used by intent records, the appended-record payload
+// guard, and the shard manifest; one canonical implementation lives in
+// ebc-graph (it also seals the structural snapshots the session manifest
+// embeds, so both layers must agree bit for bit).
+pub use ebc_graph::snapshot::fnv1a64;
 
 impl Intent {
     pub(crate) fn encode(&self) -> [u8; WAL_LEN] {

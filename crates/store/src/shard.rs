@@ -38,7 +38,12 @@ use ebc_graph::VertexId;
 use std::path::{Path, PathBuf};
 
 const MANIFEST_MAGIC: &[u8; 7] = b"EBCSHM\n";
-const MANIFEST_LEN: usize = 32;
+/// Original (v0) manifest: magic + pad + shards + version + checksum.
+const MANIFEST_LEN_V0: usize = 32;
+/// Extended (v1) manifest: v0 fields + the caller-set graph stamp — the
+/// binding between the shard directory and the session layer's graph
+/// snapshot (see [`ShardSet::set_graph_stamp`]).
+const MANIFEST_LEN_V1: usize = 40;
 
 /// Path of shard `k`'s data file inside `dir`.
 pub fn shard_path(dir: &Path, k: usize) -> PathBuf {
@@ -51,12 +56,13 @@ fn manifest_path(dir: &Path) -> PathBuf {
 
 /// Atomically replace the manifest (temp file + rename): readers see the
 /// old version or the new one, nothing in between.
-fn write_manifest(dir: &Path, shards: u64, version: u64) -> BdResult<()> {
-    let mut buf = Vec::with_capacity(MANIFEST_LEN);
+fn write_manifest(dir: &Path, shards: u64, version: u64, graph_stamp: u64) -> BdResult<()> {
+    let mut buf = Vec::with_capacity(MANIFEST_LEN_V1);
     buf.extend_from_slice(MANIFEST_MAGIC);
-    buf.push(0);
+    buf.push(1); // manifest format: 1 = graph-stamp extension present
     buf.extend_from_slice(&shards.to_le_bytes());
     buf.extend_from_slice(&version.to_le_bytes());
+    buf.extend_from_slice(&graph_stamp.to_le_bytes());
     let ck = fnv1a64(&buf);
     buf.extend_from_slice(&ck.to_le_bytes());
     let path = manifest_path(dir);
@@ -66,22 +72,31 @@ fn write_manifest(dir: &Path, shards: u64, version: u64) -> BdResult<()> {
     Ok(())
 }
 
-fn read_manifest(dir: &Path) -> BdResult<(usize, u64)> {
+/// Read either manifest format: v0 (32 bytes, no stamp — reported as 0) or
+/// v1 (40 bytes with the graph stamp). Returns `(shards, version, stamp)`.
+fn read_manifest(dir: &Path) -> BdResult<(usize, u64, u64)> {
     let raw = std::fs::read(manifest_path(dir))
         .map_err(|_| BdError::Corrupt("missing shard manifest".into()))?;
-    if raw.len() != MANIFEST_LEN || &raw[..7] != MANIFEST_MAGIC {
+    if (raw.len() != MANIFEST_LEN_V0 && raw.len() != MANIFEST_LEN_V1) || &raw[..7] != MANIFEST_MAGIC
+    {
         return Err(BdError::Corrupt("bad shard manifest".into()));
     }
-    let ck = u64::from_le_bytes(raw[24..32].try_into().expect("8 bytes"));
-    if ck != fnv1a64(&raw[..24]) {
+    let body = raw.len() - 8;
+    let ck = u64::from_le_bytes(raw[body..].try_into().expect("8 bytes"));
+    if ck != fnv1a64(&raw[..body]) {
         return Err(BdError::Corrupt("shard manifest checksum mismatch".into()));
     }
     let shards = u64::from_le_bytes(raw[8..16].try_into().expect("8 bytes")) as usize;
     let version = u64::from_le_bytes(raw[16..24].try_into().expect("8 bytes"));
+    let graph_stamp = if raw.len() == MANIFEST_LEN_V1 {
+        u64::from_le_bytes(raw[24..32].try_into().expect("8 bytes"))
+    } else {
+        0
+    };
     if shards == 0 {
         return Err(BdError::Corrupt("shard manifest names zero shards".into()));
     }
-    Ok((shards, version))
+    Ok((shards, version, graph_stamp))
 }
 
 /// What [`ShardSet::open`] had to do about one pending export journal.
@@ -160,6 +175,9 @@ pub struct ShardSet {
     dir: PathBuf,
     shards: Vec<DiskBdStore>,
     version: u64,
+    /// Caller-set binding to the session layer's graph snapshot (0 when
+    /// never stamped); preserved across handoffs and recovery.
+    graph_stamp: u64,
     recovered: Vec<HandoffRecovery>,
     /// First mid-handoff failure; sticky. A failed step after the donor
     /// export may leave the *live* object out of sync with exactly-once
@@ -186,11 +204,12 @@ impl ShardSet {
             }
             shards.push(DiskBdStore::create(path, n, codec)?);
         }
-        write_manifest(&dir, p as u64, 0)?;
+        write_manifest(&dir, p as u64, 0, 0)?;
         Ok(ShardSet {
             dir,
             shards,
             version: 0,
+            graph_stamp: 0,
             recovered: Vec::new(),
             dead: None,
         })
@@ -202,7 +221,7 @@ impl ShardSet {
     /// forward.
     pub fn open<P: AsRef<Path>>(dir: P) -> BdResult<Self> {
         let dir = dir.as_ref().to_path_buf();
-        let (p, mut version) = read_manifest(&dir)?;
+        let (p, mut version, graph_stamp) = read_manifest(&dir)?;
         let mut shards = Vec::with_capacity(p);
         for k in 0..p {
             shards.push(DiskBdStore::open(shard_path(&dir, k))?);
@@ -276,12 +295,13 @@ impl ShardSet {
         }
         if committed > 0 {
             version += committed;
-            write_manifest(&dir, p as u64, version)?;
+            write_manifest(&dir, p as u64, version, graph_stamp)?;
         }
         Ok(ShardSet {
             dir,
             shards,
             version,
+            graph_stamp,
             recovered,
             dead: None,
         })
@@ -306,6 +326,58 @@ impl ShardSet {
     /// What `open()` had to repair — empty after a clean shutdown.
     pub fn recovered(&self) -> &[HandoffRecovery] {
         &self.recovered
+    }
+
+    /// The directory this set lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The per-vertex codec the shard stores encode records with
+    /// (identical across shards by construction).
+    pub fn codec(&self) -> CodecKind {
+        self.shards[0].codec()
+    }
+
+    /// The caller-set graph stamp recorded in the manifest (0 when never
+    /// stamped). The session layer stores the checksum of its graph
+    /// snapshot here, binding the shard directory to the snapshot it was
+    /// checkpointed with.
+    pub fn graph_stamp(&self) -> u64 {
+        self.graph_stamp
+    }
+
+    /// Record `stamp` in the manifest (atomic rewrite, version unchanged).
+    pub fn set_graph_stamp(&mut self, stamp: u64) -> BdResult<()> {
+        write_manifest(&self.dir, self.shards.len() as u64, self.version, stamp)?;
+        self.graph_stamp = stamp;
+        Ok(())
+    }
+
+    /// Serialize every record shard `k` currently owns, in the shard's slot
+    /// order — the per-shard record iteration a migration or verification
+    /// pass reads without disturbing ownership (records stay in place;
+    /// contrast [`DiskBdStore::export_source`]).
+    pub fn shard_records(&mut self, k: usize) -> BdResult<Vec<crate::ExportedRecord>> {
+        let shard = &mut self.shards[k];
+        let sources = shard.sources();
+        let mut out = Vec::with_capacity(sources.len());
+        for s in sources {
+            let (mut d, mut sigma, mut delta) = (Vec::new(), Vec::new(), Vec::new());
+            shard.update_with(s, &mut |view| {
+                d = view.d.to_vec();
+                sigma = view.sigma.to_vec();
+                delta = view.delta.to_vec();
+                false
+            })?;
+            out.push(crate::ExportedRecord {
+                source: s,
+                d,
+                sigma,
+                delta,
+            });
+        }
+        Ok(out)
     }
 
     /// Why the set refuses further handoffs, if a previous handoff failed
@@ -421,7 +493,7 @@ impl ShardSet {
             return Ok(());
         }
         // commit on disk first; the live version only advances on success
-        write_manifest(&self.dir, p as u64, self.version + 1)?;
+        write_manifest(&self.dir, p as u64, self.version + 1, self.graph_stamp)?;
         self.version += 1;
         if kill == Some(HandoffKill::AfterMapCommit) {
             return Ok(());
@@ -550,6 +622,75 @@ mod tests {
         let set = ShardSet::open(&dir).unwrap();
         assert!(set.recovered().is_empty(), "{:?}", set.recovered());
         assert_eq!(set.assignment(), vec![Vec::<u32>::new(), Vec::new()]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn graph_stamp_survives_handoffs_and_reopen() {
+        let dir = tmpdir("stamp");
+        let n = 4;
+        let mut set = ShardSet::create(&dir, n, 2, CodecKind::Wide).unwrap();
+        assert_eq!(set.graph_stamp(), 0, "fresh sets are unstamped");
+        let (d, sig, del) = record(n, 3);
+        set.shard_mut(0).add_source(3, d, sig, del).unwrap();
+        set.set_graph_stamp(0xDEAD_BEEF).unwrap();
+        assert_eq!(set.graph_stamp(), 0xDEAD_BEEF);
+        // a handoff rewrites the manifest; the stamp must ride along
+        set.handoff(3, 0, 1).unwrap();
+        set.flush().unwrap();
+        drop(set);
+        let set = ShardSet::open(&dir).unwrap();
+        assert_eq!(set.version(), 1);
+        assert_eq!(set.graph_stamp(), 0xDEAD_BEEF);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn v0_manifest_without_stamp_still_opens() {
+        let dir = tmpdir("manifest_v0");
+        let mut set = ShardSet::create(&dir, 3, 2, CodecKind::Wide).unwrap();
+        let (d, sig, del) = record(3, 1);
+        set.shard_mut(0).add_source(1, d, sig, del).unwrap();
+        set.flush().unwrap();
+        drop(set);
+        // rewrite the manifest in the pre-extension 32-byte layout
+        let mut buf = Vec::with_capacity(MANIFEST_LEN_V0);
+        buf.extend_from_slice(MANIFEST_MAGIC);
+        buf.push(0);
+        buf.extend_from_slice(&2u64.to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        let ck = fnv1a64(&buf);
+        buf.extend_from_slice(&ck.to_le_bytes());
+        std::fs::write(manifest_path(&dir), buf).unwrap();
+        let set = ShardSet::open(&dir).unwrap();
+        assert_eq!(set.graph_stamp(), 0, "v0 manifests read as unstamped");
+        assert_eq!(set.assignment(), vec![vec![1], Vec::new()]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn shard_records_serializes_without_disturbing_ownership() {
+        let dir = tmpdir("records");
+        let n = 5;
+        let mut set = ShardSet::create(&dir, n, 2, CodecKind::Wide).unwrap();
+        for (shard, s) in [(0usize, 0u32), (1, 1), (0, 4)] {
+            let (d, sig, del) = record(n, s as u64);
+            set.shard_mut(shard).add_source(s, d, sig, del).unwrap();
+        }
+        let recs = set.shard_records(0).unwrap();
+        assert_eq!(
+            recs.iter().map(|r| r.source).collect::<Vec<_>>(),
+            vec![0, 4],
+            "slot order"
+        );
+        let (d, sig, del) = record(n, 4);
+        assert_eq!(recs[1].d, d);
+        assert_eq!(recs[1].sigma, sig);
+        assert_eq!(recs[1].delta, del);
+        // iteration is read-only: ownership and version untouched
+        assert_eq!(set.assignment(), vec![vec![0, 4], vec![1]]);
+        assert_eq!(set.version(), 0);
+        assert!(set.shard_records(1).unwrap().len() == 1);
         std::fs::remove_dir_all(&dir).ok();
     }
 

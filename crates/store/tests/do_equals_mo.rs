@@ -36,9 +36,9 @@ fn tmp(name: &str) -> std::path::PathBuf {
 fn disk_backed_state_tracks_memory_state() {
     let g = ring_with_chords(24);
     let disk = DiskBdStore::create(tmp("do_eq_mo.dat"), g.n(), CodecKind::Wide).unwrap();
-    let mut mo = BetweennessState::init(&g);
+    let mut mo = BetweennessState::new(&g);
     let mut dob =
-        BetweennessState::init_into_store(g.clone(), disk, UpdateConfig::default()).unwrap();
+        BetweennessState::new_into_store(g.clone(), disk, UpdateConfig::default()).unwrap();
 
     let script = [
         Update::add(0, 7),
@@ -69,7 +69,7 @@ fn disk_backed_state_handles_new_vertices() {
     let g = ring_with_chords(12);
     let disk = DiskBdStore::create(tmp("do_new_vertex.dat"), g.n(), CodecKind::Wide).unwrap();
     let mut st =
-        BetweennessState::init_into_store(g.clone(), disk, UpdateConfig::default()).unwrap();
+        BetweennessState::new_into_store(g.clone(), disk, UpdateConfig::default()).unwrap();
     st.apply(Update::add(3, 12)).unwrap(); // vertex 12 arrives, file is rewritten
     st.apply(Update::add(12, 7)).unwrap();
     assert_matches_scratch(st.graph(), st.scores(), 1e-6, "after growth");
@@ -93,7 +93,7 @@ fn bootstrap_torn(g: &Graph, path: &std::path::Path, crash: AddCrash) {
 }
 
 fn drive_and_compare(g: &Graph, mut dob: BetweennessState<DiskBdStore>) {
-    let mut mo = BetweennessState::init(g);
+    let mut mo = BetweennessState::new(g);
     // resumed scores come from the exact reduction; MO's incremental ones
     // agree up to floating-point summation order
     assert!(mo.scores().max_vbc_diff(dob.scores()) < 1e-9);
@@ -166,7 +166,7 @@ fn paper_codec_is_exact_on_small_graphs() {
     let g = ring_with_chords(16);
     let disk = DiskBdStore::create(tmp("do_paper.dat"), g.n(), CodecKind::Paper).unwrap();
     let mut st =
-        BetweennessState::init_into_store(g.clone(), disk, UpdateConfig::default()).unwrap();
+        BetweennessState::new_into_store(g.clone(), disk, UpdateConfig::default()).unwrap();
     st.apply(Update::add(1, 9)).unwrap();
     st.apply(Update::remove(0, 8)).unwrap();
     assert_matches_scratch(st.graph(), st.scores(), 1e-6, "paper codec");

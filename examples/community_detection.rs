@@ -1,8 +1,9 @@
 //! Girvan–Newman community detection on incrementally maintained edge
 //! betweenness (the paper's §6.3 use case).
 //!
-//! Builds a planted two-community graph, peels bridges by betweenness, and
-//! prints the dendrogram steps plus the best-modularity partition.
+//! Builds a planted two-community graph, peeks at the bridge edges through
+//! a `Session`, then peels bridges by betweenness and prints the
+//! dendrogram steps plus the best-modularity partition.
 //!
 //! ```sh
 //! cargo run --release --example community_detection
@@ -12,6 +13,7 @@ use std::time::Instant;
 use streaming_bc::gen::models::holme_kim;
 use streaming_bc::gn::{girvan_newman_incremental, girvan_newman_recompute};
 use streaming_bc::graph::Graph;
+use streaming_bc::{Backend, Session};
 
 fn main() {
     // Two 40-vertex social cliques-of-cliques joined by 3 bridges.
@@ -28,6 +30,22 @@ fn main() {
         g.add_edge(u, v).unwrap();
     }
     println!("planted graph: n={} m={} with 3 bridges", g.n(), g.m());
+
+    // A session sees the bridges immediately: the most central edge is one
+    // of the three planted cross-community links.
+    let mut session = Session::builder()
+        .backend(Backend::Memory)
+        .build(&g)
+        .expect("bootstrap");
+    let reduced = session.scores().expect("scores");
+    if let Some((edge, score)) = reduced.scores.top_edge(session.graph()) {
+        let (u, v) = edge.endpoints();
+        println!(
+            "most central edge before peeling: {edge} (EBC {score:.0}) — \
+             crosses the communities: {}",
+            (u < 40) != (v < 40)
+        );
+    }
 
     let t0 = Instant::now();
     let dg = girvan_newman_incremental(&g, 12);

@@ -1,100 +1,72 @@
-//! DO mode end to end on the hardened v2 disk store: create, bootstrap,
-//! stream updates through the batched I/O path, grow the vertex set in
-//! O(1), survive a simulated crash, and resume from the recovered records.
+//! Durable DO mode end to end through the `Session` facade: bootstrap a
+//! disk-backed session directory, stream updates (checkpointed after every
+//! apply), grow the vertex set, kill the process, and restart with
+//! `Session::open` — no Brandes re-bootstrap, same scores.
 //!
 //! ```sh
 //! cargo run --release --example disk_mode
 //! ```
 
-use streaming_bc::core::{BetweennessState, Update, UpdateConfig};
 use streaming_bc::gen::models::holme_kim;
 use streaming_bc::gen::streams::addition_stream;
-use streaming_bc::store::{BdStore, CodecKind, DiskBdStore};
+use streaming_bc::{Backend, Session, Update};
 
 fn main() {
     let g = holme_kim(400, 4, 0.4, 7);
     let dir = std::env::temp_dir().join("streaming_bc_disk_mode");
-    std::fs::create_dir_all(&dir).unwrap();
-    let path = dir.join("bd.dat");
+    let _ = std::fs::remove_dir_all(&dir);
 
-    // ── 1. create + bootstrap ────────────────────────────────────────────
-    let store = DiskBdStore::create(&path, g.n(), CodecKind::Wide).expect("create store");
-    println!(
-        "created {} (format {:?}): n={}, slab capacity {} (headroom {} O(1) growths)",
-        path.display(),
-        store.version(),
-        store.n(),
-        store.capacity(),
-        store.headroom(),
-    );
-    let mut state = BetweennessState::init_into_store(g.clone(), store, UpdateConfig::default())
+    // ── 1. bootstrap a durable single-machine session ────────────────────
+    let mut session = Session::builder()
+        .backend(Backend::Disk(dir.clone()))
+        .build(&g)
         .expect("bootstrap");
     println!(
-        "bootstrapped {} sources, {:.1} MiB on disk",
-        g.n(),
-        state.store().data_bytes() as f64 / (1024.0 * 1024.0)
+        "session directory {}: n={}, workers={}",
+        dir.display(),
+        session.graph().n(),
+        session.workers()
     );
 
-    // ── 2. stream updates (batched, run-sorted record I/O) ───────────────
-    for &(u, v) in &addition_stream(&g, 8, 1) {
-        state.apply(Update::add(u, v)).unwrap();
-    }
-    // a brand-new vertex arrives: with slab headroom this grows every
-    // record for free (one 8-byte header write, zero record bytes)
+    // ── 2. stream updates (records update in place on disk) ──────────────
+    let updates: Vec<Update> = addition_stream(&g, 8, 1)
+        .into_iter()
+        .map(|(u, v)| Update::add(u, v))
+        .collect();
+    session.apply_stream(&updates).unwrap();
+    // a brand-new vertex arrives mid-stream
     let fresh = g.n() as u32;
-    state.apply(Update::add(3, fresh)).unwrap();
+    session.apply(Update::add(3, fresh)).unwrap();
     println!(
-        "vertex {fresh} arrived: every existing record grew for free \
-         (headroom left: {})",
-        state.store().headroom()
+        "after {} updates (+1 vertex arrival): n={}",
+        updates.len() + 1,
+        session.graph().n()
     );
-    println!(
-        "after 9 updates: {:.2} MiB read, {:.2} MiB written, {} sources skipped by dd==0",
-        state.store().bytes_read as f64 / (1024.0 * 1024.0),
-        state.store().bytes_written as f64 / (1024.0 * 1024.0),
-        state.stats().sources_skipped,
-    );
-    state.store_mut().flush().expect("flush");
+    let top_before = session.top_k(1).unwrap()[0];
+    let exact_before = session.reduce_exact().unwrap().scores;
+    drop(session); // simulated kill — EveryApply checkpointed for us
 
-    // remember the top vertex to compare after recovery
-    let top_before = top_vertex(&state);
-    let graph_now = state.graph().clone();
-    drop(state); // simulated shutdown
-
-    // ── 3. crash recovery + resume ───────────────────────────────────────
-    // reopen: open() validates header/sidecar/length and repairs any torn
-    // mutation a crash left behind (none here — last_recovery() says so)
-    let store = DiskBdStore::open(&path).expect("reopen after 'crash'");
-    println!(
-        "reopened cleanly: {} sources, recovery action: {:?}",
-        store.num_sources(),
-        store.last_recovery(),
-    );
-    // resume rebuilds the running scores from the BD records alone via the
-    // deterministic exact reduction, then keeps streaming
-    let mut state =
-        BetweennessState::resume(graph_now, store, UpdateConfig::default()).expect("resume");
-    let top_after = top_vertex(&state);
-    assert_eq!(top_before.0, top_after.0, "ranking survives the restart");
-    println!(
-        "resumed: top vertex {} (VBC {:.3}) — identical to before the restart",
-        top_after.0, top_after.1
-    );
-
-    state.apply(Update::remove(0, 1)).unwrap();
-    println!(
-        "...and updates keep flowing: VBC[{}] = {:.3} after one more removal",
-        top_after.0,
-        state.vertex_centrality()[top_after.0]
-    );
-}
-
-fn top_vertex(state: &BetweennessState<DiskBdStore>) -> (usize, f64) {
-    state
-        .vertex_centrality()
+    // ── 3. re-bootstrap-free restart ─────────────────────────────────────
+    let mut session = Session::open(&dir).expect("reopen after 'crash'");
+    let exact_after = session.reduce_exact().unwrap().scores;
+    let identical = exact_before
+        .vbc
         .iter()
-        .copied()
-        .enumerate()
-        .max_by(|a, b| a.1.total_cmp(&b.1))
-        .unwrap()
+        .zip(&exact_after.vbc)
+        .all(|(a, b)| a.to_bits() == b.to_bits());
+    println!(
+        "reopened: top vertex v{} — exact scores bitwise identical to pre-kill: {identical}",
+        session.top_k(1).unwrap()[0]
+    );
+    assert_eq!(session.top_k(1).unwrap()[0], top_before);
+
+    // ...and updates keep flowing on the resumed session
+    session.apply(Update::remove(0, 1)).unwrap();
+    session.verify(1e-6).expect("resumed session verifies");
+    println!(
+        "...one more removal applied and verified against a fresh recomputation; \
+         top vertex now v{}",
+        session.top_k(1).unwrap()[0]
+    );
+    std::fs::remove_dir_all(&dir).ok();
 }

@@ -3,16 +3,16 @@
 //! prediction of emerging leaders ... in social networks").
 //!
 //! A social graph grows by preferential attachment with triadic closure;
-//! after every batch of arrivals we report how the betweenness ranking
-//! shifted — without ever recomputing from scratch.
+//! after every batch of arrivals the session reports how the betweenness
+//! ranking shifted — without ever recomputing from scratch.
 //!
 //! ```sh
 //! cargo run --release --example evolving_social_network
 //! ```
 
-use streaming_bc::core::{BetweennessState, Update};
 use streaming_bc::gen::models::holme_kim_with_order;
 use streaming_bc::graph::Graph;
+use streaming_bc::{Backend, Session, Update};
 
 fn main() {
     let (full, order) = holme_kim_with_order(500, 4, 0.7, 21);
@@ -22,21 +22,26 @@ fn main() {
     for &(u, v) in &order[..bootstrap_edges] {
         g.add_edge(u, v).unwrap();
     }
-    let mut state = BetweennessState::init(&g);
+    // a 4-worker partitioned session: same API as the single machine
+    let mut session = Session::builder()
+        .backend(Backend::Memory)
+        .workers(4)
+        .build(&g)
+        .expect("bootstrap");
     println!(
-        "bootstrap: n={} m={}; streaming {} more edges in 4 batches",
+        "bootstrap: n={} m={} on {} workers; streaming {} more edges in 4 batches",
         g.n(),
         g.m(),
+        session.workers(),
         order.len() - bootstrap_edges
     );
-    let mut prev_top = top_k(state.vertex_centrality(), 5);
+    let mut prev_top = session.top_k(5).unwrap();
     println!("initial top-5 brokers: {prev_top:?}");
 
     for (batch_idx, batch) in order[bootstrap_edges..].chunks(50).enumerate() {
-        for &(u, v) in batch {
-            state.apply(Update::add(u, v)).unwrap();
-        }
-        let top = top_k(state.vertex_centrality(), 5);
+        let updates: Vec<Update> = batch.iter().map(|&(u, v)| Update::add(u, v)).collect();
+        session.apply_stream(&updates).unwrap();
+        let top = session.top_k(5).unwrap();
         let entered: Vec<u32> = top
             .iter()
             .filter(|v| !prev_top.contains(v))
@@ -47,23 +52,7 @@ fn main() {
             .filter(|v| !top.contains(v))
             .copied()
             .collect();
-        println!(
-            "batch {batch_idx}: top-5 {top:?}  (+{entered:?} -{left:?}), \
-             {} sources skipped via dd==0",
-            state.stats().sources_skipped
-        );
+        println!("batch {batch_idx}: top-5 {top:?}  (+{entered:?} -{left:?})");
         prev_top = top;
-        state.reset_stats();
     }
-}
-
-fn top_k(vbc: &[f64], k: usize) -> Vec<u32> {
-    let mut ranked: Vec<(u32, f64)> = vbc
-        .iter()
-        .copied()
-        .enumerate()
-        .map(|(i, s)| (i as u32, s))
-        .collect();
-    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
-    ranked.into_iter().take(k).map(|(v, _)| v).collect()
 }

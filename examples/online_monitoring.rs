@@ -3,16 +3,22 @@
 //! current as timestamped edges arrive, checking whether updates finish
 //! before the next arrival.
 //!
+//! The measured and modeled replays use the `ebc-engine` experiment
+//! harness directly; the batch catch-up at the end runs through the
+//! `Session` facade — one partitioned session and one single-machine
+//! session answering the same backlog bitwise-identically.
+//!
 //! ```sh
 //! cargo run --release --example online_monitoring
 //! ```
 
 use std::time::Duration;
-use streaming_bc::core::{BetweennessState, Update};
+use streaming_bc::core::BetweennessState;
 use streaming_bc::engine::online::simulate_modeled;
 use streaming_bc::engine::{simulate_online, ClusterEngine};
 use streaming_bc::gen::models::holme_kim_with_order;
 use streaming_bc::gen::streams::replay_growth;
+use streaming_bc::{Backend, Session, Update};
 
 fn main() {
     // Grow a 600-vertex social graph; the last 50 edges form the live
@@ -27,8 +33,8 @@ fn main() {
         stream.events().last().unwrap().time
     );
 
-    // Measured mode: a live 2-worker cluster.
-    let mut cluster = ClusterEngine::bootstrap(&bootstrap, 2).expect("bootstrap cluster");
+    // Measured mode: a live 2-worker cluster (engine-layer experiment API).
+    let mut cluster = ClusterEngine::new(&bootstrap, 2).expect("bootstrap cluster");
     let report = simulate_online(&mut cluster, &stream).expect("replay");
     println!(
         "\nmeasured, p=2 workers: {:.1}% missed, mean update {:.4}s, avg delay {:.4}s",
@@ -41,7 +47,7 @@ fn main() {
     println!("\nmodeled scaling (paper §5.3 projection):");
     println!("{:>8} {:>10} {:>12}", "mappers", "% missed", "mean upd (s)");
     for p in [1usize, 4, 16, 64] {
-        let mut st = BetweennessState::init(&bootstrap);
+        let mut st = BetweennessState::new(&bootstrap);
         let r = simulate_modeled(&mut st, &stream, p, Duration::from_micros(50))
             .expect("modeled replay");
         println!(
@@ -51,9 +57,11 @@ fn main() {
             r.mean_update_time()
         );
     }
-    // Batch catch-up: a monitor that fell behind replays the backlog through
-    // the pool's pipelined path, then verifies against the single-machine
-    // state with the partition-invariant exact reduce — bit for bit.
+
+    // Batch catch-up through the Session facade: a monitor that fell behind
+    // replays the backlog on a 2-worker session, then cross-checks the
+    // partition-invariant exact reduce against a single-machine session —
+    // bit for bit, same API for both.
     let backlog: Vec<Update> = stream
         .events()
         .iter()
@@ -63,29 +71,33 @@ fn main() {
             v: e.v,
         })
         .collect();
-    let mut cluster = ClusterEngine::bootstrap(&bootstrap, 2).expect("bootstrap cluster");
+    let mut parallel = Session::builder()
+        .backend(Backend::Memory)
+        .workers(2)
+        .build(&bootstrap)
+        .expect("bootstrap session");
     let t0 = std::time::Instant::now();
-    cluster.apply_stream(&backlog).expect("replay backlog");
+    parallel.apply_stream(&backlog).expect("replay backlog");
     let batch_wall = t0.elapsed();
-    let mut single = BetweennessState::init(&bootstrap);
-    for &u in &backlog {
-        single.apply(u).expect("replay");
-    }
-    let cluster_exact = cluster.reduce_exact().expect("exact reduce");
-    let single_exact = single.exact_scores().expect("exact scores");
-    let bitwise_equal = cluster_exact
+    let mut single = Session::builder()
+        .backend(Backend::Memory)
+        .build(&bootstrap)
+        .expect("bootstrap session");
+    single.apply_stream(&backlog).expect("replay backlog");
+    let a = parallel.reduce_exact().expect("exact reduce").scores;
+    let b = single.reduce_exact().expect("exact reduce").scores;
+    let bitwise_equal = a
         .vbc
         .iter()
-        .zip(&single_exact.vbc)
-        .all(|(a, b)| a.to_bits() == b.to_bits())
-        && cluster_exact
-            .ebc
+        .zip(&b.vbc)
+        .all(|(x, y)| x.to_bits() == y.to_bits())
+        && a.ebc
             .iter()
-            .zip(&single_exact.ebc)
-            .all(|(a, b)| a.to_bits() == b.to_bits());
+            .zip(&b.ebc)
+            .all(|(x, y)| x.to_bits() == y.to_bits());
     println!(
         "\nbatch catch-up: {} edges pipelined in {:.4}s ({:.5}s/edge); \
-         exact reduce bitwise equal to single machine: {}",
+         exact reduce bitwise equal across embodiments: {}",
         backlog.len(),
         batch_wall.as_secs_f64(),
         batch_wall.as_secs_f64() / backlog.len() as f64,

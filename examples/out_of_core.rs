@@ -1,65 +1,61 @@
-//! Out-of-core operation (the paper's DO configuration, §5.1): keep the
-//! per-source betweenness data on disk in the columnar binary format and
-//! update records in place as edges stream in.
+//! Out-of-core operation (the paper's DO configuration, §5.1) through the
+//! `Session` facade: the per-source betweenness data lives on disk in the
+//! paper's 11-byte-per-vertex columnar codec and records are updated in
+//! place as edges stream in.
 //!
 //! ```sh
 //! cargo run --release --example out_of_core
 //! ```
 
-use streaming_bc::core::{BetweennessState, Update, UpdateConfig};
 use streaming_bc::gen::models::holme_kim;
 use streaming_bc::gen::streams::{addition_stream, removal_stream};
-use streaming_bc::store::{CodecKind, DiskBdStore};
+use streaming_bc::store::CodecKind;
+use streaming_bc::{Backend, Checkpoint, Session, Update};
 
 fn main() {
     let g = holme_kim(800, 5, 0.5, 3);
-    let dir = std::env::temp_dir().join("streaming_bc_example");
-    std::fs::create_dir_all(&dir).unwrap();
-    let path = dir.join("bd.dat");
+    let dir = std::env::temp_dir().join("streaming_bc_out_of_core");
+    let _ = std::fs::remove_dir_all(&dir);
 
-    // The paper's 11-byte-per-vertex codec: d:u8, σ:u16, δ:f64.
-    let store = DiskBdStore::create(&path, g.n(), CodecKind::Paper).expect("create store");
-    println!(
-        "bootstrapping {} sources into {} ({} bytes/record, codec {:?})",
-        g.n(),
-        path.display(),
-        CodecKind::Paper.record_size(g.n()),
-        CodecKind::Paper,
-    );
-    let mut state = BetweennessState::init_into_store(g.clone(), store, UpdateConfig::default())
+    // The paper's codec: d:u8, σ:u16, δ:f64 = 11 bytes per vertex. Manual
+    // checkpointing keeps the stream itself free of manifest rewrites.
+    let mut session = Session::builder()
+        .backend(Backend::Disk(dir.clone()))
+        .codec(CodecKind::Paper)
+        .checkpoint(Checkpoint::Manual)
+        .build(&g)
         .expect("bootstrap");
     println!(
-        "on-disk BD size: {:.1} MiB for n={} (O(n²) total, §5.1)",
-        state.store().data_bytes() as f64 / (1024.0 * 1024.0),
-        g.n()
+        "bootstrapped {} sources into {} ({} bytes/record, paper codec; \
+         O(n²) total, §5.1)",
+        g.n(),
+        dir.display(),
+        CodecKind::Paper.record_size(g.n()),
     );
 
-    let adds = addition_stream(&g, 10, 1);
-    let rems = removal_stream(&g, 10, 2);
-    for &(u, v) in &adds {
-        state.apply(Update::add(u, v)).unwrap();
-    }
-    for &(u, v) in &rems {
-        state.apply(Update::remove(u, v)).unwrap();
-    }
-
-    let store = state.store();
-    println!(
-        "after 20 updates: {:.1} MiB read, {:.1} MiB written back in place",
-        store.bytes_read as f64 / (1024.0 * 1024.0),
-        store.bytes_written as f64 / (1024.0 * 1024.0),
-    );
-    println!(
-        "dd==0 fast path skipped {} source visits entirely",
-        state.stats().sources_skipped
-    );
-
-    let mut ranked: Vec<(usize, f64)> = state
-        .vertex_centrality()
-        .iter()
-        .copied()
-        .enumerate()
+    let mut updates: Vec<Update> = addition_stream(&g, 10, 1)
+        .into_iter()
+        .map(|(u, v)| Update::add(u, v))
         .collect();
-    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
-    println!("top-3 central vertices now: {:?}", &ranked[..3]);
+    updates.extend(
+        removal_stream(&g, 10, 2)
+            .into_iter()
+            .map(|(u, v)| Update::remove(u, v)),
+    );
+    session.apply_stream(&updates).unwrap();
+    session.checkpoint().expect("checkpoint");
+    println!(
+        "applied {} updates in place, then checkpointed",
+        updates.len()
+    );
+
+    let top = session.top_k(3).unwrap();
+    let reduced = session.scores().unwrap();
+    println!(
+        "top-3 central vertices now: {:?}",
+        top.iter()
+            .map(|&v| (v, reduced.scores.vbc[v as usize]))
+            .collect::<Vec<_>>()
+    );
+    std::fs::remove_dir_all(&dir).ok();
 }

@@ -1,12 +1,12 @@
 //! Quickstart: keep vertex and edge betweenness current while a graph
-//! evolves.
+//! evolves, through the unified `Session` facade.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
-use streaming_bc::core::{BetweennessState, Update};
 use streaming_bc::graph::Graph;
+use streaming_bc::{Backend, Session, Update};
 
 fn main() {
     // A small collaboration network: two tight groups and one bridge.
@@ -29,40 +29,55 @@ fn main() {
         g.add_edge(u, v).unwrap();
     }
 
-    // Step 1 (Figure 1): one-off Brandes bootstrap.
-    let mut state = BetweennessState::init(&g);
+    // Step 1 (Figure 1): one-off Brandes bootstrap behind the builder.
+    let mut session = Session::builder()
+        .backend(Backend::Memory)
+        .build(&g)
+        .expect("bootstrap");
     println!("after bootstrap:");
-    report(&state);
+    report(&mut session);
 
     // Step 2: stream updates; centrality stays current incrementally.
     println!("\n+ add edge (1, 5): a shortcut between the groups");
-    state.apply(Update::add(1, 5)).unwrap();
-    report(&state);
+    session.apply(Update::add(1, 5)).unwrap();
+    report(&mut session);
 
     println!("\n- remove edge (2, 3): the old bridge loses its role");
-    state.apply(Update::remove(2, 3)).unwrap();
-    report(&state);
+    session.apply(Update::remove(2, 3)).unwrap();
+    report(&mut session);
 
     println!("\n+ add edge (6, 7): a brand-new vertex joins");
-    state.apply(Update::add(6, 7)).unwrap();
-    report(&state);
+    session.apply(Update::add(6, 7)).unwrap();
+    report(&mut session);
 
-    let stats = state.stats();
-    println!(
-        "\nkernel work: {} sources processed, {} skipped by the dd==0 test",
-        stats.sources_processed, stats.sources_skipped
-    );
+    // The same API scales out: a 3-worker partitioned session answers the
+    // identical stream with bitwise-identical exact scores.
+    let mut cluster = Session::builder()
+        .backend(Backend::Memory)
+        .workers(3)
+        .build(&g)
+        .expect("bootstrap cluster");
+    cluster
+        .apply_stream(&[Update::add(1, 5), Update::remove(2, 3), Update::add(6, 7)])
+        .unwrap();
+    let a = session.reduce_exact().unwrap().scores;
+    let b = cluster.reduce_exact().unwrap().scores;
+    let identical = a
+        .vbc
+        .iter()
+        .zip(&b.vbc)
+        .all(|(x, y)| x.to_bits() == y.to_bits());
+    println!("\n3-worker session, same stream: exact scores bitwise identical = {identical}");
 }
 
-fn report(state: &BetweennessState) {
-    let vbc = state.vertex_centrality();
-    let mut ranked: Vec<(usize, f64)> = vbc.iter().copied().enumerate().collect();
-    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+fn report(session: &mut Session) {
+    let top = session.top_k(3).unwrap();
+    let reduced = session.scores().unwrap();
     print!("  top vertices:");
-    for (v, score) in ranked.iter().take(3) {
-        print!("  v{v}={score:.1}");
+    for v in top {
+        print!("  v{v}={:.1}", reduced.scores.vbc[v as usize]);
     }
-    if let Some((edge, score)) = state.scores().top_edge(state.graph()) {
+    if let Some((edge, score)) = reduced.scores.top_edge(session.graph()) {
         println!("   | top edge {edge} = {score:.1}");
     } else {
         println!();

@@ -13,11 +13,12 @@
 
 use std::process::ExitCode;
 use streaming_bc::core::ranking::top_k;
-use streaming_bc::core::{approx_betweenness, brandes, BetweennessState, Update};
+use streaming_bc::core::{approx_betweenness, brandes, Update};
 use streaming_bc::gn::girvan_newman_incremental;
 use streaming_bc::graph::io::load_graph;
 use streaming_bc::graph::stats::GraphStats;
 use streaming_bc::graph::Graph;
+use streaming_bc::{Backend, Session};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -74,21 +75,22 @@ fn run(args: &[String]) -> Result<(), String> {
         "stream" => {
             let g = load(args.get(1))?;
             let updates = load_updates(args.get(2))?;
-            let mut st = BetweennessState::init(&g);
+            let mut session = Session::builder()
+                .backend(Backend::Memory)
+                .build(&g)
+                .map_err(|e| e.to_string())?;
             let t0 = std::time::Instant::now();
             let total = updates.len();
-            for (i, u) in updates.into_iter().enumerate() {
-                st.apply(u).map_err(|e| format!("update {i}: {e}"))?;
-            }
-            let stats = st.stats();
+            session
+                .apply_stream(&updates)
+                .map_err(|e| format!("stream failed: {e}"))?;
             println!(
-                "# applied {total} updates in {:.3}s ({} sources skipped via dd==0)",
+                "# applied {total} updates in {:.3}s",
                 t0.elapsed().as_secs_f64(),
-                stats.sources_skipped
             );
-            let scores = st.scores().clone();
+            let scores = session.scores().map_err(|e| e.to_string())?.scores;
             print_top(
-                st.graph(),
+                session.graph(),
                 &scores.vbc,
                 &scores,
                 flag(args, "--top").unwrap_or(10),

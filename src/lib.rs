@@ -4,20 +4,18 @@
 //! in Evolving Graphs"** (Kourtellis, De Francisci Morales, Bonchi —
 //! ICDE 2016, arXiv:1401.6981).
 //!
-//! This facade crate re-exports the workspace's public API:
-//!
-//! * [`graph`] — dynamic undirected graph substrate, statistics, streams;
-//! * [`gen`] — synthetic graph & update-stream generators;
-//! * [`core`] — static Brandes baselines and the incremental VBC/EBC
-//!   framework (the paper's contribution);
-//! * [`store`] — out-of-core columnar `BD[·]` storage;
-//! * [`engine`] — the shared-nothing parallel / online execution engine;
-//! * [`gn`] — Girvan–Newman community detection on incremental EBC.
+//! The one entry point is the [`Session`] facade: a [`SessionBuilder`]
+//! selects the embodiment — `BD[·]` records in memory or on disk, sources
+//! on a single machine or partitioned over `p` workers — and yields one
+//! object with one API (`apply`, `apply_stream`, `scores`, `reduce_exact`,
+//! `top_k`, `verify`), whatever the backend. Durable sessions restart from
+//! their directory via [`Session::open`] **without re-running the Brandes
+//! bootstrap**.
 //!
 //! ## Quickstart
 //!
 //! ```
-//! use streaming_bc::core::{BetweennessState, Update};
+//! use streaming_bc::{Backend, Session, Update};
 //! use streaming_bc::graph::Graph;
 //!
 //! // a square with one diagonal
@@ -27,16 +25,44 @@
 //! }
 //!
 //! // one-off Brandes bootstrap (step 1 of the framework) ...
-//! let mut state = BetweennessState::init(&g);
+//! let mut session = Session::builder()
+//!     .backend(Backend::Memory)
+//!     .build(&g)?;
 //!
 //! // ... then stream updates (step 2): centrality stays current.
-//! state.apply(Update::add(1, 3)).unwrap();
-//! state.apply(Update::remove(0, 2)).unwrap();
+//! session.apply(Update::add(1, 3))?;
+//! session.apply(Update::remove(0, 2))?;
 //!
-//! let vbc = state.vertex_centrality();
+//! let vbc = session.scores()?.scores.vbc;
 //! assert_eq!(vbc.len(), 4);
-//! assert!(state.edge_centrality(1, 3).unwrap() > 0.0);
+//! assert!(session.edge_centrality(1, 3)?.unwrap() > 0.0);
+//!
+//! // the same stream on a 3-worker partitioned session: same API,
+//! // bitwise-identical exact scores
+//! let mut cluster = Session::builder()
+//!     .backend(Backend::Memory)
+//!     .workers(3)
+//!     .build(&g)?;
+//! cluster.apply_stream(&[Update::add(1, 3), Update::remove(0, 2)])?;
+//! assert_eq!(session.top_k(2)?, cluster.top_k(2)?);
+//! # Ok::<(), streaming_bc::SessionError>(())
 //! ```
+//!
+//! ## Layer crates
+//!
+//! The facade re-exports the workspace's layer crates for direct access:
+//!
+//! * [`graph`] — dynamic undirected graph substrate, statistics, streams,
+//!   structural snapshots;
+//! * [`gen`] — synthetic graph & update-stream generators;
+//! * [`core`] — static Brandes baselines, the incremental VBC/EBC
+//!   framework (the paper's contribution), and the [`core::api::EbcEngine`]
+//!   trait the session drives;
+//! * [`store`] — out-of-core columnar `BD[·]` storage and per-shard files;
+//! * [`engine`] — the shared-nothing parallel / online execution engine;
+//! * [`gn`] — Girvan–Newman community detection on incremental EBC.
+
+#![deny(missing_docs)]
 
 pub use ebc_core as core;
 pub use ebc_engine as engine;
@@ -44,3 +70,10 @@ pub use ebc_gen as gen;
 pub use ebc_gn as gn;
 pub use ebc_graph as graph;
 pub use ebc_store as store;
+
+mod session;
+
+pub use ebc_core::api::{EbcEngine, EbcError, Reduced};
+pub use ebc_core::ranking;
+pub use ebc_core::state::Update;
+pub use session::{Backend, Checkpoint, Session, SessionBuilder, SessionError};

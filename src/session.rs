@@ -1,0 +1,727 @@
+//! The unified `Session` facade: one builder, one engine surface, one
+//! durable-restart story for every embodiment of the framework.
+//!
+//! The paper presents a single algorithm with interchangeable embodiments —
+//! `BD[·]` in memory or on disk, sources on one machine or partitioned over
+//! `p` workers. A [`SessionBuilder`] picks the embodiment
+//! ([`Backend::Memory`], [`Backend::Disk`], [`Backend::Sharded`]), the
+//! worker count, the kernel configuration and the durability policy, and
+//! [`SessionBuilder::build`] yields one [`Session`] driving either a
+//! single-machine `BetweennessState` or a pooled `ClusterEngine` behind the
+//! [`EbcEngine`] trait — the split disappears at the call site:
+//!
+//! ```
+//! use streaming_bc::{Backend, Session, Update};
+//! use streaming_bc::graph::Graph;
+//!
+//! let mut g = Graph::with_vertices(4);
+//! for (u, v) in [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)] {
+//!     g.add_edge(u, v).unwrap();
+//! }
+//! let mut session = Session::builder()
+//!     .backend(Backend::Memory)
+//!     .workers(3)
+//!     .build(&g)?;
+//! session.apply(Update::add(1, 3))?;
+//! session.apply(Update::remove(0, 2))?;
+//! assert_eq!(session.top_k(2)?.len(), 2);
+//! # Ok::<(), streaming_bc::SessionError>(())
+//! ```
+//!
+//! ## Durable sessions and re-bootstrap-free restart
+//!
+//! Disk and sharded sessions live in a **session directory** holding the
+//! `BD[·]` store files plus a checksummed `session.manifest` that embeds a
+//! structural graph snapshot (exact edge-slot assignment, free-list order
+//! and adjacency order — see [`ebc_graph::snapshot`]) and the ownership-map
+//! version. [`Session::open`] rebuilds the whole session from that
+//! directory after a crash or shutdown **without re-running the Brandes
+//! bootstrap**: the store layer's recovery settles the records
+//! (`DiskBdStore::open` / `ShardSet::open`), the graph is restored from the
+//! snapshot, and each worker rehydrates its partial scores from its own
+//! recovered records (`ClusterEngine::resume`). The resumed session's
+//! [`Session::reduce_exact`] is bitwise identical to the pre-kill value.
+//!
+//! DESIGN.md §9 documents the directory layout, the manifest format and the
+//! resume protocol in full.
+
+use ebc_core::api::{EbcEngine, EbcError, Reduced};
+use ebc_core::bd::MemoryBdStore;
+use ebc_core::incremental::UpdateConfig;
+use ebc_core::ranking;
+use ebc_core::state::{BetweennessState, Update};
+use ebc_core::verify::Divergence;
+use ebc_engine::{ClusterEngine, EngineError};
+use ebc_graph::snapshot::SnapshotError;
+use ebc_graph::{Graph, VertexId};
+use ebc_store::{fnv1a64, BdStore, CodecKind, DiskBdStore, ShardSet};
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Name of the session manifest inside a durable session directory.
+const MANIFEST_NAME: &str = "session.manifest";
+/// First line of every session manifest.
+const MANIFEST_MAGIC: &str = "EBCSESSION v1";
+/// Data file of a single-machine disk session.
+const DISK_STORE_NAME: &str = "bd.ebc";
+/// Identity stamp of a single-machine disk session (see [`write_stamp`]).
+const STAMP_NAME: &str = "session.stamp";
+
+/// Where a session keeps its `BD[·]` records — the paper's MO vs. DO axis
+/// plus the single-machine vs. partitioned axis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Backend {
+    /// Everything resident (the paper's MO configuration). Not durable:
+    /// [`Session::open`] cannot restore a memory session.
+    Memory,
+    /// Single-machine out-of-core records (DO) in the given session
+    /// directory; durable and restartable.
+    Disk(PathBuf),
+    /// One store file per worker (`shard-<k>.ebc` + shard manifest) in the
+    /// given session directory, driven by the `p`-worker cluster engine;
+    /// durable, restartable, and rebalance-capable.
+    Sharded(PathBuf),
+}
+
+/// When a durable session rewrites its manifest (graph snapshot + map
+/// version) and flushes its stores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Checkpoint {
+    /// After every [`Session::apply`] and at the end of every
+    /// [`Session::apply_stream`] batch — a kill between calls always
+    /// reopens cleanly. The default for durable backends.
+    #[default]
+    EveryApply,
+    /// Only on explicit [`Session::checkpoint`] (and at build time). Fastest
+    /// streaming; a kill loses updates since the last checkpoint.
+    Manual,
+}
+
+/// Errors from building, driving, or reopening a [`Session`].
+#[derive(Debug)]
+pub enum SessionError {
+    /// The underlying engine failed (graph validation, storage, poisoned
+    /// cluster...).
+    Engine(EbcError),
+    /// Session-directory I/O failed.
+    Io(std::io::Error),
+    /// A builder configuration that names no valid embodiment.
+    Config(String),
+    /// The session directory's manifest, snapshot or stores are corrupt or
+    /// mutually inconsistent.
+    Corrupt(String),
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::Engine(e) => write!(f, "engine error: {e}"),
+            SessionError::Io(e) => write!(f, "session io error: {e}"),
+            SessionError::Config(msg) => write!(f, "invalid session config: {msg}"),
+            SessionError::Corrupt(msg) => write!(f, "session directory corrupt: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl From<EbcError> for SessionError {
+    fn from(e: EbcError) -> Self {
+        SessionError::Engine(e)
+    }
+}
+
+impl From<std::io::Error> for SessionError {
+    fn from(e: std::io::Error) -> Self {
+        SessionError::Io(e)
+    }
+}
+
+impl From<ebc_store::BdError> for SessionError {
+    fn from(e: ebc_store::BdError) -> Self {
+        SessionError::Engine(EbcError::Store(e))
+    }
+}
+
+impl From<EngineError> for SessionError {
+    fn from(e: EngineError) -> Self {
+        SessionError::Engine(e.into())
+    }
+}
+
+impl From<ebc_core::state::StateError> for SessionError {
+    fn from(e: ebc_core::state::StateError) -> Self {
+        SessionError::Engine(e.into())
+    }
+}
+
+impl From<SnapshotError> for SessionError {
+    fn from(e: SnapshotError) -> Self {
+        match e {
+            SnapshotError::Io(io) => SessionError::Io(io),
+            SnapshotError::Corrupt(msg) => SessionError::Corrupt(format!("graph snapshot: {msg}")),
+        }
+    }
+}
+
+/// Configures and builds a [`Session`] — the one constructor for every
+/// embodiment (see the module docs and the README migration table).
+#[derive(Debug, Clone)]
+pub struct SessionBuilder {
+    backend: Backend,
+    workers: usize,
+    cfg: UpdateConfig,
+    codec: CodecKind,
+    checkpoint: Checkpoint,
+}
+
+impl Default for SessionBuilder {
+    fn default() -> Self {
+        SessionBuilder {
+            backend: Backend::Memory,
+            workers: 1,
+            cfg: UpdateConfig::default(),
+            codec: CodecKind::Wide,
+            checkpoint: Checkpoint::default(),
+        }
+    }
+}
+
+impl SessionBuilder {
+    /// A builder with the defaults: in-memory backend, one worker, default
+    /// kernel configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Select the storage backend (see [`Backend`]).
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Number of map-phase workers `p`. With `p == 1` and a
+    /// [`Backend::Memory`]/[`Backend::Disk`] backend the session runs the
+    /// single-machine state; `p > 1` spawns the persistent worker pool.
+    pub fn workers(mut self, p: usize) -> Self {
+        self.workers = p;
+        self
+    }
+
+    /// Kernel configuration (pruning and predecessor-maintenance knobs).
+    pub fn config(mut self, cfg: UpdateConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Record codec for on-disk backends (ignored by [`Backend::Memory`]).
+    pub fn codec(mut self, codec: CodecKind) -> Self {
+        self.codec = codec;
+        self
+    }
+
+    /// Durability policy for disk-backed backends (see [`Checkpoint`]).
+    pub fn checkpoint(mut self, policy: Checkpoint) -> Self {
+        self.checkpoint = policy;
+        self
+    }
+
+    /// Bootstrap a session over `graph`: one Brandes pass over every source
+    /// (step 1 of the framework), records landing in the configured
+    /// backend. For durable backends the session directory is created and
+    /// the initial manifest checkpointed, so the session is
+    /// [`Session::open`]-able from that moment on.
+    pub fn build(self, graph: &Graph) -> Result<Session, SessionError> {
+        let SessionBuilder {
+            backend,
+            workers,
+            cfg,
+            codec,
+            checkpoint,
+        } = self;
+        if workers == 0 {
+            return Err(SessionError::Config(
+                "workers(0): a session needs at least one worker".into(),
+            ));
+        }
+        match backend {
+            Backend::Memory => {
+                let engine: Box<dyn EbcEngine> = if workers == 1 {
+                    Box::new(BetweennessState::new_with(graph.clone(), cfg))
+                } else {
+                    Box::new(ClusterEngine::new_with(graph, workers, cfg, |_w, n| {
+                        Ok(MemoryBdStore::new(n))
+                    })?)
+                };
+                Ok(Session {
+                    engine,
+                    durable: None,
+                })
+            }
+            Backend::Disk(dir) => {
+                if workers != 1 {
+                    return Err(SessionError::Config(format!(
+                        "Backend::Disk is the single-machine DO embodiment; \
+                         use Backend::Sharded for workers({workers})"
+                    )));
+                }
+                std::fs::create_dir_all(&dir)?;
+                let store = DiskBdStore::create(dir.join(DISK_STORE_NAME), graph.n(), codec)?;
+                let state = BetweennessState::new_into_store(graph.clone(), store, cfg.clone())?;
+                let session_id = fnv1a64(&graph.snapshot_bytes());
+                // bind the store directory to this session (the disk
+                // analogue of the shard manifest's graph stamp): a foreign
+                // manifest grafted onto this directory is rejected at open
+                write_stamp(&dir, session_id)?;
+                let durable = Durable {
+                    dir,
+                    kind: DurableKind::Disk,
+                    workers: 1,
+                    cfg,
+                    codec,
+                    checkpoint,
+                    session_id,
+                };
+                let mut session = Session {
+                    engine: Box::new(state),
+                    durable: Some(durable),
+                };
+                session.checkpoint()?;
+                Ok(session)
+            }
+            Backend::Sharded(dir) => {
+                std::fs::create_dir_all(&dir)?;
+                let snapshot = graph.snapshot_bytes();
+                let session_id = fnv1a64(&snapshot);
+                let mut set = ShardSet::create(&dir, graph.n(), workers, codec)?;
+                // bind the shard files to this session before the workers
+                // take them over
+                set.set_graph_stamp(session_id)?;
+                let mut stores = set.into_stores().into_iter();
+                let engine = ClusterEngine::new_with(graph, workers, cfg.clone(), |_w, _n| {
+                    stores
+                        .next()
+                        .ok_or_else(|| EngineError::Poisoned("shard/worker count mismatch".into()))
+                })?;
+                let durable = Durable {
+                    dir,
+                    kind: DurableKind::Sharded,
+                    workers,
+                    cfg,
+                    codec,
+                    checkpoint,
+                    session_id,
+                };
+                let mut session = Session {
+                    engine: Box::new(engine),
+                    durable: Some(durable),
+                };
+                session.checkpoint()?;
+                Ok(session)
+            }
+        }
+    }
+}
+
+/// Which durable embodiment a session directory holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DurableKind {
+    Disk,
+    Sharded,
+}
+
+impl DurableKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            DurableKind::Disk => "disk",
+            DurableKind::Sharded => "sharded",
+        }
+    }
+}
+
+/// Durability bookkeeping of a disk-backed session.
+#[derive(Debug, Clone)]
+struct Durable {
+    dir: PathBuf,
+    kind: DurableKind,
+    workers: usize,
+    cfg: UpdateConfig,
+    codec: CodecKind,
+    checkpoint: Checkpoint,
+    /// Checksum of the *bootstrap* graph snapshot — the session's identity,
+    /// also stamped into the shard manifest so a foreign manifest cannot be
+    /// combined with this directory's stores.
+    session_id: u64,
+}
+
+/// Parsed `session.manifest` contents.
+struct Manifest {
+    kind: DurableKind,
+    workers: usize,
+    cfg: UpdateConfig,
+    codec: CodecKind,
+    session_id: u64,
+    map_version: u64,
+    snapshot: Vec<u8>,
+}
+
+fn corrupt(msg: impl Into<String>) -> SessionError {
+    SessionError::Corrupt(msg.into())
+}
+
+/// Write the disk session's identity stamp (`session.stamp`): the analogue
+/// of the sharded manifest's graph stamp for the single-store layout.
+/// Written once at build; immutable for the session's lifetime.
+fn write_stamp(dir: &Path, session_id: u64) -> Result<(), SessionError> {
+    let path = dir.join(STAMP_NAME);
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, format!("EBCSTAMP v1\n{session_id:016x}\n"))?;
+    std::fs::rename(&tmp, &path)?;
+    Ok(())
+}
+
+fn read_stamp(dir: &Path) -> Result<u64, SessionError> {
+    let raw = std::fs::read_to_string(dir.join(STAMP_NAME))
+        .map_err(|e| corrupt(format!("no session stamp in {}: {e}", dir.display())))?;
+    let mut lines = raw.lines();
+    if lines.next() != Some("EBCSTAMP v1") {
+        return Err(corrupt("bad session stamp magic"));
+    }
+    let hex = lines
+        .next()
+        .ok_or_else(|| corrupt("session stamp truncated"))?;
+    u64::from_str_radix(hex, 16).map_err(|_| corrupt("bad session stamp value"))
+}
+
+fn encode_manifest(d: &Durable, graph: &Graph, map_version: u64) -> Vec<u8> {
+    let snapshot = graph.snapshot_bytes();
+    let mut buf = Vec::with_capacity(snapshot.len() + 256);
+    buf.extend_from_slice(MANIFEST_MAGIC.as_bytes());
+    buf.push(b'\n');
+    let codec = match d.codec {
+        CodecKind::Wide => "wide",
+        CodecKind::Paper => "paper",
+    };
+    let header = format!(
+        "backend={}\nworkers={}\ncodec={codec}\nprune={}\npreds={}\n\
+         session={:016x}\nmap_version={map_version}\nsnapshot_len={}\n",
+        d.kind.as_str(),
+        d.workers,
+        u8::from(d.cfg.prune_unchanged),
+        u8::from(d.cfg.maintain_predecessors),
+        d.session_id,
+        snapshot.len(),
+    );
+    buf.extend_from_slice(header.as_bytes());
+    buf.extend_from_slice(&snapshot);
+    let ck = fnv1a64(&buf);
+    buf.extend_from_slice(&ck.to_le_bytes());
+    buf
+}
+
+fn decode_manifest(raw: &[u8]) -> Result<Manifest, SessionError> {
+    if raw.len() < 16 {
+        return Err(corrupt("session manifest truncated"));
+    }
+    let (body, ck_bytes) = raw.split_at(raw.len() - 8);
+    let ck = u64::from_le_bytes(ck_bytes.try_into().expect("8 bytes"));
+    if ck != fnv1a64(body) {
+        return Err(corrupt("session manifest checksum mismatch"));
+    }
+    // 9 header lines (magic + 8 fields), then the embedded snapshot bytes
+    let mut pos = 0usize;
+    let mut lines = Vec::with_capacity(9);
+    for _ in 0..9 {
+        let nl = body[pos..]
+            .iter()
+            .position(|&b| b == b'\n')
+            .ok_or_else(|| corrupt("session manifest header truncated"))?;
+        let line = std::str::from_utf8(&body[pos..pos + nl])
+            .map_err(|_| corrupt("session manifest header not utf-8"))?;
+        lines.push(line);
+        pos += nl + 1;
+    }
+    if lines[0] != MANIFEST_MAGIC {
+        return Err(corrupt(format!("unknown manifest magic {:?}", lines[0])));
+    }
+    let field = |idx: usize, key: &str| -> Result<&str, SessionError> {
+        lines[idx]
+            .strip_prefix(key)
+            .and_then(|rest| rest.strip_prefix('='))
+            .ok_or_else(|| corrupt(format!("manifest line {idx} is not `{key}=...`")))
+    };
+    let kind = match field(1, "backend")? {
+        "disk" => DurableKind::Disk,
+        "sharded" => DurableKind::Sharded,
+        other => return Err(corrupt(format!("unknown backend {other:?}"))),
+    };
+    let workers: usize = field(2, "workers")?
+        .parse()
+        .map_err(|_| corrupt("bad workers field"))?;
+    let codec = match field(3, "codec")? {
+        "wide" => CodecKind::Wide,
+        "paper" => CodecKind::Paper,
+        other => return Err(corrupt(format!("unknown codec {other:?}"))),
+    };
+    let flag = |v: &str| matches!(v, "1");
+    let cfg = UpdateConfig {
+        prune_unchanged: flag(field(4, "prune")?),
+        maintain_predecessors: flag(field(5, "preds")?),
+    };
+    let session_id = u64::from_str_radix(field(6, "session")?, 16)
+        .map_err(|_| corrupt("bad session id field"))?;
+    let map_version: u64 = field(7, "map_version")?
+        .parse()
+        .map_err(|_| corrupt("bad map_version field"))?;
+    let snapshot_len: usize = field(8, "snapshot_len")?
+        .parse()
+        .map_err(|_| corrupt("bad snapshot_len field"))?;
+    if body.len() - pos != snapshot_len {
+        return Err(corrupt(format!(
+            "manifest embeds {} snapshot bytes, header says {snapshot_len}",
+            body.len() - pos
+        )));
+    }
+    Ok(Manifest {
+        kind,
+        workers,
+        cfg,
+        codec,
+        session_id,
+        map_version,
+        snapshot: body[pos..].to_vec(),
+    })
+}
+
+/// One online-betweenness session over an evolving graph — the facade's
+/// single entry point for every embodiment (see the module docs).
+pub struct Session {
+    engine: Box<dyn EbcEngine>,
+    durable: Option<Durable>,
+}
+
+impl fmt::Debug for Session {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Session")
+            .field("workers", &self.engine.workers())
+            .field("n", &self.engine.graph().n())
+            .field("m", &self.engine.graph().m())
+            .field("dir", &self.durable.as_ref().map(|d| d.dir.display()))
+            .finish()
+    }
+}
+
+impl Session {
+    /// Start configuring a session.
+    pub fn builder() -> SessionBuilder {
+        SessionBuilder::new()
+    }
+
+    /// Reopen a durable session directory — the re-bootstrap-free restart.
+    ///
+    /// Reads the checksummed manifest, restores the graph from its embedded
+    /// structural snapshot, lets the store layer recover the `BD[·]` files
+    /// (rolling forward/back any mutation a kill tore in half), and
+    /// rehydrates the engine from the recovered records: no Brandes
+    /// iteration runs (`Session::brandes_runs` reports 0 for a resumed
+    /// sharded session), and [`Session::reduce_exact`] is bitwise identical
+    /// to the pre-kill scores.
+    pub fn open<P: AsRef<Path>>(dir: P) -> Result<Session, SessionError> {
+        let dir = dir.as_ref().to_path_buf();
+        let raw = std::fs::read(dir.join(MANIFEST_NAME))
+            .map_err(|e| corrupt(format!("no session manifest in {}: {e}", dir.display())))?;
+        let manifest = decode_manifest(&raw)?;
+        let graph = Graph::from_snapshot_bytes(&manifest.snapshot)?;
+        match manifest.kind {
+            DurableKind::Disk => {
+                let stamp = read_stamp(&dir)?;
+                if stamp != manifest.session_id {
+                    return Err(corrupt(format!(
+                        "store directory belongs to session {stamp:016x}, \
+                         manifest names {:016x}",
+                        manifest.session_id
+                    )));
+                }
+                let store = DiskBdStore::open(dir.join(DISK_STORE_NAME))?;
+                if store.n() != graph.n() {
+                    return Err(corrupt(format!(
+                        "store holds records of {} vertices, snapshot has {}",
+                        store.n(),
+                        graph.n()
+                    )));
+                }
+                let state = BetweennessState::resume(graph, store, manifest.cfg.clone())?;
+                Ok(Session {
+                    engine: Box::new(state),
+                    durable: Some(Durable {
+                        dir,
+                        kind: DurableKind::Disk,
+                        workers: 1,
+                        cfg: manifest.cfg,
+                        codec: manifest.codec,
+                        checkpoint: Checkpoint::EveryApply,
+                        session_id: manifest.session_id,
+                    }),
+                })
+            }
+            DurableKind::Sharded => {
+                let set = ShardSet::open(&dir)?;
+                if set.graph_stamp() != 0 && set.graph_stamp() != manifest.session_id {
+                    return Err(corrupt(format!(
+                        "shard files belong to session {:016x}, manifest names {:016x}",
+                        set.graph_stamp(),
+                        manifest.session_id
+                    )));
+                }
+                if set.num_shards() != manifest.workers {
+                    return Err(corrupt(format!(
+                        "{} shard files for a {}-worker session",
+                        set.num_shards(),
+                        manifest.workers
+                    )));
+                }
+                // live handoffs advance the in-memory map faster than the
+                // at-rest manifest; resume from whichever version is ahead
+                let version = set.version().max(manifest.map_version);
+                let stores = set.into_stores();
+                let engine = ClusterEngine::resume(&graph, manifest.cfg.clone(), stores, version)?;
+                Ok(Session {
+                    engine: Box::new(engine),
+                    durable: Some(Durable {
+                        dir,
+                        kind: DurableKind::Sharded,
+                        workers: manifest.workers,
+                        cfg: manifest.cfg,
+                        codec: manifest.codec,
+                        checkpoint: Checkpoint::EveryApply,
+                        session_id: manifest.session_id,
+                    }),
+                })
+            }
+        }
+    }
+
+    /// The current graph.
+    pub fn graph(&self) -> &Graph {
+        self.engine.graph()
+    }
+
+    /// Number of map-phase workers (1 for single-machine embodiments).
+    pub fn workers(&self) -> usize {
+        self.engine.workers()
+    }
+
+    /// The session directory of a durable session, `None` for
+    /// [`Backend::Memory`].
+    pub fn dir(&self) -> Option<&Path> {
+        self.durable.as_ref().map(|d| d.dir.as_path())
+    }
+
+    /// Apply one edge update; durable sessions under
+    /// [`Checkpoint::EveryApply`] checkpoint afterwards.
+    pub fn apply(&mut self, update: Update) -> Result<(), SessionError> {
+        self.engine.apply(update)?;
+        self.auto_checkpoint()
+    }
+
+    /// Apply a batch of updates in order (partitioned embodiments pipeline
+    /// the dispatch); durable sessions under [`Checkpoint::EveryApply`]
+    /// checkpoint once at the end of the batch.
+    ///
+    /// On a mid-batch validation error the already-applied prefix still
+    /// completed (and its record writes are durable), so the checkpoint
+    /// runs *before* the error is returned — the manifest always covers
+    /// what the stores hold. A worker-side failure poisons the engine; the
+    /// checkpoint then fails too and the original error wins.
+    pub fn apply_stream(&mut self, updates: &[Update]) -> Result<(), SessionError> {
+        let result = self.engine.apply_stream(updates);
+        let checkpointed = self.auto_checkpoint();
+        result?;
+        checkpointed
+    }
+
+    /// The fast query path: incrementally maintained scores (cluster
+    /// sessions fold per-worker partials — last-bit dependent on `p`).
+    pub fn scores(&mut self) -> Result<Reduced, SessionError> {
+        Ok(self.engine.scores()?)
+    }
+
+    /// The partition-invariant exact reduction: bitwise identical across
+    /// embodiments, worker counts and restarts for the same update history.
+    pub fn reduce_exact(&mut self) -> Result<Reduced, SessionError> {
+        Ok(self.engine.reduce_exact()?)
+    }
+
+    /// Edge betweenness of `{u, v}`, `None` if the edge is absent.
+    pub fn edge_centrality(
+        &mut self,
+        u: VertexId,
+        v: VertexId,
+    ) -> Result<Option<f64>, SessionError> {
+        Ok(self.engine.edge_centrality(u, v)?)
+    }
+
+    /// The `k` currently most central vertices, ties toward smaller id
+    /// ([`ebc_core::ranking::top_k`] over the fast-path scores).
+    pub fn top_k(&mut self, k: usize) -> Result<Vec<VertexId>, SessionError> {
+        Ok(self.engine.top_k(k)?)
+    }
+
+    /// Jaccard similarity between this session's current top-`k` vertex set
+    /// and the top-`k` of a reference score vector
+    /// ([`ebc_core::ranking::jaccard_top_k`]) — the ranking-quality metric
+    /// the Bergamini et al. (arXiv:1409.6241) approximation comparison
+    /// scores against the exact maintained ranking.
+    pub fn jaccard_top_k(&mut self, reference: &[f64], k: usize) -> Result<f64, SessionError> {
+        let reduced = self.engine.scores()?;
+        Ok(ranking::jaccard_top_k(&reduced.scores.vbc, reference, k))
+    }
+
+    /// Compare the session's exact scores against a fresh Brandes
+    /// recomputation on the current graph; errors with
+    /// [`EbcError::Diverged`] beyond `tol`.
+    pub fn verify(&mut self, tol: f64) -> Result<Divergence, SessionError> {
+        Ok(self.engine.verify(tol)?)
+    }
+
+    /// Brandes single-source iterations this session's engine has run —
+    /// `n` after a fresh bootstrap, **0** right after [`Session::open`] of a
+    /// sharded session (the witness that restart skipped the bootstrap).
+    /// `None` for single-machine embodiments, which do not count.
+    pub fn brandes_runs(&self) -> Option<u64> {
+        self.engine.brandes_runs()
+    }
+
+    /// Change the durability policy of a durable session (no effect on
+    /// memory sessions); reopened sessions default to
+    /// [`Checkpoint::EveryApply`].
+    pub fn set_checkpoint(&mut self, policy: Checkpoint) {
+        if let Some(d) = &mut self.durable {
+            d.checkpoint = policy;
+        }
+    }
+
+    /// Checkpoint a durable session now: flush every store, then atomically
+    /// rewrite the manifest with the current graph snapshot and ownership
+    /// map version. No-op for memory sessions.
+    pub fn checkpoint(&mut self) -> Result<(), SessionError> {
+        let Some(durable) = &self.durable else {
+            return Ok(());
+        };
+        self.engine.flush()?;
+        let map_version = self.engine.shard_map_version().unwrap_or(0);
+        let bytes = encode_manifest(durable, self.engine.graph(), map_version);
+        let path = durable.dir.join(MANIFEST_NAME);
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, bytes)?;
+        std::fs::rename(&tmp, &path)?;
+        Ok(())
+    }
+
+    fn auto_checkpoint(&mut self) -> Result<(), SessionError> {
+        match &self.durable {
+            Some(d) if d.checkpoint == Checkpoint::EveryApply => self.checkpoint(),
+            _ => Ok(()),
+        }
+    }
+}

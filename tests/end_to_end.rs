@@ -8,7 +8,7 @@ use streaming_bc::gen::streams::{addition_stream, removal_stream};
 use streaming_bc::graph::Graph;
 
 fn exercise(g: &Graph, seed: u64, label: &str) {
-    let mut st = BetweennessState::init(g);
+    let mut st = BetweennessState::new(g);
     for (u, v) in addition_stream(g, 12, seed) {
         st.apply(Update::add(u, v)).unwrap();
     }
@@ -54,7 +54,7 @@ fn quickstart_snippet_behaviour() {
     for (u, v) in [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)] {
         g.add_edge(u, v).unwrap();
     }
-    let mut state = BetweennessState::init(&g);
+    let mut state = BetweennessState::new(&g);
     state.apply(Update::add(1, 3)).unwrap();
     state.apply(Update::remove(0, 2)).unwrap();
     assert_eq!(state.vertex_centrality().len(), 4);
@@ -67,7 +67,7 @@ fn normalized_scores_match_classic_convention() {
     let mut g = Graph::with_vertices(3);
     g.add_edge(0, 1).unwrap();
     g.add_edge(1, 2).unwrap();
-    let st = BetweennessState::init(&g);
+    let st = BetweennessState::new(&g);
     let norm = st.scores().vbc_normalized();
     assert!((norm[1] - 1.0).abs() < 1e-12);
 }

@@ -13,7 +13,7 @@ use streaming_bc::gn::girvan_newman_incremental;
 fn replayed_tail_reaches_full_graph_scores() {
     let (full, order) = holme_kim_with_order(70, 3, 0.5, 17);
     let (boot, tail) = replay_growth(&order, full.n(), 25, 0.1, 0.5, 18);
-    let mut st = BetweennessState::init(&boot);
+    let mut st = BetweennessState::new(&boot);
     for ev in tail.events() {
         st.apply(Update {
             op: ev.op,
@@ -30,7 +30,7 @@ fn replayed_tail_reaches_full_graph_scores() {
 fn online_simulation_preserves_correctness() {
     let (full, order) = holme_kim_with_order(50, 3, 0.4, 19);
     let (boot, tail) = replay_growth(&order, full.n(), 15, 0.05, 0.8, 20);
-    let mut st = BetweennessState::init(&boot);
+    let mut st = BetweennessState::new(&boot);
     let report = simulate_modeled(&mut st, &tail, 4, Duration::from_micros(10)).unwrap();
     assert_eq!(report.events.len(), 15);
     assert_matches_scratch(st.graph(), st.scores(), 1e-6, "after online replay");

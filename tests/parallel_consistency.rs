@@ -79,7 +79,7 @@ fn scenarios() -> Vec<(&'static str, Graph, Vec<Update>)> {
 /// Replay on the single-machine state; return the incremental scores and the
 /// deterministic exact scores (the bitwise oracle).
 fn single_oracle(g: &Graph, updates: &[Update]) -> (BetweennessState, Scores) {
-    let mut single = BetweennessState::init(g);
+    let mut single = BetweennessState::new(g);
     for &u in updates {
         single.apply(u).unwrap();
     }
@@ -97,14 +97,14 @@ fn check_cluster<S: streaming_bc::core::BdStore + 'static>(
     let reports = cluster.apply_stream(updates).unwrap();
     assert_eq!(reports.len(), updates.len(), "{ctx}: lost reports");
     // bitwise: the exact reduce must equal the single-machine derivation
-    let exact = cluster.reduce_exact().unwrap();
+    let exact = cluster.reduce_exact().unwrap().scores;
     assert_eq!(
         bits(&exact),
         bits(oracle_exact),
         "{ctx}: exact reduce diverged bitwise"
     );
     // epsilon: the fast partial-sum reduce tracks the incremental scores
-    let (fast, _) = cluster.reduce().unwrap();
+    let fast = cluster.reduce().unwrap().scores;
     assert!(
         fast.max_vbc_diff(single.scores()) < 1e-9,
         "{ctx}: fast reduce VBC drifted"
@@ -120,7 +120,7 @@ fn memory_matrix_is_bit_identical_to_single_state() {
     for (name, g, updates) in scenarios() {
         let (single, oracle_exact) = single_oracle(&g, &updates);
         for p in WORKER_COUNTS {
-            let cluster = ClusterEngine::bootstrap(&g, p).unwrap();
+            let cluster = ClusterEngine::new(&g, p).unwrap();
             let ctx = format!("memory × p={p} × {name}");
             check_cluster(cluster, &updates, &single, &oracle_exact, &ctx);
         }
@@ -136,7 +136,7 @@ fn disk_matrix_is_bit_identical_to_single_state() {
         for p in WORKER_COUNTS {
             let dir = dir.clone();
             let cluster =
-                ClusterEngine::bootstrap_with(&g, p, UpdateConfig::default(), move |worker, n| {
+                ClusterEngine::new_with(&g, p, UpdateConfig::default(), move |worker, n| {
                     // one private file per worker — one disk per machine (§5.2)
                     let path = dir.join(format!("{name}_{p}_w{worker}.bd"));
                     let _ = std::fs::remove_file(&path);
@@ -189,7 +189,7 @@ fn check_rebalanced_cluster<S: streaming_bc::core::BdStore + 'static>(
         assert!(cluster.rebalance(1).unwrap().moves.is_empty(), "{ctx}");
     }
     cluster.apply_stream(&updates[k..]).unwrap();
-    let exact = cluster.reduce_exact().unwrap();
+    let exact = cluster.reduce_exact().unwrap().scores;
     assert_eq!(
         bits(&exact),
         bits(oracle_exact),
@@ -208,22 +208,18 @@ fn rebalance_mid_stream_matrix_is_bit_identical() {
         let (_, oracle_exact) = single_oracle(&g, &updates);
         for p in [1usize, 3, 8] {
             for k in [2usize, updates.len() / 2] {
-                let mem = ClusterEngine::bootstrap(&g, p).unwrap();
+                let mem = ClusterEngine::new(&g, p).unwrap();
                 let ctx = format!("mem × p={p} × {name} × handoff-after-{k}");
                 check_rebalanced_cluster(mem, &updates, k, &oracle_exact, &ctx);
 
                 let dir = dir.clone();
-                let disk = ClusterEngine::bootstrap_with(
-                    &g,
-                    p,
-                    UpdateConfig::default(),
-                    move |worker, n| {
+                let disk =
+                    ClusterEngine::new_with(&g, p, UpdateConfig::default(), move |worker, n| {
                         let path = dir.join(format!("rb_{name}_{p}_{k}_w{worker}.bd"));
                         let _ = std::fs::remove_file(&path);
                         DiskBdStore::create(path, n, CodecKind::Wide).map_err(EngineError::from)
-                    },
-                )
-                .unwrap();
+                    })
+                    .unwrap();
                 let ctx = format!("disk × p={p} × {name} × handoff-after-{k}");
                 check_rebalanced_cluster(disk, &updates, k, &oracle_exact, &ctx);
             }
@@ -248,9 +244,9 @@ fn worker_counts_do_not_change_results() {
     );
     let mut reference: Option<(Vec<u64>, Vec<u64>)> = None;
     for p in [1usize, 2, 7, 16] {
-        let mut cluster = ClusterEngine::bootstrap(&g, p).unwrap();
+        let mut cluster = ClusterEngine::new(&g, p).unwrap();
         cluster.apply_stream(&updates).unwrap();
-        let exact = cluster.reduce_exact().unwrap();
+        let exact = cluster.reduce_exact().unwrap().scores;
         match &reference {
             None => reference = Some(bits(&exact)),
             Some(r) => assert_eq!(r, &bits(&exact), "p={p} diverged bitwise"),
