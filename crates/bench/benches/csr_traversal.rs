@@ -1,0 +1,39 @@
+//! Criterion bench: the predecessor-free Brandes traversal on the two
+//! adjacency representations — the legacy pointer-chasing `Vec<Vec<Half>>`
+//! [`Graph`] vs the flat epoch-published [`CsrView`] the cluster workers
+//! pin. Same algorithm, same visit order, same bits; the only variable is
+//! the memory layout under the neighbor scans, so the delta is the CSR
+//! refactor's traversal win in isolation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ebc_core::brandes;
+use ebc_gen::standins::{standin, StandinKind};
+use ebc_graph::CsrView;
+
+fn bench_traversal(c: &mut Criterion) {
+    let s = standin(StandinKind::Synthetic(2_000), 1, 42);
+    let csr = CsrView::build(&s.graph);
+    let mut group = c.benchmark_group("brandes_full_2k");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.bench_with_input(BenchmarkId::new("adjacency", "graph"), &(), |b, _| {
+        b.iter(|| brandes(&s.graph))
+    });
+    group.bench_with_input(BenchmarkId::new("adjacency", "csr"), &(), |b, _| {
+        b.iter(|| brandes(&csr))
+    });
+    group.finish();
+
+    // sanity inside the harness: both layouts must produce identical bits
+    let a = brandes(&s.graph);
+    let b = brandes(&csr);
+    assert_eq!(
+        a.vbc.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+        b.vbc.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+        "CSR traversal diverged from the adjacency-list traversal"
+    );
+}
+
+criterion_group!(benches, bench_traversal);
+criterion_main!(benches);

@@ -187,10 +187,16 @@ fn main() {
         cores
     );
 
+    // interleave a periodic reduce into the stream: the overlapped path
+    // folds batch k's partials while batch k+1's maps are already running
+    let reduce_every = 4usize;
+
     struct Row {
         p: usize,
         pool_map_wall: f64,
         pool_stream_wall: f64,
+        overlap_stream_wall: f64,
+        barrier_stream_wall: f64,
         scoped_map_wall: f64,
         scoped_stream_wall: f64,
     }
@@ -201,6 +207,8 @@ fn main() {
             p,
             pool_map_wall: f64::INFINITY,
             pool_stream_wall: f64::INFINITY,
+            overlap_stream_wall: f64::INFINITY,
+            barrier_stream_wall: f64::INFINITY,
             scoped_map_wall: f64::INFINITY,
             scoped_stream_wall: f64::INFINITY,
         };
@@ -221,6 +229,36 @@ fn main() {
                 .pool_stream_wall
                 .min(t0.elapsed().as_secs_f64() / adds.len() as f64);
 
+            // overlapped reduce: every reduce_every-th dispatch folds the
+            // partials while later updates' maps are already in flight
+            let mut cluster = ClusterEngine::new(&s.graph, p).expect("bootstrap pool");
+            let t0 = Instant::now();
+            let (_, reduces) = cluster
+                .apply_stream_reduced(&adds, reduce_every)
+                .expect("valid stream");
+            row.overlap_stream_wall = row
+                .overlap_stream_wall
+                .min(t0.elapsed().as_secs_f64() / adds.len() as f64);
+            let num_reduces = reduces.len();
+
+            // barriered reference: same schedule, but each reduce waits for
+            // its batch to drain before the next batch is dispatched
+            let mut cluster = ClusterEngine::new(&s.graph, p).expect("bootstrap pool");
+            let t0 = Instant::now();
+            let mut barrier_reduces = 0usize;
+            for chunk in adds.chunks(reduce_every) {
+                cluster.apply_stream(chunk).expect("valid stream");
+                cluster.reduce().expect("reduce");
+                barrier_reduces += 1;
+            }
+            row.barrier_stream_wall = row
+                .barrier_stream_wall
+                .min(t0.elapsed().as_secs_f64() / adds.len() as f64);
+            assert_eq!(
+                num_reduces, barrier_reduces,
+                "overlapped and barriered schedules must run the same reduces"
+            );
+
             // scoped reference: per-update map wall and end-to-end wall
             let mut scoped = ScopedCluster::bootstrap(&s.graph, p);
             let t0 = Instant::now();
@@ -232,13 +270,17 @@ fn main() {
         }
         eprintln!(
             "  p={p}: map wall pool {:.6}s vs scoped {:.6}s ({:.2}x) | stream wall \
-             pool {:.6}s vs scoped {:.6}s ({:.2}x)",
+             pool {:.6}s vs scoped {:.6}s ({:.2}x) | reduce-laced stream \
+             overlapped {:.6}s vs barriered {:.6}s ({:.2}x)",
             row.pool_map_wall,
             row.scoped_map_wall,
             row.scoped_map_wall / row.pool_map_wall,
             row.pool_stream_wall,
             row.scoped_stream_wall,
             row.scoped_stream_wall / row.pool_stream_wall,
+            row.overlap_stream_wall,
+            row.barrier_stream_wall,
+            row.barrier_stream_wall / row.overlap_stream_wall,
         );
         rows.push(row);
     }
@@ -252,24 +294,32 @@ fn main() {
     json.push_str(&format!("  \"updates\": {},\n", adds.len()));
     json.push_str(&format!("  \"repetitions\": {reps},\n"));
     json.push_str(&format!("  \"host_cores\": {cores},\n"));
+    json.push_str(&format!("  \"reduce_every\": {reduce_every},\n"));
     json.push_str(
         "  \"metric\": \"seconds per update, best of repetitions; map_wall = slowest \
          worker's busy time on sequential applies, stream_wall = end-to-end wall clock \
-         of the batch path divided by the update count\",\n",
+         of the batch path divided by the update count; overlap/barrier_stream_wall = \
+         the same stream laced with a reduce every reduce_every dispatches, folded \
+         concurrently with later maps (overlap) vs at a full barrier (barrier)\",\n",
     );
     json.push_str("  \"rows\": [\n");
     for (i, row) in rows.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"workers\": {}, \"pool_map_wall_s\": {:.9}, \"pool_stream_wall_s\": {:.9}, \
+             \"overlap_stream_wall_s\": {:.9}, \"barrier_stream_wall_s\": {:.9}, \
              \"scoped_map_wall_s\": {:.9}, \"scoped_stream_wall_s\": {:.9}, \
-             \"speedup_map_wall\": {:.3}, \"speedup_stream_wall\": {:.3}}}{}\n",
+             \"speedup_map_wall\": {:.3}, \"speedup_stream_wall\": {:.3}, \
+             \"speedup_overlapped_reduce\": {:.3}}}{}\n",
             row.p,
             row.pool_map_wall,
             row.pool_stream_wall,
+            row.overlap_stream_wall,
+            row.barrier_stream_wall,
             row.scoped_map_wall,
             row.scoped_stream_wall,
             row.scoped_map_wall / row.pool_map_wall,
             row.scoped_stream_wall / row.pool_stream_wall,
+            row.barrier_stream_wall / row.overlap_stream_wall,
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }

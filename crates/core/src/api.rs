@@ -55,6 +55,50 @@ impl Reduced {
     }
 }
 
+/// A point-in-time view of a partitioned engine's source→shard ownership:
+/// which worker answers for which sources, and the version of the map that
+/// said so. Single-machine embodiments have no map and return `None` from
+/// [`EbcEngine::shard_map`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardAssignment {
+    /// Version of the ownership map (bumps once per committed handoff).
+    pub version: u64,
+    /// `assignment[k]` is the list of sources worker `k` owns, in the
+    /// map's internal (adoption/handoff) order. The lists partition the
+    /// current vertex set.
+    pub assignment: Vec<Vec<VertexId>>,
+}
+
+impl ShardAssignment {
+    /// Total owned sources across all shards (equals the graph's `n`).
+    pub fn total(&self) -> usize {
+        self.assignment.iter().map(Vec::len).sum()
+    }
+
+    /// Owned-source skew: `max − min` across shards.
+    pub fn skew(&self) -> usize {
+        let max = self.assignment.iter().map(Vec::len).max().unwrap_or(0);
+        let min = self.assignment.iter().map(Vec::len).min().unwrap_or(0);
+        max - min
+    }
+}
+
+/// What a [`EbcEngine::rebalance`] or [`EbcEngine::handoff`] did: the
+/// executed source moves (each `(source, from, to)`), the effective skew
+/// threshold, and the map version after the last committed move. Scores are
+/// never affected — ownership moves are score-neutral by construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RebalanceOutcome {
+    /// Executed handoffs in commit order (empty when the skew was already
+    /// within the threshold).
+    pub moves: Vec<(VertexId, usize, usize)>,
+    /// The effective threshold (requests below 1 are clamped up; `0` for a
+    /// single explicit handoff).
+    pub threshold: usize,
+    /// Ownership-map version after the last committed move.
+    pub map_version: u64,
+}
+
 /// The unified error type of the [`EbcEngine`] surface. Concrete engines
 /// keep their precise error enums (`StateError`, `ebc-engine`'s
 /// `EngineError`); this is what they map onto when driven through the
@@ -201,6 +245,33 @@ pub trait EbcEngine {
     fn brandes_runs(&self) -> Option<u64> {
         None
     }
+
+    /// The current source→shard ownership of a partitioned embodiment, or
+    /// `None` on a single machine (where every source lives in the one
+    /// store and ownership never moves).
+    fn shard_map(&self) -> Option<ShardAssignment> {
+        None
+    }
+
+    /// Hand ownership of `source` to worker `to` (an explicit, out-of-plan
+    /// move — e.g. draining a machine before maintenance). Score-neutral.
+    /// Single-machine embodiments have nowhere to move a source and error.
+    fn handoff(&mut self, source: VertexId, to: usize) -> Result<RebalanceOutcome, EbcError> {
+        let _ = (source, to);
+        Err(EbcError::Engine(
+            "handoff requires a sharded engine (workers > 1)".into(),
+        ))
+    }
+
+    /// Restore the owned-source skew invariant `max − min ≤ threshold`
+    /// through the engine's journaled handoff path, returning the executed
+    /// moves. Score-neutral. Single-machine embodiments error.
+    fn rebalance(&mut self, threshold: usize) -> Result<RebalanceOutcome, EbcError> {
+        let _ = threshold;
+        Err(EbcError::Engine(
+            "rebalance requires a sharded engine (workers > 1)".into(),
+        ))
+    }
 }
 
 impl<S: BdStore> EbcEngine for BetweennessState<S> {
@@ -303,6 +374,15 @@ mod tests {
         // still usable afterwards
         engine.apply(Update::add(0, 2)).unwrap();
         engine.verify(1e-6).unwrap();
+    }
+
+    #[test]
+    fn single_machine_has_no_shard_surface() {
+        let mut st = BetweennessState::new(&square());
+        let engine = as_engine(&mut st);
+        assert!(engine.shard_map().is_none());
+        assert!(matches!(engine.handoff(0, 1), Err(EbcError::Engine(_))));
+        assert!(matches!(engine.rebalance(1), Err(EbcError::Engine(_))));
     }
 
     #[test]

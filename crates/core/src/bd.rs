@@ -115,6 +115,15 @@ pub trait BdStore: Send {
     /// The sources managed by this store, in deterministic order.
     fn sources(&self) -> Vec<VertexId>;
 
+    /// Fill `out` with [`BdStore::sources`] (same order), reusing its
+    /// capacity. Backends that keep a resident order vector override this so
+    /// the per-update source enumeration in the engine hot loop does not
+    /// allocate.
+    fn sources_into(&self, out: &mut Vec<VertexId>) {
+        out.clear();
+        out.extend(self.sources());
+    }
+
     /// Number of sources managed by this store.
     fn num_sources(&self) -> usize;
 
@@ -225,13 +234,20 @@ pub trait BdStore: Send {
 }
 
 /// Fully in-memory `BD` store — the paper's *MO* configuration.
+///
+/// Struct-of-arrays layout: each of `d`/`sigma`/`delta` is one contiguous
+/// slab holding every record back to back with stride [`MemoryBdStore::n`]
+/// (slot `i`'s record occupies `[i·n, (i+1)·n)`). One allocation per
+/// component instead of three per source keeps the kernel's record walks
+/// cache-linear and makes growing/removing a record a `memmove`, not an
+/// allocator round trip.
 pub struct MemoryBdStore {
     n: usize,
     order: Vec<VertexId>,
     index: FxHashMap<VertexId, usize>,
-    d: Vec<Vec<u32>>,
-    sigma: Vec<Vec<u64>>,
-    delta: Vec<Vec<f64>>,
+    d: Vec<u32>,
+    sigma: Vec<u64>,
+    delta: Vec<f64>,
 }
 
 impl MemoryBdStore {
@@ -255,6 +271,11 @@ impl MemoryBdStore {
     fn slot(&self, s: VertexId) -> BdResult<usize> {
         self.index.get(&s).copied().ok_or(BdError::UnknownSource(s))
     }
+
+    #[inline]
+    fn row(&self, slot: usize) -> std::ops::Range<usize> {
+        slot * self.n..(slot + 1) * self.n
+    }
 }
 
 impl BdStore for MemoryBdStore {
@@ -266,32 +287,51 @@ impl BdStore for MemoryBdStore {
         self.order.clone()
     }
 
+    fn sources_into(&self, out: &mut Vec<VertexId>) {
+        out.clear();
+        out.extend_from_slice(&self.order);
+    }
+
     fn num_sources(&self) -> usize {
         self.order.len()
     }
 
     fn peek_pair(&mut self, s: VertexId, a: VertexId, b: VertexId) -> BdResult<(u32, u32)> {
-        let slot = self.slot(s)?;
-        Ok((self.d[slot][a as usize], self.d[slot][b as usize]))
+        let base = self.slot(s)? * self.n;
+        Ok((self.d[base + a as usize], self.d[base + b as usize]))
     }
 
     fn update_with(&mut self, s: VertexId, f: SourceFn<'_>) -> BdResult<bool> {
         let slot = self.slot(s)?;
+        let row = self.row(slot);
         let view = SourceViewMut {
-            d: &mut self.d[slot],
-            sigma: &mut self.sigma[slot],
-            delta: &mut self.delta[slot],
+            d: &mut self.d[row.clone()],
+            sigma: &mut self.sigma[row.clone()],
+            delta: &mut self.delta[row],
         };
         Ok(f(view))
     }
 
     fn grow_vertex(&mut self) -> BdResult<()> {
-        self.n += 1;
-        for slot in 0..self.order.len() {
-            self.d[slot].push(UNREACHABLE);
-            self.sigma[slot].push(0);
-            self.delta[slot].push(0.0);
+        // Re-stride the slabs in place: widen each row by one slot and seed
+        // the new column with the fresh-vertex sentinel. Rows move to larger
+        // offsets, so walking them back to front never clobbers an unmoved
+        // row (each row move itself is a memmove).
+        let (old_n, new_n, slots) = (self.n, self.n + 1, self.order.len());
+        self.d.resize(slots * new_n, UNREACHABLE);
+        self.sigma.resize(slots * new_n, 0);
+        self.delta.resize(slots * new_n, 0.0);
+        for slot in (0..slots).rev() {
+            let src = slot * old_n..slot * old_n + old_n;
+            let dst = slot * new_n;
+            self.d.copy_within(src.clone(), dst);
+            self.sigma.copy_within(src.clone(), dst);
+            self.delta.copy_within(src, dst);
+            self.d[dst + old_n] = UNREACHABLE;
+            self.sigma[dst + old_n] = 0;
+            self.delta[dst + old_n] = 0.0;
         }
+        self.n = new_n;
         Ok(())
     }
 
@@ -313,9 +353,9 @@ impl BdStore for MemoryBdStore {
         }
         self.index.insert(s, self.order.len());
         self.order.push(s);
-        self.d.push(d);
-        self.sigma.push(sigma);
-        self.delta.push(delta);
+        self.d.extend_from_slice(&d);
+        self.sigma.extend_from_slice(&sigma);
+        self.delta.extend_from_slice(&delta);
         Ok(())
     }
 
@@ -323,9 +363,19 @@ impl BdStore for MemoryBdStore {
         let slot = self.slot(s)?;
         self.index.remove(&s);
         self.order.swap_remove(slot);
-        self.d.swap_remove(slot);
-        self.sigma.swap_remove(slot);
-        self.delta.swap_remove(slot);
+        // Mirror `swap_remove` on the slabs: the last row fills the vacated
+        // stride, then the slabs shrink by one row.
+        let last = self.order.len();
+        if slot != last {
+            let src = last * self.n..(last + 1) * self.n;
+            let dst = slot * self.n;
+            self.d.copy_within(src.clone(), dst);
+            self.sigma.copy_within(src.clone(), dst);
+            self.delta.copy_within(src, dst);
+        }
+        self.d.truncate(last * self.n);
+        self.sigma.truncate(last * self.n);
+        self.delta.truncate(last * self.n);
         if let Some(&moved) = self.order.get(slot) {
             self.index.insert(moved, slot);
         }
@@ -480,6 +530,48 @@ mod tests {
             st.remove_source(9),
             Err(BdError::UnknownSource(9))
         ));
+    }
+
+    #[test]
+    fn slab_restride_survives_interleaved_grow_and_remove() {
+        // Rows are strided in shared slabs; growing re-strides in place and
+        // removal memmoves the tail row. Interleave both and check every
+        // surviving record cell against an independently maintained model.
+        type ModelRow = (VertexId, Vec<u32>, Vec<u64>, Vec<f64>);
+        let mut st = MemoryBdStore::new(2);
+        let mut model: Vec<ModelRow> = Vec::new();
+        for s in 0..6u32 {
+            let d: Vec<u32> = (0..st.n() as u32).map(|v| v + s).collect();
+            let sig: Vec<u64> = (0..st.n() as u64).map(|v| v + 10 * s as u64 + 1).collect();
+            let del: Vec<f64> = (0..st.n()).map(|v| v as f64 + s as f64 / 4.0).collect();
+            st.add_source(s, d.clone(), sig.clone(), del.clone())
+                .unwrap();
+            model.push((s, d, sig, del));
+            if s % 2 == 1 {
+                st.grow_vertex().unwrap();
+                for r in &mut model {
+                    r.1.push(UNREACHABLE);
+                    r.2.push(0);
+                    r.3.push(0.0);
+                }
+            }
+            if s == 3 {
+                st.remove_source(1).unwrap();
+                model.retain(|r| r.0 != 1);
+            }
+        }
+        for (s, d, sig, del) in &model {
+            st.update_with(*s, &mut |view| {
+                assert_eq!(view.d, &d[..], "d row of source {s}");
+                assert_eq!(view.sigma, &sig[..], "sigma row of source {s}");
+                assert_eq!(view.delta, &del[..], "delta row of source {s}");
+                false
+            })
+            .unwrap();
+        }
+        let mut buf = vec![99; 4];
+        st.sources_into(&mut buf);
+        assert_eq!(buf, st.sources());
     }
 
     #[test]

@@ -33,7 +33,7 @@
 
 use crate::bd::{BdResult, BdStore};
 use crate::scores::Scores;
-use ebc_graph::{Graph, VertexId, UNREACHABLE};
+use ebc_graph::{GraphView, VertexId, UNREACHABLE};
 use std::ops::Range;
 
 /// Number of leaves of the fixed reduction tree for `n` sources: the next
@@ -70,8 +70,8 @@ pub struct TreeSegment {
 /// (`v ≠ s`), and each tree edge of the SSSP DAG gets
 /// `σ(pred)/σ(succ) · (1 + δ(succ))` — evaluated with the same operation
 /// order as the accumulation loop.
-pub fn source_contribution(
-    g: &Graph,
+pub fn source_contribution<G: GraphView>(
+    g: &G,
     s: VertexId,
     d: &[u32],
     sigma: &[u64],
@@ -80,21 +80,22 @@ pub fn source_contribution(
 ) {
     out.vbc[..g.n()].copy_from_slice(&delta[..g.n()]);
     out.vbc[s as usize] = 0.0;
-    for (key, eid) in g.edges() {
-        let (a, b) = key.endpoints();
+    // Per-edge work is a slot *assignment*, so the visit order difference
+    // between `Graph` (hash map) and `CsrView` (segment scan) is immaterial.
+    g.for_each_edge(|a, b, eid| {
         let (da, db) = (d[a as usize], d[b as usize]);
         if da == UNREACHABLE || db == UNREACHABLE {
-            continue;
+            return;
         }
         let c = if db == da + 1 {
             sigma[a as usize] as f64 / sigma[b as usize] as f64 * (1.0 + delta[b as usize])
         } else if da == db + 1 {
             sigma[b as usize] as f64 / sigma[a as usize] as f64 * (1.0 + delta[a as usize])
         } else {
-            continue;
+            return;
         };
         out.ebc[eid as usize] = c;
-    }
+    });
 }
 
 /// Value of tree node `[lo, hi)` (`hi - lo` a power of two): leaves from
@@ -248,7 +249,7 @@ fn assemble_node(
 /// Exact scores of a full store (the single-machine embodiment): evaluates
 /// the whole fixed tree in place. Bitwise equal to [`assemble`] over any
 /// partitioning's [`tree_segments`] of the same records.
-pub fn exact_scores<S: BdStore>(g: &Graph, store: &mut S) -> BdResult<Scores> {
+pub fn exact_scores<G: GraphView, S: BdStore>(g: &G, store: &mut S) -> BdResult<Scores> {
     let n = g.n();
     let shape = (n, g.edge_slots());
     if n == 0 {
@@ -269,6 +270,7 @@ mod tests {
     use super::*;
     use crate::state::{BetweennessState, Update};
     use crate::verify::assert_matches_scratch;
+    use ebc_graph::Graph;
 
     fn ring_with_chords(n: usize) -> Graph {
         let mut g = Graph::with_vertices(n);

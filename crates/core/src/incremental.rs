@@ -35,7 +35,7 @@
 
 use crate::bd::SourceViewMut;
 use crate::scores::Scores;
-use ebc_graph::{EdgeKey, EdgeOp, Graph, VertexId, UNREACHABLE};
+use ebc_graph::{EdgeKey, EdgeOp, GraphView, VertexId, UNREACHABLE};
 
 /// Tuning knobs for the update kernel.
 #[derive(Debug, Clone, Default)]
@@ -228,8 +228,8 @@ impl Workspace {
 /// score slot once after all sources are processed — per-source subtraction
 /// of a slot that is being deleted anyway would be wasted work.
 #[allow(clippy::too_many_arguments)] // the kernel entry point mirrors the paper's signature
-pub fn update_source(
-    g: &Graph,
+pub fn update_source<G: GraphView>(
+    g: &G,
     s: VertexId,
     op: EdgeOp,
     u1: VertexId,
@@ -298,8 +298,8 @@ pub fn update_source(
     true
 }
 
-struct Kernel<'a> {
-    g: &'a Graph,
+struct Kernel<'a, G: GraphView> {
+    g: &'a G,
     s: VertexId,
     old_d: &'a [u32],
     old_sig: &'a [u64],
@@ -310,7 +310,7 @@ struct Kernel<'a> {
     cfg: &'a UpdateConfig,
 }
 
-impl<'a> Kernel<'a> {
+impl<'a, G: GraphView> Kernel<'a, G> {
     #[inline]
     fn cur_d(&self, v: u32) -> u32 {
         if self.ws.flag(v) & F_ND != 0 {
@@ -677,6 +677,7 @@ mod tests {
     use super::*;
     use crate::bd::{BdStore, MemoryBdStore};
     use crate::brandes::{brandes, single_source_update};
+    use ebc_graph::Graph;
 
     /// Tiny harness: bootstrap a state on `g0`, apply updates through the
     /// kernel, and compare against recomputation from scratch.

@@ -37,14 +37,16 @@ pub mod exact;
 pub mod incremental;
 pub mod ranking;
 pub mod scores;
+pub mod scratch;
 pub mod state;
 pub mod verify;
 
-pub use api::{EbcEngine, EbcError, Reduced};
+pub use api::{EbcEngine, EbcError, RebalanceOutcome, Reduced, ShardAssignment};
 pub use approx::approx_betweenness;
 pub use bd::{BdStore, MemoryBdStore, SourceViewMut};
 pub use brandes::{brandes, brandes_with_predecessors, single_source_update};
 pub use directed::brandes_directed;
 pub use incremental::{update_source, UpdateConfig, UpdateStats, Workspace};
 pub use scores::Scores;
+pub use scratch::KernelScratch;
 pub use state::{BetweennessState, StateError, Update};

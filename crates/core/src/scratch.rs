@@ -1,0 +1,102 @@
+//! Reusable per-worker kernel arena.
+//!
+//! The map phase runs one kernel invocation per owned source per update;
+//! everything a kernel touches besides the `BD[s]` records themselves lives
+//! here so the steady-state hot path performs **no allocation per update**:
+//!
+//! * [`Workspace`] — the incremental kernel's epoch-stamped scratch
+//!   (frontier queues, new-value overlays, touch lists);
+//! * [`BrandesScratch`] — BFS scratch for fresh-source bootstraps and
+//!   adoption recomputes;
+//! * a sources buffer filled via [`BdStore::sources_into`], replacing the
+//!   `Vec` the store used to hand out on every update;
+//! * a reusable leaf [`Scores`] buffer for resume/segment evaluation.
+//!
+//! All buffers grow monotonically with the graph and are reused across
+//! updates and across sources (the paper's "constant memory per source"
+//! argument only holds if the harness does not allocate behind the
+//! kernel's back).
+
+use crate::bd::BdStore;
+use crate::brandes::BrandesScratch;
+use crate::incremental::Workspace;
+use crate::scores::Scores;
+use ebc_graph::VertexId;
+
+/// Bundled scratch state for one worker's kernel invocations.
+#[derive(Debug)]
+pub struct KernelScratch {
+    /// Incremental-kernel workspace (epoch reset, O(1) between sources).
+    pub ws: Workspace,
+    /// BFS scratch for full single-source recomputes.
+    pub brandes: BrandesScratch,
+    /// Source enumeration buffer, refreshed from the store each update.
+    pub sources: Vec<VertexId>,
+    leaf: Scores,
+}
+
+impl KernelScratch {
+    /// Arena sized for an `n`-vertex graph.
+    pub fn new(n: usize) -> Self {
+        KernelScratch {
+            ws: Workspace::new(n),
+            brandes: BrandesScratch::new(n),
+            sources: Vec::new(),
+            leaf: Scores::zeros(0, 0),
+        }
+    }
+
+    /// Widen every buffer to `n` vertices (no-op when already that wide).
+    pub fn grow(&mut self, n: usize) {
+        self.ws.grow(n);
+        // BrandesScratch sizes itself on reset; nothing to widen eagerly.
+    }
+
+    /// Refresh the sources buffer from `store` (allocation-free for
+    /// backends that override [`BdStore::sources_into`]).
+    pub fn refresh_sources<S: BdStore + ?Sized>(&mut self, store: &S) -> &[VertexId] {
+        store.sources_into(&mut self.sources);
+        &self.sources
+    }
+
+    /// A zeroed leaf buffer shaped `(n, edge_slots)`, reusing capacity.
+    pub fn leaf_buffer(&mut self, n: usize, edge_slots: usize) -> &mut Scores {
+        self.leaf.reset_shape(n, edge_slots);
+        &mut self.leaf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bd::MemoryBdStore;
+
+    #[test]
+    fn refresh_sources_tracks_the_store() {
+        let mut st = MemoryBdStore::new(2);
+        st.add_source(3, vec![0, 1], vec![1, 1], vec![0.0, 0.0])
+            .unwrap();
+        st.add_source(1, vec![1, 0], vec![1, 1], vec![0.0, 0.0])
+            .unwrap();
+        let mut scratch = KernelScratch::new(2);
+        assert_eq!(scratch.refresh_sources(&st), &[3, 1]);
+        st.remove_source(3).unwrap();
+        assert_eq!(scratch.refresh_sources(&st), &[1]);
+    }
+
+    #[test]
+    fn leaf_buffer_is_zeroed_and_shaped() {
+        let mut scratch = KernelScratch::new(4);
+        {
+            let leaf = scratch.leaf_buffer(3, 5);
+            assert_eq!(leaf.vbc.len(), 3);
+            assert_eq!(leaf.ebc.len(), 5);
+            leaf.vbc[1] = 7.0;
+            leaf.ebc[4] = 8.0;
+        }
+        let leaf = scratch.leaf_buffer(2, 6);
+        assert_eq!(leaf.vbc, vec![0.0, 0.0]);
+        assert!(leaf.ebc.iter().all(|&x| x == 0.0));
+        assert_eq!(leaf.ebc.len(), 6);
+    }
+}

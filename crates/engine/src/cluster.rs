@@ -34,14 +34,17 @@
 
 use crate::pool::{ApplyEcho, Command, Reply, WorkerPool};
 use crate::shardmap::{ShardMap, ShardMapError, SourceMove};
-use ebc_core::api::{EbcEngine, EbcError, Reduced};
+use ebc_core::api::{EbcEngine, EbcError, RebalanceOutcome, Reduced, ShardAssignment};
 use ebc_core::bd::{BdError, BdStore, MemoryBdStore};
 use ebc_core::exact::assemble;
 use ebc_core::incremental::UpdateConfig;
 use ebc_core::state::Update;
-use ebc_graph::{EdgeOp, Graph, GraphError, VertexId};
+use ebc_graph::csr::EpochGraph;
+use ebc_graph::{EdgeId, EdgeOp, Graph, GraphError, VertexId};
+use std::collections::VecDeque;
 use std::fmt;
 use std::marker::PhantomData;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Errors from the cluster engine.
@@ -146,14 +149,31 @@ struct InFlight {
     edge_slots: usize,
 }
 
+/// One dispatched, not-yet-collected event of a pipelined stream: a map task
+/// awaiting its `p` `Applied` echoes, or a tree reduce awaiting worker 0's
+/// `Merged` payload. Collection pops these in dispatch order, which is
+/// exactly the order replies appear on each worker's FIFO reply channel.
+enum Pending {
+    Apply(InFlight),
+    Reduce {
+        /// Dispatch instant — the reported wall is dispatch-to-collect
+        /// latency, i.e. how long the reduce rode the pipeline.
+        t0: Instant,
+        /// Replica shape at dispatch (the graph may grow before collection).
+        n: usize,
+        edge_slots: usize,
+    },
+}
+
 /// A simulated shared-nothing cluster of `p` persistent workers.
 ///
 /// Dropping the engine shuts down and joins every worker thread.
 pub struct ClusterEngine<S: BdStore = MemoryBdStore> {
     pool: WorkerPool,
-    /// Coordinator-side replica used to validate updates before dispatch and
-    /// to answer shape queries; evolves in lockstep with worker replicas.
-    replica: Graph,
+    /// The single writer of graph structure: validates updates, mutates the
+    /// authoritative replica, and publishes frozen CSR epochs that every map
+    /// task pins (workers hold `Arc` shares, not clones).
+    replica: EpochGraph,
     /// The source→shard ownership authority; mirrors the workers' store
     /// membership move for move.
     map: ShardMap,
@@ -205,7 +225,8 @@ impl<S: BdStore + 'static> ClusterEngine<S> {
         for id in 0..p {
             stores.push(store_factory(id, n)?);
         }
-        let pool = WorkerPool::spawn(graph, cfg, stores);
+        let replica = EpochGraph::new(graph.clone());
+        let pool = WorkerPool::spawn(replica.pin(), cfg, stores);
         for worker in 0..p {
             let sources = map.sources_of(worker).to_vec();
             pool.send(worker, Command::Bootstrap { sources })?;
@@ -213,7 +234,7 @@ impl<S: BdStore + 'static> ClusterEngine<S> {
         let brandes_runs = Self::collect_bootstraps(&pool)?;
         Ok(ClusterEngine {
             pool,
-            replica: graph.clone(),
+            replica,
             map,
             brandes_runs,
             dead: None,
@@ -281,7 +302,12 @@ impl<S: BdStore + 'static> ClusterEngine<S> {
             ))));
         }
         let map = ShardMap::from_assignment_versioned(owned, map_version)?;
-        let pool = WorkerPool::spawn(graph, cfg, stores);
+        // The CSR epoch is rebuilt from the structural snapshot's adjacency,
+        // preserving its exact neighbour order — the resumed engine's
+        // traversals (and hence its floating-point sums) are bitwise
+        // identical to the killed incarnation's.
+        let replica = EpochGraph::new(graph.clone());
+        let pool = WorkerPool::spawn(replica.pin(), cfg, stores);
         for worker in 0..pool.len() {
             pool.send(worker, Command::Resume)?;
         }
@@ -289,7 +315,7 @@ impl<S: BdStore + 'static> ClusterEngine<S> {
         debug_assert_eq!(brandes_runs, 0, "resume must not run Brandes");
         Ok(ClusterEngine {
             pool,
-            replica: graph.clone(),
+            replica,
             map,
             brandes_runs,
             dead: None,
@@ -328,15 +354,16 @@ impl<S: BdStore + 'static> ClusterEngine<S> {
         self.pool.len()
     }
 
-    /// Number of vertices in the replicas.
+    /// Number of vertices in the replica.
     pub fn n(&self) -> usize {
-        self.replica.n()
+        self.replica.graph().n()
     }
 
-    /// The coordinator's replica of the evolving graph (worker replicas are
-    /// identical; none of them is ever borrowed across threads).
+    /// The coordinator's authoritative replica of the evolving graph
+    /// (workers pin published CSR epochs of it; nothing is cloned per
+    /// worker or borrowed across threads).
     pub fn graph(&self) -> &Graph {
-        &self.replica
+        self.replica.graph()
     }
 
     /// Per-worker owned-source counts (coordinator map; sums to `n`).
@@ -388,13 +415,14 @@ impl<S: BdStore + 'static> ClusterEngine<S> {
             return Err(EngineError::Graph(GraphError::SelfLoop(u)));
         }
         let mut adopter = None;
+        let mut removed_eid: Option<EdgeId> = None;
         match op {
             EdgeOp::Add => {
                 let hi = u.max(v);
-                if hi as usize > self.replica.n() {
+                if hi as usize > self.replica.graph().n() {
                     return Err(EngineError::SparseVertex(hi));
                 }
-                if (hi as usize) == self.replica.n() {
+                if (hi as usize) == self.replica.graph().n() {
                     // Validate before growing so a rejected update leaves no
                     // trace; with u != v checked, an add that grows the
                     // graph cannot fail (the new endpoint has no edges yet).
@@ -415,22 +443,31 @@ impl<S: BdStore + 'static> ClusterEngine<S> {
                 }
             }
             EdgeOp::Remove => {
-                self.replica.remove_edge(u, v)?;
+                removed_eid = Some(self.replica.remove_edge(u, v)?);
             }
         }
+        // Publish the post-update epoch once; every worker pins the same
+        // frozen snapshot (an `Arc` bump each, no copies).
+        let view = self.replica.publish();
         for worker in 0..self.pool.len() {
             let adopt = if Some(worker) == adopter {
                 Some(u.max(v))
             } else {
                 None
             };
-            if let Err(e) = self.pool.send(worker, Command::Apply { update, adopt }) {
+            let cmd = Command::Apply {
+                update,
+                removed_eid,
+                adopt,
+                view: Arc::clone(&view),
+            };
+            if let Err(e) = self.pool.send(worker, cmd) {
                 return Err(self.poison(e));
             }
         }
         Ok(InFlight {
             adopter,
-            edge_slots: self.replica.edge_slots(),
+            edge_slots: self.replica.graph().edge_slots(),
         })
     }
 
@@ -498,22 +535,59 @@ impl<S: BdStore + 'static> ClusterEngine<S> {
     /// usable) and the error is returned. Worker-side failures poison the
     /// engine.
     pub fn apply_stream(&mut self, updates: &[Update]) -> Result<Vec<ApplyReport>, EngineError> {
+        Ok(self.stream_inner(updates, 0)?.0)
+    }
+
+    /// [`ClusterEngine::apply_stream`] with overlapped tree reduces: after
+    /// every `reduce_every` updates a [`Command::MergePartials`] round is
+    /// dispatched *without waiting* — workers snapshot their partials into
+    /// the merge (the double buffer) and keep chewing on the already-queued
+    /// map tasks of the next batch, so the reduce of batch `k` rides the
+    /// pipeline alongside the map phase of batch `k+1` instead of
+    /// barriering it. A trailing reduce covers the final partial batch, so
+    /// the last [`Reduced`] always reflects the full stream.
+    ///
+    /// Each reduce observes exactly the updates dispatched before it (FIFO
+    /// command order per worker), and folds partials up the same fixed
+    /// pairwise tree as [`ClusterEngine::reduce`] — overlap changes *when*
+    /// the fold runs, never its shape, so the summation order (and thus the
+    /// bits) per observed prefix is identical to the barriered path.
+    /// `Reduced::wall` here is dispatch-to-collect pipeline latency.
+    pub fn apply_stream_reduced(
+        &mut self,
+        updates: &[Update],
+        reduce_every: usize,
+    ) -> Result<(Vec<ApplyReport>, Vec<Reduced>), EngineError> {
+        self.stream_inner(updates, reduce_every.max(1))
+    }
+
+    /// Shared pipelined loop: dispatch up to `window` events ahead of
+    /// collection; `reduce_every == 0` disables interleaved reduces.
+    fn stream_inner(
+        &mut self,
+        updates: &[Update],
+        reduce_every: usize,
+    ) -> Result<(Vec<ApplyReport>, Vec<Reduced>), EngineError> {
         self.ensure_live()?;
         let window = (2 * self.pool.len()).max(4);
         let mut reports = Vec::with_capacity(updates.len());
-        let mut in_flight: Vec<InFlight> = Vec::with_capacity(updates.len());
+        let mut reduces = Vec::new();
+        let mut pending: VecDeque<Pending> = VecDeque::with_capacity(window + 1);
         let mut first_err: Option<EngineError> = None;
         let mut dispatched = 0usize;
-        let mut collected = 0usize;
-        while collected < dispatched || (dispatched < updates.len() && first_err.is_none()) {
-            let want_dispatch = dispatched < updates.len()
-                && first_err.is_none()
-                && dispatched - collected < window;
+        let mut reduced_at = 0usize;
+        loop {
+            let want_dispatch =
+                dispatched < updates.len() && first_err.is_none() && pending.len() < window;
             if want_dispatch {
                 match self.dispatch(updates[dispatched]) {
                     Ok(record) => {
-                        in_flight.push(record);
+                        pending.push_back(Pending::Apply(record));
                         dispatched += 1;
+                        if reduce_every > 0 && dispatched.is_multiple_of(reduce_every) {
+                            self.dispatch_reduce(&mut pending)?;
+                            reduced_at = dispatched;
+                        }
                     }
                     Err(e) => {
                         first_err = Some(e);
@@ -521,19 +595,60 @@ impl<S: BdStore + 'static> ClusterEngine<S> {
                 }
                 continue;
             }
-            match self.collect(in_flight[collected]) {
-                Ok(report) => reports.push(report),
-                Err(e) => {
+            if reduce_every > 0
+                && first_err.is_none()
+                && dispatched == updates.len()
+                && reduced_at < dispatched
+            {
+                self.dispatch_reduce(&mut pending)?;
+                reduced_at = dispatched;
+                continue;
+            }
+            let Some(event) = pending.pop_front() else {
+                break;
+            };
+            match event {
+                Pending::Apply(inflight) => match self.collect(inflight) {
+                    Ok(report) => reports.push(report),
                     // Worker failure: the engine is poisoned; stop reading.
-                    return Err(e);
+                    Err(e) => return Err(e),
+                },
+                Pending::Reduce { t0, n, edge_slots } => {
+                    let mut scores = match self.pool.recv(0) {
+                        Ok(Reply::Merged(scores)) => *scores,
+                        Ok(_) => return Err(self.poison(protocol_error(0))),
+                        Err(e) => return Err(self.poison(e)),
+                    };
+                    scores.ensure_shape(n, edge_slots);
+                    reduces.push(Reduced {
+                        scores,
+                        wall: t0.elapsed(),
+                    });
                 }
             }
-            collected += 1;
         }
         match first_err {
             Some(e) => Err(e),
-            None => Ok(reports),
+            None => Ok((reports, reduces)),
         }
+    }
+
+    /// Queue one non-blocking tree reduce on all workers, recording the
+    /// pending `Merged` collection with the replica shape as of dispatch.
+    fn dispatch_reduce(&mut self, pending: &mut VecDeque<Pending>) -> Result<(), EngineError> {
+        let t0 = Instant::now();
+        let p = self.pool.len();
+        for (worker, plan) in WorkerPool::merge_plans(p).into_iter().enumerate() {
+            if let Err(e) = self.pool.send(worker, Command::MergePartials { plan }) {
+                return Err(self.poison(e));
+            }
+        }
+        pending.push_back(Pending::Reduce {
+            t0,
+            n: self.replica.graph().n(),
+            edge_slots: self.replica.graph().edge_slots(),
+        });
+        Ok(())
     }
 
     /// Execute one source handoff through the worker pool: the donor
@@ -573,6 +688,7 @@ impl<S: BdStore + 'static> ClusterEngine<S> {
             Ok(_) => return Err(self.poison(protocol_error(mv.from))),
             Err(e) => return Err(self.poison(e)),
         };
+        let record = Box::new(record);
         if let Err(e) = self.pool.send(mv.to, Command::Import { record }) {
             return Err(self.poison(e));
         }
@@ -653,7 +769,7 @@ impl<S: BdStore + 'static> ClusterEngine<S> {
             Ok(_) => return Err(self.poison(protocol_error(0))),
             Err(e) => return Err(self.poison(e)),
         };
-        scores.ensure_shape(self.replica.n(), self.replica.edge_slots());
+        scores.ensure_shape(self.replica.graph().n(), self.replica.graph().edge_slots());
         Ok(Reduced {
             scores,
             wall: t0.elapsed(),
@@ -694,8 +810,8 @@ impl<S: BdStore + 'static> ClusterEngine<S> {
         if let Some(e) = first_err {
             return Err(self.poison(e));
         }
-        let n = self.replica.n();
-        let shape = (n, self.replica.edge_slots());
+        let n = self.replica.graph().n();
+        let shape = (n, self.replica.graph().edge_slots());
         let scores = assemble(segments, n, shape).ok_or_else(|| {
             self.poison(EngineError::Store(BdError::Corrupt(
                 "worker segments do not tile the source range".into(),
@@ -773,6 +889,42 @@ impl<S: BdStore + 'static> EbcEngine for ClusterEngine<S> {
 
     fn brandes_runs(&self) -> Option<u64> {
         Some(ClusterEngine::brandes_runs(self))
+    }
+
+    fn shard_map(&self) -> Option<ShardAssignment> {
+        let assignment = (0..self.map.num_shards())
+            .map(|k| self.map.sources_of(k).to_vec())
+            .collect();
+        Some(ShardAssignment {
+            version: self.map.version(),
+            assignment,
+        })
+    }
+
+    fn handoff(&mut self, source: VertexId, to: usize) -> Result<RebalanceOutcome, EbcError> {
+        let from = self
+            .map
+            .owner_of(source)
+            .ok_or(EngineError::Shard(ShardMapError::Unowned(source)))?;
+        ClusterEngine::handoff(self, source, to)?;
+        Ok(RebalanceOutcome {
+            moves: vec![(source, from, to)],
+            threshold: 0,
+            map_version: self.map.version(),
+        })
+    }
+
+    fn rebalance(&mut self, threshold: usize) -> Result<RebalanceOutcome, EbcError> {
+        let report = ClusterEngine::rebalance(self, threshold)?;
+        Ok(RebalanceOutcome {
+            moves: report
+                .moves
+                .iter()
+                .map(|mv| (mv.source, mv.from, mv.to))
+                .collect(),
+            threshold: report.threshold,
+            map_version: report.map_version,
+        })
     }
 }
 
@@ -933,8 +1085,40 @@ mod tests {
         let b = stepped.reduce().unwrap().scores;
         assert_eq!(a, b);
         // and adopters recorded in stream order
-        let adopters: Vec<_> = reports.iter().filter_map(|r| r.adopter).collect();
-        assert_eq!(adopters.len(), 2);
+        assert_eq!(reports.iter().filter_map(|r| r.adopter).count(), 2);
+    }
+
+    #[test]
+    fn overlapped_stream_reduces_match_barriered_reduces() {
+        let g = holme_kim(30, 2, 0.4, 11);
+        let updates = [
+            Update::add(0, 17),
+            Update::add(2, 29),
+            Update::remove(0, 17),
+            Update::add(5, 30), // grows
+            Update::add(30, 31),
+        ];
+        let mut overlapped = ClusterEngine::new(&g, 3).unwrap();
+        let (reports, reduces) = overlapped.apply_stream_reduced(&updates, 2).unwrap();
+        assert_eq!(reports.len(), updates.len());
+        // one reduce per full batch of 2 plus the trailing partial batch
+        assert_eq!(reduces.len(), 3);
+        // oracle: barriered apply-then-reduce at the same prefixes must give
+        // the same bits — overlap changes when the fold runs, not its shape
+        let mut barrier = ClusterEngine::new(&g, 3).unwrap();
+        let mut k = 0;
+        for (i, u) in updates.iter().enumerate() {
+            barrier.apply(*u).unwrap();
+            if (i + 1) % 2 == 0 || i + 1 == updates.len() {
+                let b = barrier.reduce().unwrap().scores;
+                assert_eq!(
+                    bits(&reduces[k].scores),
+                    bits(&b),
+                    "overlapped reduce {k} diverged from the barriered fold"
+                );
+                k += 1;
+            }
+        }
     }
 
     #[test]

@@ -33,14 +33,18 @@
 
 use crate::cluster::EngineError;
 use ebc_core::bd::{BdError, BdStore, ExportedRecord};
-use ebc_core::brandes::{single_source_update_with, BrandesScratch};
+use ebc_core::brandes::single_source_update_with;
 use ebc_core::exact::{source_contribution, tree_segments_of, TreeSegment};
-use ebc_core::incremental::{update_source, UpdateConfig, Workspace};
+use ebc_core::incremental::{update_source, UpdateConfig};
 use ebc_core::scores::Scores;
+use ebc_core::scratch::KernelScratch;
 use ebc_core::state::Update;
-use ebc_graph::{EdgeOp, Graph, VertexId};
+use ebc_graph::csr::CsrView;
+use ebc_graph::{EdgeId, VertexId};
+use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -71,9 +75,19 @@ pub(crate) enum Command {
     Flush,
     /// Map task for one update; `adopt` names a newly arrived vertex this
     /// worker takes into its partition.
+    ///
+    /// Carries the pinned post-update [`CsrView`] epoch: workers lag the
+    /// coordinator under pipelining, so each map task must travel with the
+    /// exact structural snapshot it is defined against (FIFO command order
+    /// then guarantees every later command sees a current-or-newer view).
+    /// `removed_eid` is the slot freed by a removal, computed once by the
+    /// coordinator's single-writer replica — the worker no longer maintains
+    /// (or clones) any mutable graph of its own.
     Apply {
         update: Update,
+        removed_eid: Option<EdgeId>,
         adopt: Option<VertexId>,
+        view: Arc<CsrView>,
     },
     /// Participate in one fast (partial-sum) tree reduce.
     MergePartials { plan: MergePlan },
@@ -85,7 +99,7 @@ pub(crate) enum Command {
     /// shard id).
     Export { source: VertexId, tag: u64 },
     /// Install a record exported by a peer — the recipient half.
-    Import { record: ExportedRecord },
+    Import { record: Box<ExportedRecord> },
     /// Discard the export journal left for `source`, the coordinator having
     /// committed the handoff in its shard map.
     Retire { source: VertexId },
@@ -125,19 +139,24 @@ type MergeMsg = (usize, Box<Scores>);
 
 struct WorkerThread<S: BdStore> {
     id: usize,
-    graph: Graph,
+    /// Pinned CSR epoch this worker currently computes against — an `Arc`
+    /// share of the coordinator's published snapshot, not a private clone.
+    view: Arc<CsrView>,
     store: S,
     partial: Scores,
-    ws: Workspace,
-    scratch: BrandesScratch,
+    scratch: KernelScratch,
     cfg: UpdateConfig,
     poisoned: bool,
     cmd_rx: Receiver<Command>,
     reply_tx: Sender<Reply>,
     merge_rx: Receiver<MergeMsg>,
     merge_tx: Vec<Sender<MergeMsg>>,
-    /// Out-of-order merge payloads, indexed by sender.
-    stash: Vec<Option<Box<Scores>>>,
+    /// Out-of-order merge payloads, queued per sender. A queue (not a
+    /// single slot) because the overlapped-reduce path can have more than
+    /// one merge round in flight: a fast peer may deliver its round-k+1
+    /// payload while this worker is still collecting round k, and both
+    /// must survive until their rounds consume them in order.
+    stash: Vec<VecDeque<Box<Scores>>>,
 }
 
 impl<S: BdStore> WorkerThread<S> {
@@ -157,8 +176,13 @@ impl<S: BdStore> WorkerThread<S> {
                     let result = self.guarded(|w| w.store.flush().map_err(Into::into));
                     let _ = self.reply_tx.send(Reply::Flushed(result));
                 }
-                Command::Apply { update, adopt } => {
-                    let result = self.guarded(|w| w.apply(update, adopt));
+                Command::Apply {
+                    update,
+                    removed_eid,
+                    adopt,
+                    view,
+                } => {
+                    let result = self.guarded(|w| w.apply(update, removed_eid, adopt, view));
                     let _ = self.reply_tx.send(Reply::Applied(result));
                 }
                 Command::MergePartials { plan } => self.merge(plan),
@@ -173,8 +197,9 @@ impl<S: BdStore> WorkerThread<S> {
                 }
                 Command::Import { record } => {
                     let result = self.guarded(|w| {
+                        let r = *record;
                         w.store
-                            .add_source(record.source, record.d, record.sigma, record.delta)
+                            .add_source(r.source, r.d, r.sigma, r.delta)
                             .map_err(Into::into)
                     });
                     let _ = self.reply_tx.send(Reply::Imported(result));
@@ -224,8 +249,14 @@ impl<S: BdStore> WorkerThread<S> {
     /// Returns the Brandes iteration count.
     fn bootstrap(&mut self, sources: Vec<VertexId>) -> Result<u64, EngineError> {
         let count = sources.len() as u64;
+        let view = Arc::clone(&self.view);
         for s in sources {
-            let r = single_source_update_with(&self.graph, s, &mut self.partial, &mut self.scratch);
+            let r = single_source_update_with(
+                view.as_ref(),
+                s,
+                &mut self.partial,
+                &mut self.scratch.brandes,
+            );
             self.store.add_source(s, r.d, r.sigma, r.delta)?;
         }
         Ok(count)
@@ -239,58 +270,58 @@ impl<S: BdStore> WorkerThread<S> {
     fn resume(&mut self) -> Result<u64, EngineError> {
         let mut sources = self.store.sources();
         sources.sort_unstable();
-        let (n, edge_slots) = (self.graph.n(), self.graph.edge_slots());
+        let (n, edge_slots) = (self.view.n(), self.view.edge_slots());
         self.partial = Scores::zeros(n, edge_slots);
-        let mut leaf = Scores::zeros(n, edge_slots);
-        let graph = &self.graph;
+        let view = Arc::clone(&self.view);
         let store = &mut self.store;
+        let scratch = &mut self.scratch;
         for s in sources {
-            leaf.vbc.fill(0.0);
-            leaf.ebc.fill(0.0);
-            store.update_with(s, &mut |view| {
-                source_contribution(graph, s, view.d, view.sigma, view.delta, &mut leaf);
+            let leaf = scratch.leaf_buffer(n, edge_slots);
+            store.update_with(s, &mut |rec| {
+                source_contribution(view.as_ref(), s, rec.d, rec.sigma, rec.delta, leaf);
                 false
             })?;
-            self.partial.merge_from(&leaf);
+            self.partial.merge_from(leaf);
         }
         Ok(0)
     }
 
-    /// Map task for one update: refresh the replica, then run the kernel for
-    /// every owned source (skipping `dd == 0` via the cheap peek).
-    fn apply(&mut self, update: Update, adopt: Option<VertexId>) -> Result<ApplyEcho, EngineError> {
+    /// Map task for one update: adopt the shipped view epoch, then run the
+    /// kernel for every owned source (skipping `dd == 0` via the cheap peek).
+    /// Structural mutation already happened on the coordinator's replica —
+    /// the worker only widens its store/scratch to the view's dimensions.
+    fn apply(
+        &mut self,
+        update: Update,
+        removed_eid: Option<EdgeId>,
+        adopt: Option<VertexId>,
+        view: Arc<CsrView>,
+    ) -> Result<ApplyEcho, EngineError> {
         let t0 = Instant::now();
         let Update { op, u, v } = update;
-        let removed_eid = match op {
-            EdgeOp::Add => {
-                let hi = u.max(v);
-                if hi as usize > self.graph.n() {
-                    return Err(EngineError::SparseVertex(hi));
-                }
-                if (hi as usize) == self.graph.n() {
-                    self.graph.add_vertex();
-                    self.store.grow_vertex()?;
-                    self.ws.grow(self.graph.n());
-                }
-                self.graph.add_edge(u, v)?;
-                None
-            }
-            EdgeOp::Remove => Some(self.graph.remove_edge(u, v)?),
-        };
+        self.view = view;
+        while self.store.n() < self.view.n() {
+            self.store.grow_vertex()?;
+        }
+        self.scratch.grow(self.view.n());
         self.partial
-            .ensure_shape(self.graph.n(), self.graph.edge_slots());
-        let graph = &self.graph;
+            .ensure_shape(self.view.n(), self.view.edge_slots());
+        let view = Arc::clone(&self.view);
         let partial = &mut self.partial;
-        let ws = &mut self.ws;
         let cfg = &self.cfg;
-        let sources = self.store.sources();
-        let stats = self.store.update_batch(&sources, u, v, &mut |s, view| {
-            update_source(graph, s, op, u, v, view, partial, ws, cfg)
+        let KernelScratch { ws, sources, .. } = &mut self.scratch;
+        self.store.sources_into(sources);
+        let stats = self.store.update_batch(sources, u, v, &mut |s, rec| {
+            update_source(view.as_ref(), s, op, u, v, rec, partial, ws, cfg)
         })?;
-        self.ws.stats.sources_skipped += stats.skipped;
+        self.scratch.ws.stats.sources_skipped += stats.skipped;
         if let Some(s_new) = adopt {
-            let r =
-                single_source_update_with(&self.graph, s_new, &mut self.partial, &mut self.scratch);
+            let r = single_source_update_with(
+                self.view.as_ref(),
+                s_new,
+                &mut self.partial,
+                &mut self.scratch.brandes,
+            );
             self.store.add_source(s_new, r.d, r.sigma, r.delta)?;
         }
         if let Some(eid) = removed_eid {
@@ -298,7 +329,7 @@ impl<S: BdStore> WorkerThread<S> {
         }
         Ok(ApplyEcho {
             busy: t0.elapsed(),
-            edge_slots: self.graph.edge_slots(),
+            edge_slots: self.view.edge_slots(),
         })
     }
 
@@ -338,13 +369,13 @@ impl<S: BdStore> WorkerThread<S> {
     }
 
     fn recv_merge(&mut self, from: usize) -> Option<Box<Scores>> {
-        if let Some(s) = self.stash[from].take() {
+        if let Some(s) = self.stash[from].pop_front() {
             return Some(s);
         }
         loop {
             match self.merge_rx.recv() {
                 Ok((src, scores)) if src == from => return Some(scores),
-                Ok((src, scores)) => self.stash[src] = Some(scores),
+                Ok((src, scores)) => self.stash[src].push_back(scores),
                 // Defensive only: with every command panic-contained, worker
                 // threads cannot die mid-protocol, and (since each worker
                 // holds clones of all merge senders) this channel cannot
@@ -362,13 +393,13 @@ impl<S: BdStore> WorkerThread<S> {
     /// is bitwise invariant for any disjoint cover.
     fn segments(&mut self) -> Result<Vec<TreeSegment>, EngineError> {
         let sources = self.store.sources();
-        let n = self.graph.n();
-        let shape = (n, self.graph.edge_slots());
-        let graph = &self.graph;
+        let n = self.view.n();
+        let shape = (n, self.view.edge_slots());
+        let view = Arc::clone(&self.view);
         let store = &mut self.store;
         let mut leaf = |s: VertexId, out: &mut Scores| -> Result<(), BdError> {
-            store.update_with(s, &mut |view| {
-                source_contribution(graph, s, view.d, view.sigma, view.delta, out);
+            store.update_with(s, &mut |rec| {
+                source_contribution(view.as_ref(), s, rec.d, rec.sigma, rec.delta, out);
                 false
             })?;
             Ok(())
@@ -386,9 +417,13 @@ pub(crate) struct WorkerPool {
 }
 
 impl WorkerPool {
-    /// Spawn one worker thread per store, each with its own replica of
-    /// `graph`.
-    pub fn spawn<S: BdStore + 'static>(graph: &Graph, cfg: UpdateConfig, stores: Vec<S>) -> Self {
+    /// Spawn one worker thread per store, all pinning the same shared CSR
+    /// snapshot (no per-worker graph clones).
+    pub fn spawn<S: BdStore + 'static>(
+        view: Arc<CsrView>,
+        cfg: UpdateConfig,
+        stores: Vec<S>,
+    ) -> Self {
         let p = stores.len();
         let mut merge_txs = Vec::with_capacity(p);
         let mut merge_rxs = Vec::with_capacity(p);
@@ -407,18 +442,17 @@ impl WorkerPool {
             reply_rx.push(rrx);
             let worker = WorkerThread {
                 id,
-                graph: graph.clone(),
+                view: Arc::clone(&view),
                 store,
-                partial: Scores::zeros_for(graph),
-                ws: Workspace::new(graph.n()),
-                scratch: BrandesScratch::new(graph.n()),
+                partial: Scores::zeros(view.n(), view.edge_slots()),
+                scratch: KernelScratch::new(view.n()),
                 cfg: cfg.clone(),
                 poisoned: false,
                 cmd_rx: crx,
                 reply_tx: rtx,
                 merge_rx,
                 merge_tx: merge_txs.clone(),
-                stash: vec![None; p],
+                stash: vec![VecDeque::new(); p],
             };
             let handle = std::thread::Builder::new()
                 .name(format!("ebc-worker-{id}"))

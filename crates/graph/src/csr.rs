@@ -1,0 +1,554 @@
+//! Flat CSR adjacency snapshots behind an epoch publish scheme.
+//!
+//! The incremental kernel (§3 of the paper) spends almost all of its time in
+//! truncated BFS sweeps: `for h in neighbors(v)` over frontier vertices. The
+//! mutable [`Graph`] stores adjacency as `Vec<Vec<Half>>` — one heap
+//! allocation per vertex, so a frontier scan chases a pointer per vertex and
+//! the prefetcher never sees a run longer than one degree. [`CsrView`] packs
+//! every adjacency segment into a single `halves: Vec<Half>` slab indexed by
+//! `offsets: Vec<u32>`, so a BFS level walks monotonically increasing
+//! addresses in one allocation.
+//!
+//! # Epoch protocol
+//!
+//! [`EpochGraph`] is the single-writer façade: the coordinator owns it,
+//! mutates the authoritative [`Graph`] through it, and each mutation is also
+//! recorded as a [`DeltaOp`]. Nothing observable changes until
+//! [`EpochGraph::publish`] folds the pending delta into the current
+//! [`CsrView`] and bumps the epoch. Readers call [`EpochGraph::pin`] to grab
+//! an `Arc<CsrView>`; a pinned view is frozen — `publish` uses
+//! [`Arc::make_mut`], so while any reader still holds the old epoch the
+//! writer patches a private clone (copy-on-write, O(m)), and once all pins are
+//! dropped patches are applied in place (O(delta)).
+//!
+//! # Bitwise contract
+//!
+//! The dependency-accumulation phase pulls contributions from DAG successors
+//! *in adjacency order*, so floating-point sums are only reproducible if the
+//! CSR neighbour order is exactly the `Vec<Vec<Half>>` order — including the
+//! `swap_remove` reordering that [`Graph::remove_edge`] performs. Every patch
+//! op therefore mirrors the corresponding `Graph` mutation half-for-half:
+//! additions append, removals position-scan and swap with the segment tail.
+//! The unit tests below assert slice equality (order included) against the
+//! mutable graph after randomized histories.
+
+use crate::graph::{EdgeId, Graph, GraphError, Half, VertexId};
+use std::sync::Arc;
+
+/// Read-only view of a graph's structure, implemented by both the mutable
+/// [`Graph`] and the frozen [`CsrView`].
+///
+/// The incremental/Brandes kernels are generic over this trait so the same
+/// code runs on the legacy `Vec<Vec<Half>>` path (the oracle) and the flat
+/// CSR hot path. Neighbour order is part of the contract: both impls must
+/// yield identical `&[Half]` slices for the same logical graph state.
+pub trait GraphView {
+    /// Number of vertices (ids are dense `0..n`).
+    fn n(&self) -> usize;
+
+    /// Width of the edge-slot space (max assigned `EdgeId` + 1, including
+    /// free slots), i.e. the required length of an `ebc` score array.
+    fn edge_slots(&self) -> usize;
+
+    /// Adjacency of `v`, in insertion order as maintained by the mutable
+    /// graph's add/remove history.
+    fn neighbors(&self, v: VertexId) -> &[Half];
+
+    /// Visit every live edge once as `(a, b, eid)` with `a < b`.
+    ///
+    /// Visit *order* is implementation-defined (hash-map order for `Graph`,
+    /// segment-scan order for `CsrView`); callers must only perform
+    /// order-independent per-edge work (e.g. `out.ebc[eid] = c` assignments).
+    fn for_each_edge<F: FnMut(VertexId, VertexId, EdgeId)>(&self, f: F);
+}
+
+impl GraphView for Graph {
+    #[inline]
+    fn n(&self) -> usize {
+        Graph::n(self)
+    }
+
+    #[inline]
+    fn edge_slots(&self) -> usize {
+        Graph::edge_slots(self)
+    }
+
+    #[inline]
+    fn neighbors(&self, v: VertexId) -> &[Half] {
+        Graph::neighbors(self, v)
+    }
+
+    fn for_each_edge<F: FnMut(VertexId, VertexId, EdgeId)>(&self, mut f: F) {
+        for (key, eid) in self.edges() {
+            let (a, b) = key.endpoints();
+            f(a, b, eid);
+        }
+    }
+}
+
+/// Per-vertex headroom reserved when (re)packing a segment, so a few edge
+/// additions after a build patch in place instead of relocating.
+#[inline]
+fn packed_cap(len: usize) -> usize {
+    len + (len >> 3) + 2
+}
+
+/// Flat, frozen CSR adjacency snapshot.
+///
+/// `halves` holds every adjacency segment back to back; vertex `v`'s
+/// neighbours live at `halves[offsets[v]..offsets[v] + lens[v]]`, with
+/// `caps[v] - lens[v]` slack slots of headroom behind them. Segments whose
+/// headroom is exhausted are relocated to the tail (leaving a dead gap that
+/// [`CsrView::maybe_compact`] reclaims once gaps dominate), so `offsets` is
+/// not necessarily monotone after heavy churn — but every *scan* is still one
+/// contiguous slice per vertex in a single allocation.
+#[derive(Debug, Clone)]
+pub struct CsrView {
+    offsets: Vec<u32>,
+    lens: Vec<u32>,
+    caps: Vec<u32>,
+    halves: Vec<Half>,
+    edge_slots: u32,
+    /// Dead capacity stranded by relocated segments.
+    waste: u32,
+    epoch: u64,
+}
+
+const FILLER: Half = Half { to: 0, eid: 0 };
+
+impl CsrView {
+    /// Pack a fresh snapshot of `g` (epoch 0), preserving adjacency order.
+    pub fn build(g: &Graph) -> Self {
+        let n = g.n();
+        let mut offsets = Vec::with_capacity(n);
+        let mut lens = Vec::with_capacity(n);
+        let mut caps = Vec::with_capacity(n);
+        let total: usize = (0..n)
+            .map(|v| packed_cap(g.neighbors(v as VertexId).len()))
+            .sum();
+        let mut halves = Vec::with_capacity(total);
+        for v in 0..n {
+            let seg = g.neighbors(v as VertexId);
+            let cap = packed_cap(seg.len());
+            offsets.push(halves.len() as u32);
+            lens.push(seg.len() as u32);
+            caps.push(cap as u32);
+            halves.extend_from_slice(seg);
+            halves.resize(halves.len() + (cap - seg.len()), FILLER);
+        }
+        CsrView {
+            offsets,
+            lens,
+            caps,
+            halves,
+            edge_slots: g.edge_slots() as u32,
+            waste: 0,
+            epoch: 0,
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.offsets.len()
+    }
+
+    /// Edge-slot width (see [`GraphView::edge_slots`]).
+    #[inline]
+    pub fn edge_slots(&self) -> usize {
+        self.edge_slots as usize
+    }
+
+    /// Number of live (undirected) edges.
+    pub fn m(&self) -> usize {
+        self.lens.iter().map(|&l| l as usize).sum::<usize>() / 2
+    }
+
+    /// Epoch this snapshot was published at (0 for a fresh build).
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Adjacency of `v`, identical (order included) to the mutable graph's
+    /// `neighbors(v)` at this epoch.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[Half] {
+        let off = self.offsets[v as usize] as usize;
+        let len = self.lens[v as usize] as usize;
+        &self.halves[off..off + len]
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.lens[v as usize] as usize
+    }
+
+    /// Bytes resident in the slab (diagnostics).
+    pub fn resident_bytes(&self) -> usize {
+        self.halves.len() * std::mem::size_of::<Half>()
+            + (self.offsets.len() + self.lens.len() + self.caps.len()) * 4
+    }
+
+    fn push_vertex(&mut self) {
+        // Zero-capacity segment; the first edge addition relocates it.
+        self.offsets.push(self.halves.len() as u32);
+        self.lens.push(0);
+        self.caps.push(0);
+    }
+
+    /// Append one adjacency half, relocating the segment to the slab tail
+    /// when its headroom is exhausted (order preserved).
+    fn add_half(&mut self, v: VertexId, h: Half) {
+        let vi = v as usize;
+        let len = self.lens[vi] as usize;
+        if len == self.caps[vi] as usize {
+            let new_cap = packed_cap(len).max(2 * len);
+            let start = self.offsets[vi] as usize;
+            self.waste += self.caps[vi];
+            self.offsets[vi] = self.halves.len() as u32;
+            self.caps[vi] = new_cap as u32;
+            self.halves.extend_from_within(start..start + len);
+            self.halves
+                .resize(self.halves.len() + (new_cap - len), FILLER);
+        }
+        let off = self.offsets[vi] as usize;
+        self.halves[off + len] = h;
+        self.lens[vi] += 1;
+    }
+
+    /// Remove the half pointing at `to`, mirroring `Graph::remove_edge`'s
+    /// position-scan + `swap_remove` (the tail half takes the vacated slot).
+    fn remove_half(&mut self, v: VertexId, to: VertexId) {
+        let vi = v as usize;
+        let off = self.offsets[vi] as usize;
+        let len = self.lens[vi] as usize;
+        let seg = &mut self.halves[off..off + len];
+        let pos = seg
+            .iter()
+            .position(|h| h.to == to)
+            .expect("CSR delta references a half absent from the segment");
+        seg[pos] = seg[len - 1];
+        self.lens[vi] -= 1;
+    }
+
+    /// Repack the slab when relocation gaps dominate live+headroom capacity.
+    fn maybe_compact(&mut self) {
+        if (self.waste as usize) <= self.halves.len() / 2 || self.halves.len() < 64 {
+            return;
+        }
+        let total: usize = self.lens.iter().map(|&l| packed_cap(l as usize)).sum();
+        let mut packed = Vec::with_capacity(total);
+        for vi in 0..self.offsets.len() {
+            let off = self.offsets[vi] as usize;
+            let len = self.lens[vi] as usize;
+            let cap = packed_cap(len);
+            self.offsets[vi] = packed.len() as u32;
+            self.caps[vi] = cap as u32;
+            packed.extend_from_slice(&self.halves[off..off + len]);
+            packed.resize(packed.len() + (cap - len), FILLER);
+        }
+        self.halves = packed;
+        self.waste = 0;
+    }
+}
+
+impl GraphView for CsrView {
+    #[inline]
+    fn n(&self) -> usize {
+        CsrView::n(self)
+    }
+
+    #[inline]
+    fn edge_slots(&self) -> usize {
+        CsrView::edge_slots(self)
+    }
+
+    #[inline]
+    fn neighbors(&self, v: VertexId) -> &[Half] {
+        CsrView::neighbors(self, v)
+    }
+
+    fn for_each_edge<F: FnMut(VertexId, VertexId, EdgeId)>(&self, mut f: F) {
+        for v in 0..self.offsets.len() as VertexId {
+            for h in self.neighbors(v) {
+                if v < h.to {
+                    f(v, h.to, h.eid);
+                }
+            }
+        }
+    }
+}
+
+/// One structural mutation buffered between publishes.
+#[derive(Debug, Clone, Copy)]
+enum DeltaOp {
+    AddVertex,
+    AddEdge {
+        u: VertexId,
+        v: VertexId,
+        eid: EdgeId,
+    },
+    RemoveEdge {
+        u: VertexId,
+        v: VertexId,
+    },
+}
+
+/// Single-writer graph with epoch-published CSR snapshots.
+///
+/// Owns the authoritative mutable [`Graph`]; every mutation goes through this
+/// façade and is buffered as a delta. [`EpochGraph::publish`] folds the delta
+/// into the shared [`CsrView`] and hands back the new pin. See the module
+/// docs for the copy-on-write semantics when readers hold old epochs.
+#[derive(Debug)]
+pub struct EpochGraph {
+    graph: Graph,
+    current: Arc<CsrView>,
+    pending: Vec<DeltaOp>,
+    epoch: u64,
+}
+
+impl EpochGraph {
+    /// Wrap `graph`, building the epoch-0 snapshot from its current state.
+    pub fn new(graph: Graph) -> Self {
+        let current = Arc::new(CsrView::build(&graph));
+        EpochGraph {
+            graph,
+            current,
+            pending: Vec::new(),
+            epoch: 0,
+        }
+    }
+
+    /// The authoritative mutable graph (read-only access).
+    ///
+    /// This always reflects *all* mutations, including ones not yet
+    /// published to the CSR side.
+    #[inline]
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Epoch of the last publish.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Pin the current published snapshot. May lag the graph if mutations
+    /// are pending; call [`EpochGraph::publish`] first for an up-to-date pin.
+    #[inline]
+    pub fn pin(&self) -> Arc<CsrView> {
+        Arc::clone(&self.current)
+    }
+
+    /// Append a fresh vertex (id `n`). Mirrors [`Graph::add_vertex`].
+    pub fn add_vertex(&mut self) -> VertexId {
+        self.pending.push(DeltaOp::AddVertex);
+        self.graph.add_vertex()
+    }
+
+    /// Insert edge `(u, v)`. Mirrors [`Graph::add_edge`]; the assigned slot
+    /// id is recorded in the delta so the CSR patch reuses it.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId) -> Result<EdgeId, GraphError> {
+        let eid = self.graph.add_edge(u, v)?;
+        self.pending.push(DeltaOp::AddEdge { u, v, eid });
+        Ok(eid)
+    }
+
+    /// Remove edge `(u, v)`, returning its freed slot id. Mirrors
+    /// [`Graph::remove_edge`] including the `swap_remove` adjacency reorder.
+    pub fn remove_edge(&mut self, u: VertexId, v: VertexId) -> Result<EdgeId, GraphError> {
+        let eid = self.graph.remove_edge(u, v)?;
+        self.pending.push(DeltaOp::RemoveEdge { u, v });
+        Ok(eid)
+    }
+
+    /// Fold pending mutations into the published snapshot and return the new
+    /// pin. No-op (returns the current pin) when nothing is pending.
+    ///
+    /// Cost: O(delta) amortized when no reader pins an older epoch, O(m)
+    /// copy-on-write when one does — the frozen-epoch guarantee is paid for
+    /// by the writer, never by readers.
+    pub fn publish(&mut self) -> Arc<CsrView> {
+        if self.pending.is_empty() {
+            return self.pin();
+        }
+        self.epoch += 1;
+        let view = Arc::make_mut(&mut self.current);
+        for op in self.pending.drain(..) {
+            match op {
+                DeltaOp::AddVertex => view.push_vertex(),
+                DeltaOp::AddEdge { u, v, eid } => {
+                    view.add_half(u, Half { to: v, eid });
+                    view.add_half(v, Half { to: u, eid });
+                }
+                DeltaOp::RemoveEdge { u, v } => {
+                    view.remove_half(u, v);
+                    view.remove_half(v, u);
+                }
+            }
+        }
+        view.edge_slots = self.graph.edge_slots() as u32;
+        view.epoch = self.epoch;
+        view.maybe_compact();
+        self.pin()
+    }
+
+    /// Consume the façade, returning the authoritative graph.
+    pub fn into_graph(self) -> Graph {
+        self.graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic xorshift so the equivalence tests are reproducible.
+    struct Rng(u64);
+
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x
+        }
+
+        fn below(&mut self, bound: usize) -> usize {
+            (self.next() % bound as u64) as usize
+        }
+    }
+
+    fn assert_view_matches(view: &CsrView, g: &Graph) {
+        assert_eq!(view.n(), g.n(), "vertex count");
+        assert_eq!(CsrView::edge_slots(view), g.edge_slots(), "edge slots");
+        assert_eq!(view.m(), g.m(), "edge count");
+        for v in 0..g.n() as VertexId {
+            assert_eq!(
+                CsrView::neighbors(view, v),
+                g.neighbors(v),
+                "adjacency order of v{v} diverged"
+            );
+        }
+        let mut from_view: Vec<(VertexId, VertexId, EdgeId)> = Vec::new();
+        GraphView::for_each_edge(view, |a, b, e| from_view.push((a, b, e)));
+        let mut from_graph: Vec<(VertexId, VertexId, EdgeId)> = Vec::new();
+        GraphView::for_each_edge(g, |a, b, e| from_graph.push((a, b, e)));
+        from_view.sort_unstable();
+        from_graph.sort_unstable();
+        assert_eq!(from_view, from_graph, "edge sets diverged");
+    }
+
+    #[test]
+    fn build_matches_graph() {
+        let g = Graph::from_edges([(0, 1), (0, 2), (1, 2), (2, 3), (3, 4)]);
+        let view = CsrView::build(&g);
+        assert_view_matches(&view, &g);
+        assert_eq!(view.epoch(), 0);
+    }
+
+    #[test]
+    fn build_after_removals_preserves_swap_remove_order() {
+        let mut g = Graph::from_edges([(0, 1), (0, 2), (0, 3), (0, 4)]);
+        g.remove_edge(0, 2).unwrap();
+        // adj[0] is now [1, 4, 3] via swap_remove — order must survive.
+        let view = CsrView::build(&g);
+        assert_view_matches(&view, &g);
+    }
+
+    #[test]
+    fn publish_folds_pending_delta() {
+        let mut eg = EpochGraph::new(Graph::from_edges([(0, 1), (1, 2)]));
+        let v = eg.add_vertex();
+        eg.add_edge(v, 0).unwrap();
+        eg.remove_edge(1, 2).unwrap();
+        eg.add_edge(1, 2).unwrap(); // recycles the freed slot
+        let view = eg.publish();
+        assert_eq!(view.epoch(), 1);
+        assert_view_matches(&view, eg.graph());
+        // Publishing with no pending ops returns the same snapshot.
+        let again = eg.publish();
+        assert_eq!(again.epoch(), 1);
+        assert!(Arc::ptr_eq(&view, &again));
+    }
+
+    #[test]
+    fn pinned_epoch_stays_frozen_across_publishes() {
+        let mut eg = EpochGraph::new(Graph::from_edges([(0, 1), (1, 2), (2, 0)]));
+        let pinned = eg.publish();
+        let before: Vec<Vec<Half>> = (0..pinned.n() as VertexId)
+            .map(|v| CsrView::neighbors(&pinned, v).to_vec())
+            .collect();
+        eg.remove_edge(2, 0).unwrap();
+        eg.add_edge(0, 2).unwrap();
+        let fresh = eg.publish();
+        // The old pin still shows the epoch it was taken at, bit for bit.
+        for v in 0..pinned.n() as VertexId {
+            assert_eq!(CsrView::neighbors(&pinned, v), &before[v as usize][..]);
+        }
+        assert!(!Arc::ptr_eq(&pinned, &fresh));
+        assert_view_matches(&fresh, eg.graph());
+    }
+
+    #[test]
+    fn randomized_history_stays_equivalent() {
+        let mut rng = Rng(0x9e3779b97f4a7c15);
+        let mut eg = EpochGraph::new(Graph::with_vertices(6));
+        for round in 0..400 {
+            let n = eg.graph().n();
+            match rng.below(10) {
+                0 => {
+                    eg.add_vertex();
+                }
+                1..=5 => {
+                    let u = rng.below(n) as VertexId;
+                    let v = rng.below(n) as VertexId;
+                    if u != v && !eg.graph().has_edge(u, v) {
+                        eg.add_edge(u, v).unwrap();
+                    }
+                }
+                _ => {
+                    let edges = eg.graph().sorted_edges();
+                    if !edges.is_empty() {
+                        let (u, v) = edges[rng.below(edges.len())];
+                        eg.remove_edge(u, v).unwrap();
+                    }
+                }
+            }
+            // Publish on a stride so several ops batch into one delta fold.
+            if round % 3 == 0 {
+                let view = eg.publish();
+                assert_view_matches(&view, eg.graph());
+            }
+        }
+        let view = eg.publish();
+        assert_view_matches(&view, eg.graph());
+    }
+
+    #[test]
+    fn relocation_and_compaction_preserve_segments() {
+        // Grow one hub far past its headroom to force repeated relocation,
+        // then churn to trigger compaction.
+        let mut eg = EpochGraph::new(Graph::with_vertices(1));
+        for _ in 0..128 {
+            let v = eg.add_vertex();
+            eg.add_edge(0, v).unwrap();
+            let view = eg.publish();
+            assert_view_matches(&view, eg.graph());
+        }
+        for v in 1..100 {
+            eg.remove_edge(0, v).unwrap();
+        }
+        for v in 1..100 {
+            eg.add_edge(0, v).unwrap();
+        }
+        let view = eg.publish();
+        assert_view_matches(&view, eg.graph());
+    }
+}

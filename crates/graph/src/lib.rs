@@ -23,6 +23,7 @@
 //!   order and adjacency order, so a durable session restart continues the
 //!   exact graph state (not merely the edge set).
 
+pub mod csr;
 pub mod digraph;
 pub mod fxhash;
 pub mod graph;
@@ -32,6 +33,7 @@ pub mod stats;
 pub mod stream;
 pub mod traversal;
 
+pub use csr::{CsrView, EpochGraph, GraphView};
 pub use digraph::{ArcKey, DiGraph};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use graph::{EdgeId, EdgeKey, Graph, GraphError, Half, VertexId};

@@ -727,6 +727,11 @@ impl BdStore for DiskBdStore {
         self.order.clone()
     }
 
+    fn sources_into(&self, out: &mut Vec<VertexId>) {
+        out.clear();
+        out.extend_from_slice(&self.order);
+    }
+
     fn num_sources(&self) -> usize {
         self.order.len()
     }

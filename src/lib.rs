@@ -73,7 +73,7 @@ pub use ebc_store as store;
 
 mod session;
 
-pub use ebc_core::api::{EbcEngine, EbcError, Reduced};
+pub use ebc_core::api::{EbcEngine, EbcError, RebalanceOutcome, Reduced, ShardAssignment};
 pub use ebc_core::ranking;
 pub use ebc_core::state::Update;
 pub use session::{Backend, Checkpoint, Session, SessionBuilder, SessionError};

@@ -45,7 +45,7 @@
 //! DESIGN.md §9 documents the directory layout, the manifest format and the
 //! resume protocol in full.
 
-use ebc_core::api::{EbcEngine, EbcError, Reduced};
+use ebc_core::api::{EbcEngine, EbcError, RebalanceOutcome, Reduced, ShardAssignment};
 use ebc_core::bd::MemoryBdStore;
 use ebc_core::incremental::UpdateConfig;
 use ebc_core::ranking;
@@ -110,6 +110,24 @@ pub enum SessionError {
     /// The session directory's manifest, snapshot or stores are corrupt or
     /// mutually inconsistent.
     Corrupt(String),
+    /// The `BD[·]` record files cover a different source set than the
+    /// manifest's graph snapshot — the signature of a [`Checkpoint::Manual`]
+    /// session killed after growth updates landed durably in the stores but
+    /// before the next explicit [`Session::checkpoint`]. The records are
+    /// *ahead* of the manifest: resuming would silently pair a stale graph
+    /// with newer records, so [`Session::open`] reports the skew instead of
+    /// replaying. Recover by rebuilding from the last checkpointed history
+    /// (or discarding the directory).
+    RecordsAhead {
+        /// Ownership-map version the at-rest manifest recorded.
+        manifest_map_version: u64,
+        /// Ownership-map version the recovered shard files carry.
+        store_version: u64,
+        /// Sources in the manifest's graph snapshot (its `n`).
+        manifest_sources: usize,
+        /// Sources the recovered record files actually own.
+        record_sources: usize,
+    },
 }
 
 impl fmt::Display for SessionError {
@@ -119,6 +137,18 @@ impl fmt::Display for SessionError {
             SessionError::Io(e) => write!(f, "session io error: {e}"),
             SessionError::Config(msg) => write!(f, "invalid session config: {msg}"),
             SessionError::Corrupt(msg) => write!(f, "session directory corrupt: {msg}"),
+            SessionError::RecordsAhead {
+                manifest_map_version,
+                store_version,
+                manifest_sources,
+                record_sources,
+            } => write!(
+                f,
+                "records are ahead of the manifest: stores own {record_sources} sources \
+                 (map v{store_version}), manifest snapshot has {manifest_sources} \
+                 (map v{manifest_map_version}) — a Checkpoint::Manual session died \
+                 after un-checkpointed growth"
+            ),
         }
     }
 }
@@ -580,6 +610,23 @@ impl Session {
                         manifest.workers
                     )));
                 }
+                // a Manual-checkpoint session killed after durable growth
+                // leaves the record files owning sources the manifest's
+                // graph snapshot has never heard of (or vice versa when a
+                // manifest is grafted in): pairing them would replay new
+                // records against a stale graph. Detect and report, never
+                // silently resume. Version-only skew (same source set, the
+                // map merely ahead of the at-rest manifest after live
+                // handoffs) stays resumable below.
+                let record_sources: usize = set.assignment().iter().map(Vec::len).sum();
+                if record_sources != graph.n() {
+                    return Err(SessionError::RecordsAhead {
+                        manifest_map_version: manifest.map_version,
+                        store_version: set.version(),
+                        manifest_sources: graph.n(),
+                        record_sources,
+                    });
+                }
                 // live handoffs advance the in-memory map faster than the
                 // at-rest manifest; resume from whichever version is ahead
                 let version = set.version().max(manifest.map_version);
@@ -690,6 +737,72 @@ impl Session {
     /// `None` for single-machine embodiments, which do not count.
     pub fn brandes_runs(&self) -> Option<u64> {
         self.engine.brandes_runs()
+    }
+
+    /// The current source→shard ownership of a partitioned session — which
+    /// worker owns which sources, and the version of the map that says so.
+    /// `None` for single-machine embodiments (one store, ownership never
+    /// moves).
+    ///
+    /// ```
+    /// use streaming_bc::{Backend, Session, Update};
+    /// use streaming_bc::graph::Graph;
+    ///
+    /// let mut g = Graph::with_vertices(6);
+    /// for (u, v) in [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)] {
+    ///     g.add_edge(u, v).unwrap();
+    /// }
+    /// let mut session = Session::builder()
+    ///     .backend(Backend::Memory)
+    ///     .workers(3)
+    ///     .build(&g)?;
+    ///
+    /// // 6 sources partitioned over 3 workers, evenly at bootstrap
+    /// let map = session.shard_map().expect("partitioned session");
+    /// assert_eq!(map.assignment.len(), 3);
+    /// assert_eq!(map.total(), 6);
+    ///
+    /// // drain worker 0 onto worker 1, then let rebalance restore the skew
+    /// for s in map.assignment[0].clone() {
+    ///     session.handoff(s, 1)?;
+    /// }
+    /// let outcome = session.rebalance(1)?;
+    /// assert!(!outcome.moves.is_empty());
+    /// assert!(session.shard_map().unwrap().skew() <= 1);
+    ///
+    /// // ownership moves are score-neutral
+    /// session.apply(Update::add(0, 3))?;
+    /// session.verify(1e-9)?;
+    /// # Ok::<(), streaming_bc::SessionError>(())
+    /// ```
+    pub fn shard_map(&self) -> Option<ShardAssignment> {
+        self.engine.shard_map()
+    }
+
+    /// Hand ownership of `source` to worker `to` (an explicit, out-of-plan
+    /// move — e.g. draining a worker before maintenance). Score-neutral;
+    /// durable sessions under [`Checkpoint::EveryApply`] checkpoint the
+    /// advanced map version afterwards. Errors on single-machine sessions.
+    /// See [`Session::shard_map`] for a worked example.
+    pub fn handoff(
+        &mut self,
+        source: VertexId,
+        to: usize,
+    ) -> Result<RebalanceOutcome, SessionError> {
+        let outcome = self.engine.handoff(source, to)?;
+        self.auto_checkpoint()?;
+        Ok(outcome)
+    }
+
+    /// Restore the owned-source skew invariant `max − min ≤ threshold`
+    /// through the engine's journaled handoff path, returning the executed
+    /// moves. Score-neutral; durable sessions under
+    /// [`Checkpoint::EveryApply`] checkpoint afterwards so the manifest
+    /// records the advanced map version. Errors on single-machine sessions.
+    pub fn rebalance(&mut self, threshold: usize) -> Result<RebalanceOutcome, SessionError> {
+        let outcome = self.engine.rebalance(threshold)?;
+        self.auto_checkpoint()?;
+        Ok(outcome)
     }
 
     /// Change the durability policy of a durable session (no effect on

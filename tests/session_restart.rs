@@ -198,12 +198,24 @@ fn manual_checkpoint_defines_the_recovery_cut() {
         drop(resumed);
     }
     // the tail grew the vertex set, so the records now own more sources
-    // than the checkpointed manifest's graph: open must refuse
+    // than the checkpointed manifest's graph: open must report the skew
+    // (records ahead of the manifest), not silently replay
     let err = Session::open(&dir).unwrap_err();
-    assert!(
-        matches!(err, streaming_bc::SessionError::Engine(_)),
-        "stale manifest with grown records must be detected, got {err:?}"
-    );
+    match err {
+        streaming_bc::SessionError::RecordsAhead {
+            manifest_sources,
+            record_sources,
+            ..
+        } => {
+            assert_eq!(manifest_sources, g.n(), "manifest is the checkpoint cut");
+            assert!(
+                record_sources > manifest_sources,
+                "the un-checkpointed tail grew the record set \
+                 ({record_sources} vs {manifest_sources})"
+            );
+        }
+        other => panic!("stale manifest with grown records must be detected, got {other:?}"),
+    }
     std::fs::remove_dir_all(&dir).ok();
 }
 
