@@ -539,7 +539,7 @@ impl<S: BdStore + 'static> ClusterEngine<S> {
     }
 
     /// [`ClusterEngine::apply_stream`] with overlapped tree reduces: after
-    /// every `reduce_every` updates a [`Command::MergePartials`] round is
+    /// every `reduce_every` updates a `Command::MergePartials` round is
     /// dispatched *without waiting* — workers snapshot their partials into
     /// the merge (the double buffer) and keep chewing on the already-queued
     /// map tasks of the next batch, so the reduce of batch `k` rides the

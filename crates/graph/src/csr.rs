@@ -13,7 +13,7 @@
 //!
 //! [`EpochGraph`] is the single-writer façade: the coordinator owns it,
 //! mutates the authoritative [`Graph`] through it, and each mutation is also
-//! recorded as a [`DeltaOp`]. Nothing observable changes until
+//! recorded as a `DeltaOp`. Nothing observable changes until
 //! [`EpochGraph::publish`] folds the pending delta into the current
 //! [`CsrView`] and bumps the epoch. Readers call [`EpochGraph::pin`] to grab
 //! an `Arc<CsrView>`; a pinned view is frozen — `publish` uses
@@ -99,7 +99,7 @@ fn packed_cap(len: usize) -> usize {
 /// neighbours live at `halves[offsets[v]..offsets[v] + lens[v]]`, with
 /// `caps[v] - lens[v]` slack slots of headroom behind them. Segments whose
 /// headroom is exhausted are relocated to the tail (leaving a dead gap that
-/// [`CsrView::maybe_compact`] reclaims once gaps dominate), so `offsets` is
+/// `CsrView::maybe_compact` reclaims once gaps dominate), so `offsets` is
 /// not necessarily monotone after heavy churn — but every *scan* is still one
 /// contiguous slice per vertex in a single allocation.
 #[derive(Debug, Clone)]

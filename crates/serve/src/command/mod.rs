@@ -1,0 +1,95 @@
+//! Protocol commands: the typed request surface, split — like sneldb's
+//! `command/{parser,handlers}` — into [`parser`] (wire → [`Command`],
+//! transport-agnostic, fuzzable in isolation) and [`handlers`] (the
+//! per-connection dispatch that routes a parsed command to the snapshot
+//! read path or the single writer task).
+
+pub mod handlers;
+pub mod parser;
+
+use crate::json::Value;
+use ebc_core::state::Update;
+
+/// Every command a client can issue. DESIGN.md §11 is the wire reference.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Liveness probe; answered locally, works even on a degraded server.
+    Ping,
+    /// Apply updates in order, atomically acknowledged after the engine
+    /// (and its checkpoint policy) made them durable.
+    Apply {
+        /// The parsed updates, in wire order.
+        updates: Vec<Update>,
+    },
+    /// Snapshot read of the maintained vertex scores.
+    Scores,
+    /// Snapshot read of the current top-`k` ranking.
+    TopK {
+        /// How many vertices to rank.
+        k: usize,
+    },
+    /// The partition-invariant exact reduction (runs on the writer task).
+    ReduceExact,
+    /// Flush stores and rewrite the durable manifest now.
+    Checkpoint,
+    /// Hand ownership of one source to another worker.
+    Handoff {
+        /// Source vertex to move.
+        source: u32,
+        /// Destination worker index.
+        to: usize,
+    },
+    /// Restore the owned-source skew invariant.
+    Rebalance {
+        /// Allowed `max − min` owned-source skew.
+        threshold: usize,
+    },
+    /// Server / engine counters.
+    Stats,
+    /// Start streaming top-`k` delta events after every applied batch.
+    Subscribe {
+        /// Ranking size to watch.
+        k: usize,
+    },
+    /// Drain in-flight work, checkpoint, and exit.
+    Shutdown,
+}
+
+/// A parsed request: the echoed correlation `id` plus the command.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Client-chosen correlation value, echoed verbatim in the response
+    /// (`Value::Null` when absent).
+    pub id: Value,
+    /// The command itself.
+    pub cmd: Command,
+}
+
+/// A structured protocol-level failure (the request never reached the
+/// engine). `kind` is the machine-readable discriminant on the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// Stable discriminant: `"parse"`, `"protocol"` or
+    /// `"unsupported_backend"`.
+    pub kind: &'static str,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl WireError {
+    /// A malformed-JSON error.
+    pub fn parse(message: impl Into<String>) -> Self {
+        WireError {
+            kind: "parse",
+            message: message.into(),
+        }
+    }
+
+    /// A well-formed-JSON but invalid-request error.
+    pub fn protocol(message: impl Into<String>) -> Self {
+        WireError {
+            kind: "protocol",
+            message: message.into(),
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Transports: the accept loops and the per-connection thread pair.
+//!
+//! Transport is strictly dumb plumbing — `tcp` and `unix` only know
+//! how to accept and split a byte stream; framing lives in
+//! [`crate::proto`] and meaning in [`crate::command`]. A future shard-node
+//! wire reuses everything below the accept loop unchanged.
+//!
+//! Each accepted connection runs **two** threads:
+//!
+//! * a *reader* that reassembles frames ([`crate::proto::LineReader`]),
+//!   parses and executes commands in arrival order (so responses are
+//!   ordered per connection), and
+//! * a *writer* that drains the connection's outbound line queue — both
+//!   command responses and pushed subscription events — so a slow socket
+//!   never stalls command parsing and the server's writer task never
+//!   touches a socket.
+//!
+//! Accept loops poll non-blocking so they can honor shutdown promptly;
+//! connection reads use a short timeout for the same reason.
+
+pub(crate) mod tcp;
+pub(crate) mod unix;
+
+use crate::command::handlers::ConnCtx;
+use crate::command::WireError;
+use crate::proto::{Frame, LineReader};
+use crate::server::Shared;
+use std::io::{Read, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, RecvTimeoutError};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How often blocking points re-check the shutdown flag.
+pub(crate) const POLL: Duration = Duration::from_millis(50);
+
+/// Outbound queue depth per connection. When a subscriber falls this many
+/// lines behind it is dropped (see `notify_subscribers`).
+const OUTBOUND_DEPTH: usize = 1024;
+
+/// Drive one accepted connection; `read` and `write` are the two halves
+/// of the same stream (`try_clone`d by the transport).
+pub(crate) fn drive_connection<R, W>(read: R, write: W, shared: Arc<Shared>)
+where
+    R: Read + Send + 'static,
+    W: Write + Send + 'static,
+{
+    shared.connections.fetch_add(1, Ordering::SeqCst);
+    shared.accepted.fetch_add(1, Ordering::SeqCst);
+    let (out_tx, out_rx) = sync_channel::<String>(OUTBOUND_DEPTH);
+    // a subscription clone of `out_tx` can outlive the reader (it sits
+    // with the server's writer task until a push fails), so Disconnected
+    // alone cannot end the writer half — this flag does
+    let reader_done = Arc::new(AtomicBool::new(false));
+
+    // writer half: drains responses + events to the socket
+    let writer_done = Arc::clone(&reader_done);
+    let writer = std::thread::Builder::new()
+        .name("sbc-serve-conn-w".into())
+        .spawn(move || {
+            let mut write = std::io::BufWriter::new(write);
+            loop {
+                match out_rx.recv_timeout(POLL) {
+                    Ok(line) => {
+                        if write
+                            .write_all(line.as_bytes())
+                            .and_then(|()| write.write_all(b"\n"))
+                            .and_then(|()| write.flush())
+                            .is_err()
+                        {
+                            return; // peer gone; reader notices on its next read
+                        }
+                    }
+                    Err(RecvTimeoutError::Timeout) => {
+                        if writer_done.load(Ordering::SeqCst) {
+                            return; // reader finished and the queue is idle
+                        }
+                    }
+                    Err(RecvTimeoutError::Disconnected) => return,
+                }
+            }
+        })
+        .expect("spawn connection writer");
+
+    // reader half: frames → commands → responses, in order
+    let mut ctx = ConnCtx {
+        jobs: shared.job_sender(),
+        shared: Arc::clone(&shared),
+        out: out_tx,
+    };
+    let mut lines = LineReader::new(read);
+    loop {
+        if ctx.shared.shutdown.load(Ordering::SeqCst) {
+            break; // refuse further work; queued jobs already got replies
+        }
+        match lines.read_frame() {
+            Ok(None) => continue, // read timeout: poll shutdown and retry
+            Ok(Some(Frame::Line(line))) => {
+                if !ctx.handle_line(&line) {
+                    break;
+                }
+            }
+            Ok(Some(Frame::Oversized(n))) => {
+                let err = WireError::protocol(format!(
+                    "line of {n} bytes exceeds the {} byte frame limit",
+                    crate::proto::MAX_LINE
+                ));
+                if !ctx.handle_bad_frame(err) {
+                    break;
+                }
+            }
+            Ok(Some(Frame::NotUtf8)) => {
+                let err = WireError::protocol("line is not valid UTF-8");
+                if !ctx.handle_bad_frame(err) {
+                    break;
+                }
+            }
+            Ok(Some(Frame::Eof)) | Err(_) => break,
+        }
+    }
+    // dropping ctx.out lets the writer half drain; the done flag covers
+    // the subscribed case where the server still holds a sender clone
+    drop(ctx);
+    reader_done.store(true, Ordering::SeqCst);
+    let _ = writer.join();
+    shared.connections.fetch_sub(1, Ordering::SeqCst);
+}

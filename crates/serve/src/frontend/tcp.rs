@@ -1,0 +1,41 @@
+//! TCP frontend: non-blocking accept poll + one connection pair per
+//! accepted stream.
+
+use super::{drive_connection, POLL};
+use crate::server::Shared;
+use std::io::ErrorKind;
+use std::net::TcpListener;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+pub(crate) fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
+    listener
+        .set_nonblocking(true)
+        .expect("set tcp listener non-blocking");
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return; // dropping the listener refuses further connections
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                // accepted sockets do not inherit the listener's
+                // non-blocking mode on Linux, but be explicit: the reader
+                // uses a short timeout so it can poll shutdown
+                let _ = stream.set_nonblocking(false);
+                let _ = stream.set_read_timeout(Some(POLL));
+                let _ = stream.set_nodelay(true);
+                let write = match stream.try_clone() {
+                    Ok(w) => w,
+                    Err(_) => continue,
+                };
+                let shared = Arc::clone(shared);
+                let _ = std::thread::Builder::new()
+                    .name("sbc-serve-conn".into())
+                    .spawn(move || drive_connection(stream, write, shared));
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(POLL),
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => std::thread::sleep(POLL),
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Unix-socket frontend: identical shape to the TCP loop over a
+//! `UnixListener`. The socket file is created at bind and removed by
+//! `ServerHandle::join`.
+
+use super::{drive_connection, POLL};
+use crate::server::Shared;
+use std::io::ErrorKind;
+use std::os::unix::net::UnixListener;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+pub(crate) fn accept_loop(listener: UnixListener, shared: &Arc<Shared>) {
+    listener
+        .set_nonblocking(true)
+        .expect("set unix listener non-blocking");
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let _ = stream.set_nonblocking(false);
+                let _ = stream.set_read_timeout(Some(POLL));
+                let write = match stream.try_clone() {
+                    Ok(w) => w,
+                    Err(_) => continue,
+                };
+                let shared = Arc::clone(shared);
+                let _ = std::thread::Builder::new()
+                    .name("sbc-serve-conn".into())
+                    .spawn(move || drive_connection(stream, write, shared));
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(POLL),
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => std::thread::sleep(POLL),
+        }
+    }
+}

@@ -6,10 +6,18 @@
 //! sbc approx  <edgelist> --samples k [--top k] sampled approximation
 //! sbc stream  <edgelist> <updates> [--top k]   bootstrap + incremental replay
 //! sbc gn      <edgelist> [--removals k]        Girvan–Newman communities
+//! sbc serve   (--edgelist F | --open DIR) ...  network frontend (README "Serving")
 //! ```
 //!
 //! Edge lists are whitespace-separated `u v` lines (`#`/`%` comments).
 //! Update files contain `+ u v` / `- u v` lines applied in order.
+//!
+//! `sbc serve` owns one `Session` and speaks the newline-delimited JSON
+//! command protocol of DESIGN.md §11 over TCP (`--tcp ADDR`, default
+//! `127.0.0.1:7878`, port 0 for ephemeral) and/or a unix socket
+//! (`--unix PATH`). It drains gracefully on SIGTERM / ctrl-c / the
+//! `shutdown` command: queued batches finish, the session checkpoints,
+//! new connections are refused.
 
 use std::process::ExitCode;
 use streaming_bc::core::ranking::top_k;
@@ -18,7 +26,8 @@ use streaming_bc::gn::girvan_newman_incremental;
 use streaming_bc::graph::io::load_graph;
 use streaming_bc::graph::stats::GraphStats;
 use streaming_bc::graph::Graph;
-use streaming_bc::{Backend, Session};
+use streaming_bc::serve::{serve_error, ServedSession, Server, ServerConfig};
+use streaming_bc::{Backend, Session, SessionError};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -33,6 +42,8 @@ fn main() -> ExitCode {
             eprintln!("  sbc approx <edgelist> --samples k [--top k]");
             eprintln!("  sbc stream <edgelist> <updates-file> [--top k]");
             eprintln!("  sbc gn     <edgelist> [--removals k]");
+            eprintln!("  sbc serve  (--edgelist F | --open DIR) [--tcp ADDR] [--unix PATH]");
+            eprintln!("             [--workers p] [--dir DIR] [--queue n]");
             ExitCode::FAILURE
         }
     }
@@ -114,8 +125,93 @@ fn run(args: &[String]) -> Result<(), String> {
             }
             Ok(())
         }
+        "serve" => serve(args),
         other => Err(format!("unknown subcommand {other:?}")),
     }
+}
+
+fn str_flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+/// `sbc serve`: build or reopen a session, then hand it to the frontend.
+///
+/// A session directory whose records are ahead of its manifest
+/// (`SessionError::RecordsAhead`) still yields a *running* server: every
+/// command is answered with the typed `records_ahead` protocol error, so
+/// operators and clients see the census instead of a crash loop or a
+/// silent hang.
+fn serve(args: &[String]) -> Result<(), String> {
+    let cfg = ServerConfig {
+        tcp: match str_flag(args, "--tcp") {
+            Some("none") => None,
+            Some(addr) => Some(addr.to_string()),
+            None => Some("127.0.0.1:7878".to_string()),
+        },
+        unix: str_flag(args, "--unix").map(Into::into),
+        queue_depth: flag(args, "--queue").unwrap_or(64),
+        // test-only crash injection for the restart-under-traffic suite
+        crash_after: std::env::var("SBC_SERVE_CRASH_AFTER")
+            .ok()
+            .and_then(|v| v.parse().ok()),
+    };
+    if cfg.tcp.is_none() && cfg.unix.is_none() {
+        return Err("serve needs at least one of --tcp, --unix".into());
+    }
+
+    let handle = if let Some(dir) = str_flag(args, "--open") {
+        match Session::open(dir) {
+            Ok(session) => Server::spawn(ServedSession::new(session), cfg),
+            Err(e @ SessionError::RecordsAhead { .. }) => {
+                eprintln!("sbc serve: cannot resume {dir}: {e}");
+                eprintln!("sbc serve: serving in degraded mode (typed records_ahead errors)");
+                Server::spawn_unavailable(serve_error(&e), cfg)
+            }
+            Err(e) => return Err(format!("open {dir}: {e}")),
+        }
+    } else {
+        let g = load(str_flag(args, "--edgelist").map(String::from).as_ref())?;
+        // an explicit --workers opts into the sharded engine even at p=1;
+        // --dir alone is the single-machine disk backend
+        let workers_flag = flag(args, "--workers");
+        let workers = workers_flag.unwrap_or(1);
+        let backend = match str_flag(args, "--dir") {
+            Some(dir) if workers_flag.is_some() => Backend::Sharded(dir.into()),
+            Some(dir) => Backend::Disk(dir.into()),
+            None => Backend::Memory,
+        };
+        let session = Session::builder()
+            .backend(backend)
+            .workers(workers)
+            .build(&g)
+            .map_err(|e| format!("bootstrap failed: {e}"))?;
+        Server::spawn(ServedSession::new(session), cfg)
+    }
+    .map_err(|e| format!("bind failed: {e}"))?;
+
+    if let Some(addr) = handle.tcp_addr() {
+        println!("listening tcp={addr}");
+    }
+    if let Some(path) = handle.unix_path() {
+        println!("listening unix={}", path.display());
+    }
+    println!("ready");
+    use std::io::Write;
+    let _ = std::io::stdout().flush();
+
+    if !ebc_serve::signal::install_shutdown_handler() {
+        eprintln!("sbc serve: warning: could not install SIGTERM/SIGINT handler");
+    }
+    while !ebc_serve::signal::shutdown_requested() && !handle.is_shutting_down() {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    handle.shutdown();
+    handle.join();
+    println!("drained");
+    Ok(())
 }
 
 fn load(path: Option<&String>) -> Result<Graph, String> {

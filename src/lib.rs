@@ -60,7 +60,11 @@
 //!   trait the session drives;
 //! * [`store`] — out-of-core columnar `BD[·]` storage and per-shard files;
 //! * [`engine`] — the shared-nothing parallel / online execution engine;
-//! * [`gn`] — Girvan–Newman community detection on incremental EBC.
+//! * [`gn`] — Girvan–Newman community detection on incremental EBC;
+//! * [`serve`] — the network frontend bridge: [`serve::ServedSession`]
+//!   plugs a [`Session`] into the `ebc-serve` TCP/unix JSON-line server
+//!   (`sbc serve` on the command line, README "Serving" for the wire
+//!   protocol quickstart).
 
 #![deny(missing_docs)]
 
@@ -71,6 +75,7 @@ pub use ebc_gn as gn;
 pub use ebc_graph as graph;
 pub use ebc_store as store;
 
+pub mod serve;
 mod session;
 
 pub use ebc_core::api::{EbcEngine, EbcError, RebalanceOutcome, Reduced, ShardAssignment};

@@ -1,0 +1,145 @@
+//! Binding [`Session`] to the network frontend.
+//!
+//! `ebc-serve` owns transport, framing and the command protocol but knows
+//! nothing about the facade (the dependency points the other way: this
+//! crate's `sbc` binary links the server). The bridge is
+//! [`ServedSession`], a newtype implementing [`ebc_serve::ServeEngine`]
+//! over a [`Session`], plus the error mapping that carries
+//! [`SessionError::RecordsAhead`] onto the wire as the typed
+//! `records_ahead` protocol error instead of flattening it into prose.
+//!
+//! ```no_run
+//! use streaming_bc::{Backend, Session};
+//! use streaming_bc::serve::ServedSession;
+//! use streaming_bc::graph::Graph;
+//! use ebc_serve::{Server, ServerConfig};
+//!
+//! let mut g = Graph::with_vertices(4);
+//! for (u, v) in [(0, 1), (1, 2), (2, 3), (3, 0)] {
+//!     g.add_edge(u, v).unwrap();
+//! }
+//! let session = Session::builder().backend(Backend::Memory).build(&g)?;
+//! let handle = Server::spawn(ServedSession::new(session), ServerConfig::default())?;
+//! println!("serving on {}", handle.tcp_addr().unwrap());
+//! handle.join();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use crate::session::{Session, SessionError};
+use ebc_core::api::EbcError;
+use ebc_core::state::Update;
+use ebc_serve::{EngineInfo, MoveReport, ServeEngine, ServeError};
+use std::time::Duration;
+
+pub use ebc_serve::{Server, ServerConfig, ServerHandle};
+
+/// A [`Session`] wearing the [`ServeEngine`] trait so `ebc-serve` can
+/// drive it from the writer task.
+pub struct ServedSession {
+    session: Session,
+}
+
+impl ServedSession {
+    /// Wrap a bootstrapped or reopened session for serving.
+    pub fn new(session: Session) -> Self {
+        ServedSession { session }
+    }
+
+    /// The wrapped session back (e.g. after a drain, for inspection).
+    pub fn into_inner(self) -> Session {
+        self.session
+    }
+
+    fn backend_label(&self) -> &'static str {
+        match (self.session.dir().is_some(), self.session.workers()) {
+            (false, _) => "memory",
+            (true, 1) => "disk",
+            (true, _) => "sharded",
+        }
+    }
+}
+
+/// Map a facade error onto the wire taxonomy. Graph-validation failures
+/// keep the engine usable and map to `invalid`; the records-ahead census
+/// keeps its fields; everything else is an `engine` error.
+pub fn serve_error(e: &SessionError) -> ServeError {
+    match e {
+        SessionError::RecordsAhead {
+            manifest_map_version,
+            store_version,
+            manifest_sources,
+            record_sources,
+        } => ServeError::RecordsAhead {
+            manifest_map_version: *manifest_map_version,
+            store_version: *store_version,
+            manifest_sources: *manifest_sources,
+            record_sources: *record_sources,
+        },
+        SessionError::Engine(EbcError::Graph(g)) => ServeError::Invalid(g.to_string()),
+        SessionError::Engine(EbcError::SparseVertex(v)) => {
+            ServeError::Invalid(format!("vertex {v} skips ids"))
+        }
+        SessionError::Engine(EbcError::Engine(msg)) if msg.contains("requires a sharded") => {
+            ServeError::Unsupported(msg.clone())
+        }
+        other => ServeError::Engine(other.to_string()),
+    }
+}
+
+impl ServeEngine for ServedSession {
+    fn apply_batch(&mut self, updates: &[Update]) -> Result<(), ServeError> {
+        self.session
+            .apply_stream(updates)
+            .map_err(|e| serve_error(&e))
+    }
+
+    fn scores_vbc(&mut self) -> Result<Vec<f64>, ServeError> {
+        Ok(self
+            .session
+            .scores()
+            .map_err(|e| serve_error(&e))?
+            .scores
+            .vbc)
+    }
+
+    fn reduce_exact(&mut self) -> Result<(Vec<f64>, Vec<f64>, Duration), ServeError> {
+        let reduced = self.session.reduce_exact().map_err(|e| serve_error(&e))?;
+        Ok((reduced.scores.vbc, reduced.scores.ebc, reduced.wall))
+    }
+
+    fn checkpoint(&mut self) -> Result<(), ServeError> {
+        self.session.checkpoint().map_err(|e| serve_error(&e))
+    }
+
+    fn handoff(&mut self, source: u32, to: usize) -> Result<MoveReport, ServeError> {
+        let outcome = self
+            .session
+            .handoff(source, to)
+            .map_err(|e| serve_error(&e))?;
+        Ok(MoveReport {
+            moves: outcome.moves,
+            map_version: outcome.map_version,
+        })
+    }
+
+    fn rebalance(&mut self, threshold: usize) -> Result<MoveReport, ServeError> {
+        let outcome = self
+            .session
+            .rebalance(threshold)
+            .map_err(|e| serve_error(&e))?;
+        Ok(MoveReport {
+            moves: outcome.moves,
+            map_version: outcome.map_version,
+        })
+    }
+
+    fn info(&self) -> EngineInfo {
+        EngineInfo {
+            n: self.session.graph().n(),
+            m: self.session.graph().m(),
+            workers: self.session.workers(),
+            backend: self.backend_label().to_string(),
+            map_version: self.session.shard_map().map(|m| m.version),
+        }
+    }
+}

@@ -276,7 +276,7 @@ impl SessionBuilder {
         }
         match backend {
             Backend::Memory => {
-                let engine: Box<dyn EbcEngine> = if workers == 1 {
+                let engine: Box<dyn EbcEngine + Send> = if workers == 1 {
                     Box::new(BetweennessState::new_with(graph.clone(), cfg))
                 } else {
                     Box::new(ClusterEngine::new_with(graph, workers, cfg, |_w, n| {
@@ -526,7 +526,7 @@ fn decode_manifest(raw: &[u8]) -> Result<Manifest, SessionError> {
 /// One online-betweenness session over an evolving graph — the facade's
 /// single entry point for every embodiment (see the module docs).
 pub struct Session {
-    engine: Box<dyn EbcEngine>,
+    engine: Box<dyn EbcEngine + Send>,
     durable: Option<Durable>,
 }
 

@@ -1,0 +1,212 @@
+//! Server lifecycle: graceful SIGTERM drain in a real child process, the
+//! in-process `shutdown` command path, and the degraded server a
+//! records-ahead session directory yields — every exit path must leave a
+//! directory that reopens bootstrap-free, and every client-visible
+//! failure must be a typed error, never a hang.
+
+mod common;
+
+use common::{
+    error_kind, is_ok, non_edge_adds, tmpdir, to_bits, u64_field, write_edgelist, Client,
+    ServeChild,
+};
+use ebc_serve::json::Value;
+use ebc_serve::{encode_update, Server, ServerConfig};
+use std::net::TcpStream;
+use streaming_bc::gen::models::holme_kim;
+use streaming_bc::graph::io::load_graph;
+use streaming_bc::serve::ServedSession;
+use streaming_bc::{Backend, Checkpoint, Session, SessionError, Update};
+
+fn apply_line(batch: &[Update]) -> String {
+    ebc_serve::json::obj([
+        ("id", Value::from(1.0)),
+        ("cmd", Value::from("apply")),
+        (
+            "updates",
+            Value::Arr(batch.iter().map(encode_update).collect()),
+        ),
+    ])
+    .to_json()
+}
+
+/// SIGTERM against a live `sbc serve` child: in-flight work drains, the
+/// session checkpoints, the process exits 0 — and the directory reopens
+/// with zero Brandes runs, bitwise equal to the acked stream.
+#[test]
+fn sigterm_drains_checkpoints_and_reopens_bootstrap_free() {
+    let dir = tmpdir("lifecycle_sigterm");
+    std::fs::create_dir_all(dir.parent().unwrap()).unwrap();
+    let edges = dir.with_extension("edges");
+    write_edgelist(&holme_kim(24, 2, 0.3, 11), &edges);
+    let g = load_graph(&edges).unwrap();
+    let batch = non_edge_adds(&g, 3);
+
+    let server = ServeChild::spawn(
+        &[
+            "--edgelist",
+            edges.to_str().unwrap(),
+            "--dir",
+            dir.to_str().unwrap(),
+            "--workers",
+            "3",
+        ],
+        &[],
+    );
+    let addr = server.addr;
+    let mut client = Client::connect(addr);
+    let ack = client.request_ok(&apply_line(&batch));
+    assert_eq!(u64_field(&ack, "seq_last"), batch.len() as u64);
+
+    server.signal("TERM");
+    let (status, rest) = server.wait();
+    assert!(status.success(), "SIGTERM drain must exit cleanly");
+    assert!(
+        rest.contains("drained"),
+        "child did not report the drain: {rest:?}"
+    );
+    // the listener died with the process: fresh connections are refused
+    assert!(
+        TcpStream::connect(addr).is_err(),
+        "a drained server must not accept connections"
+    );
+
+    let mut reopened = Session::open(&dir).unwrap();
+    assert_eq!(
+        reopened.brandes_runs().unwrap_or(0),
+        0,
+        "the drain checkpoint must make reopen bootstrap-free"
+    );
+    let recovered = reopened.reduce_exact().unwrap().scores;
+    let mut oracle = Session::builder()
+        .backend(Backend::Memory)
+        .build(&g)
+        .unwrap();
+    oracle.apply_stream(&batch).unwrap();
+    let expect = oracle.reduce_exact().unwrap().scores;
+    assert_eq!(to_bits(&recovered.vbc), to_bits(&expect.vbc));
+    assert_eq!(to_bits(&recovered.ebc), to_bits(&expect.ebc));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The in-process `shutdown` command: acked with `draining`, after which
+/// the connection is closed promptly (work sent after the ack is refused
+/// by the close, never half-applied) and the directory reopens
+/// bootstrap-free with exactly the acked stream.
+#[test]
+fn shutdown_command_drains_and_refuses_new_work() {
+    let dir = tmpdir("lifecycle_cmd");
+    let g = holme_kim(24, 2, 0.3, 11);
+    let batch = non_edge_adds(&g, 2);
+    let session = Session::builder()
+        .backend(Backend::Sharded(dir.clone()))
+        .workers(3)
+        .build(&g)
+        .unwrap();
+    let handle = Server::spawn(ServedSession::new(session), ServerConfig::default()).unwrap();
+    let addr = handle.tcp_addr().unwrap();
+
+    let mut client = Client::connect(addr);
+    client.request_ok(&apply_line(&batch));
+
+    let resp = client.request_ok(r#"{"id":"bye","cmd":"shutdown"}"#);
+    assert_eq!(resp.get("draining").and_then(Value::as_bool), Some(true));
+    assert!(handle.is_shutting_down());
+
+    // the shutdown flag was set before the ack was enqueued, so a batch
+    // sent after the ack is never even read: the draining server closes
+    // the connection instead of half-applying late work
+    client.send_lossy(&apply_line(&non_edge_adds(&g, 3)[2..]));
+    assert_eq!(
+        client.recv_line(),
+        None,
+        "a draining server must close, not apply, post-shutdown work"
+    );
+
+    drop(client);
+    handle.join();
+    assert!(
+        TcpStream::connect(addr).is_err(),
+        "a joined server must not accept connections"
+    );
+
+    let mut reopened = Session::open(&dir).unwrap();
+    assert_eq!(reopened.brandes_runs(), Some(0));
+    let recovered = reopened.reduce_exact().unwrap().scores;
+    let mut oracle = Session::builder()
+        .backend(Backend::Memory)
+        .build(&g)
+        .unwrap();
+    oracle.apply_stream(&batch).unwrap();
+    assert_eq!(
+        to_bits(&recovered.vbc),
+        to_bits(&oracle.reduce_exact().unwrap().scores.vbc)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A session directory whose records ran ahead of its manifest cannot be
+/// resumed — `sbc serve --open` must still come up and answer every
+/// command with the typed `records_ahead` census rather than crash-loop
+/// or leave clients hanging.
+#[test]
+fn records_ahead_directory_serves_typed_errors() {
+    let dir = tmpdir("lifecycle_degraded");
+    let g = holme_kim(24, 2, 0.3, 11);
+    {
+        // manual checkpointing + a growth tail that is never checkpointed:
+        // the records then own more sources than the manifest's graph
+        let mut session = Session::builder()
+            .backend(Backend::Sharded(dir.clone()))
+            .workers(3)
+            .checkpoint(Checkpoint::Manual)
+            .build(&g)
+            .unwrap();
+        session
+            .apply_stream(&[Update::add(0, 24), Update::add(24, 25)])
+            .unwrap();
+        drop(session);
+    }
+    // precondition: the library refuses this directory with the census
+    match Session::open(&dir) {
+        Err(SessionError::RecordsAhead { .. }) => {}
+        other => panic!("expected RecordsAhead, got {other:?}"),
+    }
+
+    let server = ServeChild::spawn(&["--open", dir.to_str().unwrap()], &[]);
+    let mut client = Client::connect(server.addr);
+
+    // liveness is still observable
+    let pong = client.request(r#"{"id":"p","cmd":"ping"}"#);
+    assert!(is_ok(&pong), "ping must work on a degraded server");
+
+    // everything else is the typed census, with all four fields
+    for cmd in [
+        r#"{"cmd":"scores"}"#,
+        r#"{"cmd":"apply","update":["add",0,1]}"#,
+        r#"{"cmd":"reduce_exact"}"#,
+        r#"{"cmd":"checkpoint"}"#,
+    ] {
+        let resp = client.request(cmd);
+        assert!(!is_ok(&resp), "{cmd} must fail on a degraded server");
+        assert_eq!(error_kind(&resp), "records_ahead", "{cmd}");
+        let err = resp.get("error").unwrap();
+        let manifest = err
+            .get("manifest_sources")
+            .and_then(Value::as_u64)
+            .expect("census field manifest_sources");
+        let records = err
+            .get("record_sources")
+            .and_then(Value::as_u64)
+            .expect("census field record_sources");
+        assert!(records > manifest, "census must show the skew");
+        for field in ["manifest_map_version", "store_version"] {
+            assert!(err.get(field).is_some(), "census field {field} missing");
+        }
+    }
+
+    server.signal("TERM");
+    let (status, _) = server.wait();
+    assert!(status.success(), "degraded server must still drain cleanly");
+    std::fs::remove_dir_all(&dir).ok();
+}
