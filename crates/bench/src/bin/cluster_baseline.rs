@@ -1,0 +1,188 @@
+//! **Cluster baseline** — produces the committed `BENCH_cluster.json`:
+//! replicated fan-out apply throughput against the serial single-state
+//! engine, and leader-failover wall time, on the in-process simulated
+//! transport (real serialized frames, one OS thread per node, WAL
+//! replication to a follower per shard).
+//!
+//! Every throughput cell ends in a `reduce_exact` asserted bitwise equal
+//! to the serial oracle, so the numbers can never drift away from
+//! correctness. The failover cells kill shard 0's leader with a
+//! deterministic [`KillSpec`] and time the one `apply` call that rides
+//! through the promotion.
+//!
+//! ```sh
+//! cargo run --release -p ebc-bench --bin cluster_baseline [-- --smoke] [-- --out PATH]
+//! ```
+//!
+//! `--smoke` shrinks the workload to a seconds-long CI sanity pass.
+
+use ebc_cluster::{CoordinatorConfig, KillSpec, KillWindow, NodeConfig, SimBuilder};
+use std::time::{Duration, Instant};
+use streaming_bc::core::BetweennessState;
+use streaming_bc::gen::models::holme_kim;
+use streaming_bc::graph::Graph;
+use streaming_bc::Update;
+
+/// The first `count` non-edge vertex pairs of `g`, as additions.
+fn non_edge_adds(g: &Graph, count: usize) -> Vec<Update> {
+    let n = g.n() as u32;
+    let mut out = Vec::with_capacity(count);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if !g.has_edge(u, v) {
+                out.push(Update::add(u, v));
+                if out.len() == count {
+                    return out;
+                }
+            }
+        }
+    }
+    panic!("graph too dense for {count} non-edges");
+}
+
+fn to_bits(xs: &[f64]) -> Vec<u64> {
+    xs.iter().map(|x| x.to_bits()).collect()
+}
+
+/// Tight leases so the kill cells bound failover detection rather than
+/// waiting out production-sized timeouts.
+fn fast_cfgs() -> (NodeConfig, CoordinatorConfig) {
+    let node = NodeConfig {
+        rep_attempts: 3,
+        rep_timeout: Duration::from_millis(40),
+        ..NodeConfig::default()
+    };
+    let coord = CoordinatorConfig {
+        rpc_timeout: Duration::from_millis(80),
+        rpc_attempts: 4,
+        ..CoordinatorConfig::default()
+    };
+    (node, coord)
+}
+
+/// One calm throughput cell: replicated `p`-shard cluster, the full
+/// stream through the coordinator fan-out, exactness asserted.
+fn run_cluster_rep(g: &Graph, stream: &[Update], p: usize, want: &(Vec<u64>, Vec<u64>)) -> f64 {
+    let (node_cfg, coord_cfg) = fast_cfgs();
+    let mut sim = SimBuilder::new(p)
+        .node_cfg(node_cfg)
+        .coord_cfg(coord_cfg)
+        .launch(g)
+        .expect("launch cluster");
+    let t0 = Instant::now();
+    for &u in stream {
+        sim.coord.apply(u).expect("calm apply");
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    let s = sim.coord.reduce_exact().expect("reduce");
+    assert_eq!(
+        (want.0.as_slice(), want.1.as_slice()),
+        (to_bits(&s.vbc).as_slice(), to_bits(&s.ebc).as_slice()),
+        "p={p} cluster drifted from the serial oracle"
+    );
+    sim.shutdown();
+    stream.len() as f64 / wall
+}
+
+/// One failover cell: shard 0's leader dies mid-apply at a fixed WAL
+/// index; the slowest single `apply` in the run is the one that rode the
+/// promotion. Returns (failover_ms, clean-apply median ms).
+fn run_failover_rep(g: &Graph, stream: &[Update], p: usize, want: &(Vec<u64>, Vec<u64>)) -> f64 {
+    let (node_cfg, coord_cfg) = fast_cfgs();
+    let mut sim = SimBuilder::new(p)
+        .node_cfg(node_cfg)
+        .coord_cfg(coord_cfg)
+        .kill(
+            ebc_cluster::NodeId(1),
+            KillSpec {
+                window: KillWindow::MidApply,
+                at_index: 2,
+            },
+        )
+        .launch(g)
+        .expect("launch cluster");
+    let mut slowest = 0.0f64;
+    for &u in stream {
+        let t0 = Instant::now();
+        sim.coord.apply(u).expect("apply across failover");
+        slowest = slowest.max(t0.elapsed().as_secs_f64());
+    }
+    assert_eq!(sim.coord.failovers(), 1, "expected exactly one failover");
+    let s = sim.coord.reduce_exact().expect("reduce");
+    assert_eq!(
+        (want.0.as_slice(), want.1.as_slice()),
+        (to_bits(&s.vbc).as_slice(), to_bits(&s.ebc).as_slice()),
+        "failover run drifted from the serial oracle"
+    );
+    sim.shutdown();
+    slowest * 1e3
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let mut out_path = String::from("BENCH_cluster.json");
+    if let Some(i) = args.iter().position(|a| a == "--out") {
+        out_path = args.get(i + 1).expect("--out requires a path").clone();
+    }
+
+    let (n, updates, ps, reps): (_, _, &[usize], _) = if smoke {
+        (48, 24, &[1, 2], 1)
+    } else {
+        (256, 96, &[1, 2, 4], 3)
+    };
+    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    let g = holme_kim(n, 2, 0.3, 11);
+    let m = g.m();
+    let stream = non_edge_adds(&g, updates);
+
+    // serial oracle: one BetweennessState, and the bits every cell must hit
+    let mut serial = 0.0f64;
+    let mut want = (Vec::new(), Vec::new());
+    for _ in 0..reps {
+        let mut st = BetweennessState::new(&g);
+        let t0 = Instant::now();
+        for &u in &stream {
+            st.apply(u).expect("serial apply");
+        }
+        let wall = t0.elapsed().as_secs_f64();
+        serial = serial.max(stream.len() as f64 / wall);
+        let s = st.exact_scores().expect("serial scores");
+        want = (to_bits(&s.vbc), to_bits(&s.ebc));
+    }
+    eprintln!("serial: {serial:.1} updates/s");
+
+    let mut rows = Vec::new();
+    for &p in ps {
+        let mut best = 0.0f64;
+        for _ in 0..reps {
+            best = best.max(run_cluster_rep(&g, &stream, p, &want));
+        }
+        eprintln!("p={p}: {best:.1} updates/s ({:.2}x serial)", best / serial);
+        rows.push(format!(
+            "    {{\"p\": {p}, \"updates_per_s\": {best:.1}, \"speedup_vs_serial\": {:.4}}}",
+            best / serial
+        ));
+    }
+
+    let fail_reps = if smoke { 2 } else { 5 };
+    let mut fails: Vec<f64> = (0..fail_reps)
+        .map(|_| run_failover_rep(&g, &stream, 2, &want))
+        .collect();
+    fails.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let fo_median = fails[fails.len() / 2];
+    let fo_max = *fails.last().unwrap();
+    eprintln!("failover: median {fo_median:.2}ms, max {fo_max:.2}ms over {fail_reps} kills");
+
+    let json = format!(
+        "{{\n  \"bench\": \"cluster\",\n  \"n\": {n},\n  \"m\": {m},\n  \
+         \"updates\": {updates},\n  \"repetitions\": {reps},\n  \"host_cores\": {cores},\n  \
+         \"serial_updates_per_s\": {serial:.1},\n  \
+         \"metric\": \"in-process simulated cluster (one thread per node, real serialized frames, one follower per shard): updates_per_s = stream length / wall clock through the coordinator fan-out, best of repetitions, each cell's reduce_exact asserted bitwise equal to the serial oracle; failover_ms times the single apply that rides a deterministic MidApply leader kill on a p=2 cluster\",\n  \
+         \"rows\": [\n{}\n  ],\n  \
+         \"failover\": {{\"kills\": {fail_reps}, \"median_ms\": {fo_median:.3}, \"max_ms\": {fo_max:.3}}}\n}}\n",
+        rows.join(",\n")
+    );
+    std::fs::write(&out_path, json).expect("write baseline json");
+    eprintln!("wrote {out_path}");
+}

@@ -1,0 +1,637 @@
+//! The coordinator: the cluster's control plane and sole write path.
+//!
+//! A [`Coordinator`] owns the versioned [`ShardMap`] (the Clarium-style
+//! registry/map/lease triple: which node leads which shard, at which map
+//! version, with the RPC retry budget acting as the lease), a private
+//! structural [`Graph`] replica used to validate updates and derive
+//! adoption/removal metadata before anything is dispatched, and the
+//! per-shard `next_index` cursors that make the WAL-indexed op stream
+//! exactly-once end to end.
+//!
+//! **Failure model.** A leader that exhausts the RPC retry budget
+//! (`rpc_attempts × rpc_timeout` — the lease) is declared dead. Failover
+//! promotes the shard's follower: bump the map version (the new fencing
+//! token), send `Promote`, swap the group — and then *retry the same WAL
+//! index* against the new leader. The index dedup makes the retry safe in
+//! both crash windows: if the dead leader never shipped the entry
+//! ([`KillWindow::MidApply`](crate::node::KillWindow::MidApply)) the
+//! promoted node appends it; if it shipped but never answered
+//! ([`KillWindow::MidShip`](crate::node::KillWindow::MidShip)) the promoted
+//! node answers from its log without re-applying. Stale leaders that were
+//! merely partitioned are remembered and fenced with `Demote` once
+//! reachable ([`Coordinator::fence_stale`]).
+//!
+//! Reads fold deterministically: the fast reduce sums shard partials in
+//! ascending shard order; `reduce_exact` assembles the shards' canonical
+//! tree segments, which is bitwise invariant to the partitioning *and* to
+//! how many failovers rewrote the groups.
+
+use crate::transport::{Mailbox, SendError, Transport};
+use crate::wire::{self, ErrKind, NodeId, NodeMsg, Reply, ReplyBody, Request};
+use ebc_core::exact::assemble;
+use ebc_core::scores::Scores;
+use ebc_core::state::Update;
+use ebc_engine::shardmap::{ShardMap, SourceMove};
+use ebc_graph::{EdgeOp, Graph};
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Timing and retry policy.
+#[derive(Clone)]
+pub struct CoordinatorConfig {
+    /// Per-attempt reply wait.
+    pub rpc_timeout: Duration,
+    /// Attempts before a node is declared dead — `rpc_attempts ×
+    /// rpc_timeout` is the lease a leader must renew by answering.
+    pub rpc_attempts: u32,
+    /// Reply wait for `Bootstrap` (Brandes over a partition dwarfs normal
+    /// ops; a single long attempt, not a retry ladder).
+    pub bootstrap_timeout: Duration,
+}
+
+impl Default for CoordinatorConfig {
+    fn default() -> Self {
+        CoordinatorConfig {
+            rpc_timeout: Duration::from_millis(300),
+            rpc_attempts: 5,
+            bootstrap_timeout: Duration::from_secs(60),
+        }
+    }
+}
+
+/// One shard's replication group as the coordinator sees it.
+#[derive(Debug, Clone)]
+pub struct ShardSpec {
+    /// Current leader.
+    pub leader: NodeId,
+    /// Current follower, if the group still has one.
+    pub follower: Option<NodeId>,
+    /// Dial hint for the leader (stream transports).
+    pub leader_hint: Option<String>,
+    /// Dial hint for the follower, forwarded to the leader for WAL
+    /// shipping.
+    pub follower_hint: Option<String>,
+}
+
+impl ShardSpec {
+    /// A group with no dial hints (in-process fabrics).
+    pub fn new(leader: NodeId, follower: Option<NodeId>) -> Self {
+        ShardSpec {
+            leader,
+            follower,
+            leader_hint: None,
+            follower_hint: None,
+        }
+    }
+}
+
+/// An observer of [`CoordEvent`]s, registered via
+/// [`Coordinator::set_event_hook`].
+pub type EventHook = Box<dyn FnMut(&CoordEvent) + Send>;
+
+/// Control-plane transitions, surfaced for observability — and as the
+/// deterministic injection point the failover tests hook (e.g. releasing a
+/// zombie leader's held frames exactly while a promotion is in flight).
+#[derive(Debug, Clone)]
+pub enum CoordEvent {
+    /// A leader exhausted its lease.
+    LeaderDead {
+        /// The shard.
+        shard: u32,
+        /// The unresponsive leader.
+        leader: NodeId,
+    },
+    /// About to promote `follower`; the map version has already advanced.
+    Promoting {
+        /// The shard.
+        shard: u32,
+        /// The follower being promoted.
+        follower: NodeId,
+        /// The new fencing version.
+        version: u64,
+    },
+    /// Promotion acknowledged; the group now serves from `leader`.
+    Promoted {
+        /// The shard.
+        shard: u32,
+        /// The new leader.
+        leader: NodeId,
+        /// The follower's WAL length at promotion.
+        wal_len: u64,
+    },
+}
+
+/// Cluster-level failure.
+#[derive(Debug)]
+pub enum ClusterError {
+    /// The update is invalid against the coordinator's replica (self-loop,
+    /// sparse vertex id, duplicate/missing edge).
+    Invalid(String),
+    /// A shard's leader died with no follower left to promote.
+    ShardLost(u32),
+    /// A node answered with a typed protocol/state error.
+    Node {
+        /// Error category from the node.
+        kind: ErrKind,
+        /// Node's message.
+        msg: String,
+    },
+    /// The protocol broke down (unexpected reply shape).
+    Protocol(String),
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::Invalid(m) => write!(f, "invalid update: {m}"),
+            ClusterError::ShardLost(k) => {
+                write!(f, "shard {k}: leader dead and no follower to promote")
+            }
+            ClusterError::Node { kind, msg } => write!(f, "node error ({kind:?}): {msg}"),
+            ClusterError::Protocol(m) => write!(f, "protocol: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+/// Outcome of one replicated update.
+#[derive(Debug, Clone)]
+pub struct ApplyReport {
+    /// Shard that adopted a newly arrived vertex, if the update grew the
+    /// graph.
+    pub adopter: Option<usize>,
+    /// Shards currently serving without a live follower.
+    pub degraded: Vec<u32>,
+    /// Failovers performed while applying this update.
+    pub failovers: u32,
+}
+
+enum RpcFail {
+    /// Lease exhausted / peer unreachable.
+    Dead,
+    /// Typed refusal from the node.
+    Node { kind: ErrKind, msg: String },
+}
+
+/// The cluster control plane. Generic over [`Transport`] like the nodes.
+pub struct Coordinator<T: Transport> {
+    transport: T,
+    mailbox: Mailbox,
+    cfg: CoordinatorConfig,
+    replica: Graph,
+    map: ShardMap,
+    groups: Vec<ShardSpec>,
+    next_index: Vec<u64>,
+    seq: u64,
+    failovers: u64,
+    stale: Vec<NodeId>,
+    /// Every node ever registered, with its dial hint — demoted
+    /// stragglers included, so fencing, status probes, and
+    /// [`Coordinator::shutdown`] can reach nodes no group references
+    /// (or that the transport never dialed).
+    known: std::collections::BTreeMap<NodeId, Option<String>>,
+    events: Option<EventHook>,
+}
+
+impl<T: Transport> Coordinator<T> {
+    /// A coordinator with no shards yet; call
+    /// [`bootstrap`](Coordinator::bootstrap) next.
+    pub fn new(transport: T, mailbox: Mailbox, cfg: CoordinatorConfig) -> Self {
+        Coordinator {
+            transport,
+            mailbox,
+            cfg,
+            replica: Graph::new(),
+            map: ShardMap::bootstrap(0, 1),
+            groups: Vec::new(),
+            next_index: Vec::new(),
+            seq: 0,
+            failovers: 0,
+            stale: Vec::new(),
+            known: std::collections::BTreeMap::new(),
+            events: None,
+        }
+    }
+
+    /// Install an observer for control-plane transitions.
+    pub fn set_event_hook(&mut self, hook: EventHook) {
+        self.events = Some(hook);
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Current map version (the fencing token).
+    pub fn version(&self) -> u64 {
+        self.map.version()
+    }
+
+    /// Failovers performed since bootstrap.
+    pub fn failovers(&self) -> u64 {
+        self.failovers
+    }
+
+    /// The structural replica (matches every node's, by construction).
+    pub fn graph(&self) -> &Graph {
+        &self.replica
+    }
+
+    /// The shard map.
+    pub fn map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    /// Current replication groups.
+    pub fn groups(&self) -> &[ShardSpec] {
+        &self.groups
+    }
+
+    fn emit(&mut self, ev: CoordEvent) {
+        if let Some(hook) = self.events.as_mut() {
+            hook(&ev);
+        }
+    }
+
+    /// One RPC with retries: send, await the matching seq, retry up to
+    /// `attempts`. Stray frames (older seqs, duplicate acks) are drained
+    /// and dropped.
+    fn rpc_with(
+        &mut self,
+        to: NodeId,
+        hint: Option<String>,
+        req: Request,
+        attempts: u32,
+        timeout: Duration,
+    ) -> Result<ReplyBody, RpcFail> {
+        self.seq += 1;
+        let seq = self.seq;
+        let frame = wire::encode(&NodeMsg::Request {
+            seq,
+            version: self.map.version(),
+            req,
+        });
+        for _ in 0..attempts {
+            match self.transport.send(to, hint.as_deref(), &frame) {
+                Err(SendError::Closed) => return Err(RpcFail::Dead),
+                Err(SendError::Io(_)) => {
+                    std::thread::sleep(timeout.min(Duration::from_millis(50)));
+                    continue;
+                }
+                Ok(()) => {}
+            }
+            let deadline = Instant::now() + timeout;
+            loop {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let Some(env) = self.mailbox.recv_timeout(deadline - now) else {
+                    break;
+                };
+                if env.from != to {
+                    continue;
+                }
+                let Ok(NodeMsg::Reply { seq: s, reply }) = wire::decode(&env.frame) else {
+                    continue;
+                };
+                if s != seq {
+                    continue; // stale reply from an earlier attempt/request
+                }
+                return match reply {
+                    Reply::Ok(body) => Ok(body),
+                    Reply::Err { kind, msg, .. } => Err(RpcFail::Node { kind, msg }),
+                };
+            }
+        }
+        Err(RpcFail::Dead)
+    }
+
+    fn rpc(
+        &mut self,
+        to: NodeId,
+        hint: Option<String>,
+        req: Request,
+    ) -> Result<ReplyBody, RpcFail> {
+        let (attempts, timeout) = (self.cfg.rpc_attempts, self.cfg.rpc_timeout);
+        self.rpc_with(to, hint, req, attempts, timeout)
+    }
+
+    /// Shard-directed RPC: on a dead leader, fail over and retry against
+    /// the promoted follower (versions and indexes make the retry
+    /// exactly-once). At most one failover per call — a second death means
+    /// the whole group is gone.
+    fn shard_rpc(&mut self, k: usize, req: Request) -> Result<ReplyBody, ClusterError> {
+        for round in 0..2 {
+            let (leader, hint) = {
+                let g = &self.groups[k];
+                (g.leader, g.leader_hint.clone())
+            };
+            match self.rpc(leader, hint, req.clone()) {
+                Ok(body) => return Ok(body),
+                Err(RpcFail::Node { kind, msg }) => return Err(ClusterError::Node { kind, msg }),
+                Err(RpcFail::Dead) => {
+                    if round == 1 {
+                        return Err(ClusterError::ShardLost(k as u32));
+                    }
+                    self.failover(k)?;
+                }
+            }
+        }
+        unreachable!("both rounds returned")
+    }
+
+    /// Promote shard `k`'s follower after its leader's lease expired.
+    fn failover(&mut self, k: usize) -> Result<(), ClusterError> {
+        let dead = self.groups[k].leader;
+        self.emit(CoordEvent::LeaderDead {
+            shard: k as u32,
+            leader: dead,
+        });
+        let Some(follower) = self.groups[k].follower.take() else {
+            return Err(ClusterError::ShardLost(k as u32));
+        };
+        let version = self.map.bump_version();
+        self.emit(CoordEvent::Promoting {
+            shard: k as u32,
+            follower,
+            version,
+        });
+        let hint = self.groups[k].follower_hint.clone();
+        match self.rpc(follower, hint.clone(), Request::Promote) {
+            Ok(ReplyBody::Done { wal_len, .. }) => {
+                self.groups[k].leader = follower;
+                self.groups[k].leader_hint = hint;
+                self.groups[k].follower_hint = None;
+                self.failovers += 1;
+                self.stale.push(dead);
+                self.emit(CoordEvent::Promoted {
+                    shard: k as u32,
+                    leader: follower,
+                    wal_len,
+                });
+                Ok(())
+            }
+            _ => Err(ClusterError::ShardLost(k as u32)),
+        }
+    }
+
+    /// Stand the cluster up: install the map over `g.n()` sources and
+    /// `specs.len()` shards, snapshot the graph, and bootstrap every
+    /// group's leader (each leader replicates entry 0 to its follower,
+    /// which runs its own Brandes over the same snapshot).
+    pub fn bootstrap(&mut self, g: &Graph, specs: Vec<ShardSpec>) -> Result<(), ClusterError> {
+        assert!(!specs.is_empty(), "at least one shard");
+        self.replica = g.clone();
+        self.map = ShardMap::bootstrap(g.n(), specs.len());
+        self.groups = specs;
+        self.known = self
+            .groups
+            .iter()
+            .flat_map(|s| {
+                std::iter::once((s.leader, s.leader_hint.clone()))
+                    .chain(s.follower.map(|f| (f, s.follower_hint.clone())))
+            })
+            .collect();
+        self.next_index = vec![0; self.groups.len()];
+        let snapshot = self.replica.snapshot_bytes();
+        for k in 0..self.groups.len() {
+            let sources = self.map.sources_of(k).to_vec();
+            let (leader, leader_hint, follower, follower_hint) = {
+                let s = &self.groups[k];
+                (
+                    s.leader,
+                    s.leader_hint.clone(),
+                    s.follower,
+                    s.follower_hint.clone(),
+                )
+            };
+            let req = Request::Bootstrap {
+                shard: k as u32,
+                snapshot: snapshot.clone(),
+                sources,
+                follower,
+                follower_hint,
+            };
+            let timeout = self.cfg.bootstrap_timeout;
+            match self.rpc_with(leader, leader_hint, req, 1, timeout) {
+                Ok(ReplyBody::Bootstrapped { wal_len, .. }) => {
+                    self.next_index[k] = wal_len;
+                }
+                Ok(other) => {
+                    return Err(ClusterError::Protocol(format!(
+                        "unexpected bootstrap reply: {other:?}"
+                    )))
+                }
+                Err(RpcFail::Node { kind, msg }) => return Err(ClusterError::Node { kind, msg }),
+                Err(RpcFail::Dead) => return Err(ClusterError::ShardLost(k as u32)),
+            }
+        }
+        Ok(())
+    }
+
+    /// Replicate one edge update across every shard (the paper's map
+    /// phase, over the wire): validate against the replica, assign
+    /// adoption if the graph grew, then fan the WAL-indexed op to each
+    /// leader — failing over and retrying the same index when a lease
+    /// expires.
+    pub fn apply(&mut self, update: Update) -> Result<ApplyReport, ClusterError> {
+        let Update { op, u, v } = update;
+        if u == v {
+            return Err(ClusterError::Invalid(format!("self loop at {u}")));
+        }
+        let mut adopter = None;
+        match op {
+            EdgeOp::Add => {
+                let hi = u.max(v);
+                let n = self.replica.n();
+                if (hi as usize) > n {
+                    return Err(ClusterError::Invalid(format!(
+                        "vertex {hi} arrives sparsely (graph has {n})"
+                    )));
+                }
+                if (hi as usize) == n {
+                    self.replica.add_vertex();
+                    adopter = Some(
+                        self.map
+                            .adopt(hi)
+                            .map_err(|e| ClusterError::Invalid(e.to_string()))?,
+                    );
+                }
+                if let Err(e) = self.replica.add_edge(u, v) {
+                    return Err(ClusterError::Invalid(e.to_string()));
+                }
+            }
+            EdgeOp::Remove => {
+                self.replica
+                    .remove_edge(u, v)
+                    .map_err(|e| ClusterError::Invalid(e.to_string()))?;
+            }
+        }
+        let before = self.failovers;
+        let mut degraded = Vec::new();
+        for k in 0..self.groups.len() {
+            let adopt = (adopter == Some(k)).then(|| u.max(v));
+            let index = self.next_index[k];
+            match self.shard_rpc(
+                k,
+                Request::Apply {
+                    index,
+                    update,
+                    adopt,
+                },
+            )? {
+                ReplyBody::Done {
+                    wal_len,
+                    degraded: d,
+                    ..
+                } => {
+                    self.next_index[k] = wal_len;
+                    if d {
+                        degraded.push(k as u32);
+                    }
+                }
+                other => {
+                    return Err(ClusterError::Protocol(format!(
+                        "unexpected apply reply: {other:?}"
+                    )))
+                }
+            }
+        }
+        Ok(ApplyReport {
+            adopter,
+            degraded,
+            failovers: (self.failovers - before) as u32,
+        })
+    }
+
+    /// The fast reduce (`t_M`): fold shard partials in ascending shard
+    /// order.
+    pub fn reduce(&mut self) -> Result<Scores, ClusterError> {
+        let mut total = Scores::zeros(self.replica.n(), self.replica.edge_slots());
+        for k in 0..self.groups.len() {
+            match self.shard_rpc(k, Request::Partials)? {
+                ReplyBody::Partials { scores } => total.merge_from(&scores),
+                other => {
+                    return Err(ClusterError::Protocol(format!(
+                        "unexpected partials reply: {other:?}"
+                    )))
+                }
+            }
+        }
+        Ok(total)
+    }
+
+    /// The exact reduce: gather every shard's canonical tree segments and
+    /// assemble them — bitwise equal to a serial replay regardless of
+    /// partitioning, handoffs, or how many failovers rewrote the groups.
+    pub fn reduce_exact(&mut self) -> Result<Scores, ClusterError> {
+        let mut segments = Vec::new();
+        for k in 0..self.groups.len() {
+            match self.shard_rpc(k, Request::Segments)? {
+                ReplyBody::Segments { segments: s } => segments.extend(s),
+                other => {
+                    return Err(ClusterError::Protocol(format!(
+                        "unexpected segments reply: {other:?}"
+                    )))
+                }
+            }
+        }
+        let (n, edge_slots) = (self.replica.n(), self.replica.edge_slots());
+        assemble(segments, n, (n, edge_slots)).ok_or_else(|| {
+            ClusterError::Protocol("shard segments do not cover the source range".to_string())
+        })
+    }
+
+    /// Move one source between shards over the wire: export from the
+    /// donor, import at the recipient, then commit the move in the map
+    /// (bumping the version).
+    pub fn handoff(&mut self, mv: &SourceMove) -> Result<(), ClusterError> {
+        let record = match self.shard_rpc(mv.from, Request::Export { source: mv.source })? {
+            ReplyBody::Exported {
+                record, wal_len, ..
+            } => {
+                self.next_index[mv.from] = wal_len;
+                record
+            }
+            other => {
+                return Err(ClusterError::Protocol(format!(
+                    "unexpected export reply: {other:?}"
+                )))
+            }
+        };
+        match self.shard_rpc(mv.to, Request::Import { record })? {
+            ReplyBody::Done { wal_len, .. } => self.next_index[mv.to] = wal_len,
+            other => {
+                return Err(ClusterError::Protocol(format!(
+                    "unexpected import reply: {other:?}"
+                )))
+            }
+        }
+        self.map
+            .apply_move(mv)
+            .map_err(|e| ClusterError::Protocol(e.to_string()))?;
+        Ok(())
+    }
+
+    /// Restore the ownership skew invariant by executing the map's
+    /// deterministic rebalance plan as wire handoffs. Returns the number
+    /// of sources moved.
+    pub fn rebalance(&mut self, threshold: usize) -> Result<usize, ClusterError> {
+        let plan = self.map.plan_rebalance(threshold);
+        for mv in &plan.moves {
+            self.handoff(mv)?;
+        }
+        Ok(plan.moves.len())
+    }
+
+    /// Fence every leader deposed by a failover that may still be alive
+    /// behind a healed partition: send `Demote` at the current (higher)
+    /// map version, clearing their shard state. Unreachable nodes stay
+    /// queued for the next call. Returns how many were demoted.
+    pub fn fence_stale(&mut self) -> usize {
+        let stale = std::mem::take(&mut self.stale);
+        let mut demoted = 0;
+        for node in stale {
+            let hint = self.hint_of(node);
+            match self.rpc(node, hint, Request::Demote) {
+                Ok(_) => demoted += 1,
+                Err(_) => self.stale.push(node),
+            }
+        }
+        demoted
+    }
+
+    fn hint_of(&self, node: NodeId) -> Option<String> {
+        self.known.get(&node).cloned().flatten()
+    }
+
+    /// Query one node's status (diagnostics; unfenced).
+    pub fn node_status(&mut self, to: NodeId) -> Result<ReplyBody, ClusterError> {
+        let hint = self.hint_of(to);
+        match self.rpc(to, hint, Request::Status) {
+            Ok(body) => Ok(body),
+            Err(RpcFail::Node { kind, msg }) => Err(ClusterError::Node { kind, msg }),
+            Err(RpcFail::Dead) => Err(ClusterError::Protocol(format!("{to} unreachable"))),
+        }
+    }
+
+    /// Drain the cluster: best-effort `Shutdown` to every known node
+    /// (leaders, followers, and fenced stragglers).
+    pub fn shutdown(mut self) {
+        let mut targets: Vec<NodeId> = self.known.keys().copied().collect();
+        for g in &self.groups {
+            targets.push(g.leader);
+            targets.extend(g.follower);
+        }
+        targets.extend(self.stale.iter().copied());
+        targets.sort_unstable();
+        targets.dedup();
+        for node in targets {
+            let hint = self.hint_of(node);
+            let _ = self.rpc_with(node, hint, Request::Shutdown, 1, self.cfg.rpc_timeout);
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! # ebc-cluster
+//!
+//! Multi-host shard cluster for streaming betweenness centrality: a
+//! shard-node wire protocol layered on the serve crate's line codec, a
+//! coordinator owning the versioned shard map (registry, map, leases), and
+//! per-shard WAL replication with leader failover — DESIGN.md §12.
+//!
+//! The crate is transport-agnostic: nodes speak [`wire::NodeMsg`] frames
+//! through the [`transport::Transport`] trait, whose in-process test
+//! embodiment ([`transport::TestNet`]) supports deterministic, seed-driven
+//! drop/duplicate/delay/partition injection, and whose TCP embodiment
+//! powers `sbc node` / `sbc coord`.
+
+#![deny(missing_docs)]
+
+pub mod coord;
+pub mod node;
+pub mod sim;
+pub mod transport;
+pub mod wire;
+
+pub use coord::{ApplyReport, ClusterError, CoordEvent, Coordinator, CoordinatorConfig, ShardSpec};
+pub use node::{KillSpec, KillWindow, NodeConfig, ShardNode};
+pub use sim::{SimBuilder, SimCluster};
+pub use transport::{FaultSpec, Mailbox, TcpTransport, TestNet, Transport};
+pub use wire::{NodeId, Role, COORD};

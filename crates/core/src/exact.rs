@@ -51,7 +51,7 @@ pub type LeafFn<'a> = &'a mut dyn FnMut(VertexId, &mut Scores) -> BdResult<()>;
 
 /// One canonical segment of the fixed reduction tree: the combined scores of
 /// the subtree spanning sources `[lo, hi)` (`hi - lo` is a power of two).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TreeSegment {
     /// First source id covered by the subtree.
     pub lo: u32,

@@ -47,9 +47,11 @@ pub mod cluster;
 pub mod online;
 pub mod partition;
 mod pool;
+pub mod shard;
 pub mod shardmap;
 
 pub use cluster::{ApplyReport, ClusterEngine, EngineError, RebalanceReport};
 pub use online::{simulate_modeled, simulate_online, OnlineEvent, OnlineReport};
 pub use partition::{partition_ranges, AdoptionLedger};
+pub use shard::ShardState;
 pub use shardmap::{RebalancePlan, ShardMap, ShardMapError, SourceMove};

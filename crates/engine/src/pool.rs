@@ -32,12 +32,11 @@
 //! never block on a silent partner.
 
 use crate::cluster::EngineError;
-use ebc_core::bd::{BdError, BdStore, ExportedRecord};
-use ebc_core::brandes::single_source_update_with;
-use ebc_core::exact::{source_contribution, tree_segments_of, TreeSegment};
-use ebc_core::incremental::{update_source, UpdateConfig};
+use crate::shard::ShardState;
+use ebc_core::bd::{BdStore, ExportedRecord};
+use ebc_core::exact::TreeSegment;
+use ebc_core::incremental::UpdateConfig;
 use ebc_core::scores::Scores;
-use ebc_core::scratch::KernelScratch;
 use ebc_core::state::Update;
 use ebc_graph::csr::CsrView;
 use ebc_graph::{EdgeId, VertexId};
@@ -142,10 +141,9 @@ struct WorkerThread<S: BdStore> {
     /// Pinned CSR epoch this worker currently computes against — an `Arc`
     /// share of the coordinator's published snapshot, not a private clone.
     view: Arc<CsrView>,
-    store: S,
-    partial: Scores,
-    scratch: KernelScratch,
-    cfg: UpdateConfig,
+    /// The shard compute core (store + partials + scratch) shared with the
+    /// remote-node embodiment — see [`crate::shard`].
+    shard: ShardState<S>,
     poisoned: bool,
     cmd_rx: Receiver<Command>,
     reply_tx: Sender<Reply>,
@@ -173,7 +171,7 @@ impl<S: BdStore> WorkerThread<S> {
                     let _ = self.reply_tx.send(Reply::Bootstrapped(result));
                 }
                 Command::Flush => {
-                    let result = self.guarded(|w| w.store.flush().map_err(Into::into));
+                    let result = self.guarded(|w| w.shard.flush().map_err(Into::into));
                     let _ = self.reply_tx.send(Reply::Flushed(result));
                 }
                 Command::Apply {
@@ -191,22 +189,15 @@ impl<S: BdStore> WorkerThread<S> {
                     let _ = self.reply_tx.send(Reply::Segments(result));
                 }
                 Command::Export { source, tag } => {
-                    let result =
-                        self.guarded(|w| w.store.export_source(source, tag).map_err(Into::into));
+                    let result = self.guarded(|w| w.shard.export(source, tag).map_err(Into::into));
                     let _ = self.reply_tx.send(Reply::Exported(Box::new(result)));
                 }
                 Command::Import { record } => {
-                    let result = self.guarded(|w| {
-                        let r = *record;
-                        w.store
-                            .add_source(r.source, r.d, r.sigma, r.delta)
-                            .map_err(Into::into)
-                    });
+                    let result = self.guarded(|w| w.shard.import(*record).map_err(Into::into));
                     let _ = self.reply_tx.send(Reply::Imported(result));
                 }
                 Command::Retire { source } => {
-                    let result =
-                        self.guarded(|w| w.store.retire_export(source).map_err(Into::into));
+                    let result = self.guarded(|w| w.shard.retire(source).map_err(Into::into));
                     let _ = self.reply_tx.send(Reply::Retired(result));
                 }
             }
@@ -248,18 +239,10 @@ impl<S: BdStore> WorkerThread<S> {
     /// source, accumulating into the partial scores (step 1 of Figure 4).
     /// Returns the Brandes iteration count.
     fn bootstrap(&mut self, sources: Vec<VertexId>) -> Result<u64, EngineError> {
-        let count = sources.len() as u64;
         let view = Arc::clone(&self.view);
-        for s in sources {
-            let r = single_source_update_with(
-                view.as_ref(),
-                s,
-                &mut self.partial,
-                &mut self.scratch.brandes,
-            );
-            self.store.add_source(s, r.d, r.sigma, r.delta)?;
-        }
-        Ok(count)
+        self.shard
+            .bootstrap(view.as_ref(), &sources)
+            .map_err(Into::into)
     }
 
     /// Rehydrate the partial score vector from the store's recovered
@@ -268,22 +251,8 @@ impl<S: BdStore> WorkerThread<S> {
     /// fixed `p` is reproducible). No Brandes iteration runs — the whole
     /// point of the durable-restart path — hence the returned count of 0.
     fn resume(&mut self) -> Result<u64, EngineError> {
-        let mut sources = self.store.sources();
-        sources.sort_unstable();
-        let (n, edge_slots) = (self.view.n(), self.view.edge_slots());
-        self.partial = Scores::zeros(n, edge_slots);
         let view = Arc::clone(&self.view);
-        let store = &mut self.store;
-        let scratch = &mut self.scratch;
-        for s in sources {
-            let leaf = scratch.leaf_buffer(n, edge_slots);
-            store.update_with(s, &mut |rec| {
-                source_contribution(view.as_ref(), s, rec.d, rec.sigma, rec.delta, leaf);
-                false
-            })?;
-            self.partial.merge_from(leaf);
-        }
-        Ok(0)
+        self.shard.resume(view.as_ref()).map_err(Into::into)
     }
 
     /// Map task for one update: adopt the shipped view epoch, then run the
@@ -298,35 +267,10 @@ impl<S: BdStore> WorkerThread<S> {
         view: Arc<CsrView>,
     ) -> Result<ApplyEcho, EngineError> {
         let t0 = Instant::now();
-        let Update { op, u, v } = update;
         self.view = view;
-        while self.store.n() < self.view.n() {
-            self.store.grow_vertex()?;
-        }
-        self.scratch.grow(self.view.n());
-        self.partial
-            .ensure_shape(self.view.n(), self.view.edge_slots());
         let view = Arc::clone(&self.view);
-        let partial = &mut self.partial;
-        let cfg = &self.cfg;
-        let KernelScratch { ws, sources, .. } = &mut self.scratch;
-        self.store.sources_into(sources);
-        let stats = self.store.update_batch(sources, u, v, &mut |s, rec| {
-            update_source(view.as_ref(), s, op, u, v, rec, partial, ws, cfg)
-        })?;
-        self.scratch.ws.stats.sources_skipped += stats.skipped;
-        if let Some(s_new) = adopt {
-            let r = single_source_update_with(
-                self.view.as_ref(),
-                s_new,
-                &mut self.partial,
-                &mut self.scratch.brandes,
-            );
-            self.store.add_source(s_new, r.d, r.sigma, r.delta)?;
-        }
-        if let Some(eid) = removed_eid {
-            self.partial.ebc[eid as usize] = 0.0;
-        }
+        self.shard
+            .apply(view.as_ref(), update, removed_eid, adopt)?;
         Ok(ApplyEcho {
             busy: t0.elapsed(),
             edge_slots: self.view.edge_slots(),
@@ -341,7 +285,7 @@ impl<S: BdStore> WorkerThread<S> {
     /// the coordinator and `Drop`) would block forever.
     fn merge(&mut self, plan: MergePlan) {
         let acc = match catch_unwind(AssertUnwindSafe(|| {
-            let mut acc = Box::new(self.partial.clone());
+            let mut acc = Box::new(self.shard.partial().clone());
             for &from in &plan.recv_from {
                 match self.recv_merge(from) {
                     Some(peer) => acc.merge_from(&peer),
@@ -392,19 +336,8 @@ impl<S: BdStore> WorkerThread<S> {
     /// [`ebc_core::exact::tree_segments_of`] guarantees the assembled root
     /// is bitwise invariant for any disjoint cover.
     fn segments(&mut self) -> Result<Vec<TreeSegment>, EngineError> {
-        let sources = self.store.sources();
-        let n = self.view.n();
-        let shape = (n, self.view.edge_slots());
         let view = Arc::clone(&self.view);
-        let store = &mut self.store;
-        let mut leaf = |s: VertexId, out: &mut Scores| -> Result<(), BdError> {
-            store.update_with(s, &mut |rec| {
-                source_contribution(view.as_ref(), s, rec.d, rec.sigma, rec.delta, out);
-                false
-            })?;
-            Ok(())
-        };
-        Ok(tree_segments_of(&sources, n, shape, &mut leaf)?)
+        self.shard.segments(view.as_ref()).map_err(Into::into)
     }
 }
 
@@ -443,10 +376,7 @@ impl WorkerPool {
             let worker = WorkerThread {
                 id,
                 view: Arc::clone(&view),
-                store,
-                partial: Scores::zeros(view.n(), view.edge_slots()),
-                scratch: KernelScratch::new(view.n()),
-                cfg: cfg.clone(),
+                shard: ShardState::new(store, view.n(), view.edge_slots(), cfg.clone()),
                 poisoned: false,
                 cmd_rx: crx,
                 reply_tx: rtx,

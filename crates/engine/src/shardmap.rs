@@ -178,6 +178,17 @@ impl ShardMap {
         self.version
     }
 
+    /// Advance the version without an ownership change and return the new
+    /// value. A leadership promotion is an ownership-*relevant* event — the
+    /// replica set serving a shard changed even though the source→shard
+    /// assignment did not — and distributed coordinators use the map
+    /// version as the fencing token stale leaders are rejected by, so a
+    /// promotion must be version-visible.
+    pub fn bump_version(&mut self) -> u64 {
+        self.version += 1;
+        self.version
+    }
+
     /// Owned-source skew: `max − min` across shards.
     pub fn skew(&self) -> usize {
         let max = self.counts.iter().max().copied().unwrap_or(0);

@@ -77,11 +77,13 @@
 
 pub mod codec;
 pub mod disk;
+pub mod oplog;
 pub mod recovery;
 pub mod shard;
 
 pub use codec::CodecKind;
 pub use disk::{BatchPlan, DiskBdStore, ExportJournal, FormatVersion, SlotRun};
+pub use oplog::OpLog;
 pub use recovery::{fnv1a64, IntentOp, RecoveryAction};
 pub use shard::{HandoffRecovery, ShardSet};
 

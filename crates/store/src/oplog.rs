@@ -1,0 +1,223 @@
+//! Append-only, checksummed operation log — the per-shard replication WAL.
+//!
+//! A cluster shard leader appends every state-changing operation (bootstrap,
+//! apply, import, export) to its op log *as the serialized wire frame it
+//! ships to its follower*, so the log **is** the replication stream: entry
+//! `i` on the leader and entry `i` on the follower are byte-identical, a
+//! follower's replay is by construction the same op sequence in the same
+//! order, and (the kernel being a pure function of `(graph, BD[s], op)`)
+//! the promoted follower's state is bitwise equal to the leader's.
+//!
+//! Two backings behind one type: [`OpLog::memory`] for in-process nodes and
+//! the fault-injection harness, [`OpLog::open`] for `sbc node --dir`, which
+//! persists each entry as `[len: u32][fnv1a64: u64][bytes]` (little-endian,
+//! checksum over the payload) and truncates a torn tail on reopen — the
+//! same crash posture as the record stores' intent journals: a half-written
+//! final entry is indistinguishable from "the op never arrived", which the
+//! protocol already tolerates (the coordinator re-sends unacknowledged
+//! ops, and entries are deduplicated by index).
+
+use crate::recovery::fnv1a64;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use crate::BdError;
+
+/// Append-only log of opaque entries, optionally file-backed.
+///
+/// Entries are kept resident in both modes (the log doubles as the
+/// replication send buffer: a leader re-ships any suffix on demand), so
+/// `entry(i)` is always O(1).
+pub struct OpLog {
+    entries: Vec<Vec<u8>>,
+    file: Option<File>,
+}
+
+impl OpLog {
+    /// A purely in-memory log.
+    pub fn memory() -> Self {
+        OpLog {
+            entries: Vec::new(),
+            file: None,
+        }
+    }
+
+    /// Open (or create) a file-backed log at `path`, recovering every
+    /// complete entry and truncating a torn tail. A checksum mismatch
+    /// anywhere before the tail is corruption, not a crash artifact, and
+    /// is reported as an error.
+    pub fn open<P: AsRef<Path>>(path: P) -> Result<Self, BdError> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path.as_ref())
+            .map_err(BdError::Io)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes).map_err(BdError::Io)?;
+        let mut entries = Vec::new();
+        let mut pos = 0usize;
+        let mut durable = 0usize;
+        while bytes.len() - pos >= 12 {
+            let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4")) as usize;
+            let ck = u64::from_le_bytes(bytes[pos + 4..pos + 12].try_into().expect("8"));
+            let Some(end) = pos.checked_add(12 + len).filter(|&e| e <= bytes.len()) else {
+                break; // torn tail: length header outruns the file
+            };
+            let payload = &bytes[pos + 12..end];
+            if fnv1a64(payload) != ck {
+                if end == bytes.len() {
+                    break; // torn tail: final entry half-written
+                }
+                return Err(BdError::Corrupt(format!(
+                    "oplog entry {} fails its checksum mid-file",
+                    entries.len()
+                )));
+            }
+            entries.push(payload.to_vec());
+            pos = end;
+            durable = end;
+        }
+        if durable < bytes.len() {
+            file.set_len(durable as u64).map_err(BdError::Io)?;
+        }
+        file.seek(SeekFrom::Start(durable as u64))
+            .map_err(BdError::Io)?;
+        Ok(OpLog {
+            entries,
+            file: Some(file),
+        })
+    }
+
+    /// Append one entry, returning its index. File-backed logs write
+    /// through immediately (an entry is either fully framed or torn, never
+    /// silently reordered).
+    pub fn append(&mut self, entry: &[u8]) -> Result<u64, BdError> {
+        if let Some(file) = &mut self.file {
+            let mut frame = Vec::with_capacity(12 + entry.len());
+            frame.extend_from_slice(&(entry.len() as u32).to_le_bytes());
+            frame.extend_from_slice(&fnv1a64(entry).to_le_bytes());
+            frame.extend_from_slice(entry);
+            file.write_all(&frame).map_err(BdError::Io)?;
+        }
+        self.entries.push(entry.to_vec());
+        Ok(self.entries.len() as u64 - 1)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> u64 {
+        self.entries.len() as u64
+    }
+
+    /// True when no entry has been appended.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entry `index`, if present.
+    pub fn entry(&self, index: u64) -> Option<&[u8]> {
+        self.entries.get(index as usize).map(Vec::as_slice)
+    }
+
+    /// All entries in append order.
+    pub fn entries(&self) -> impl Iterator<Item = &[u8]> {
+        self.entries.iter().map(Vec::as_slice)
+    }
+
+    /// Sync the file backing (no-op in memory mode).
+    pub fn sync(&mut self) -> Result<(), BdError> {
+        if let Some(file) = &mut self.file {
+            file.sync_data().map_err(BdError::Io)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("ebc_oplog_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}_{}.wal", std::process::id()))
+    }
+
+    #[test]
+    fn memory_log_appends_and_reads() {
+        let mut log = OpLog::memory();
+        assert!(log.is_empty());
+        assert_eq!(log.append(b"alpha").unwrap(), 0);
+        assert_eq!(log.append(b"beta").unwrap(), 1);
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.entry(1), Some(&b"beta"[..]));
+        assert_eq!(log.entry(2), None);
+        let all: Vec<_> = log.entries().collect();
+        assert_eq!(all, vec![&b"alpha"[..], &b"beta"[..]]);
+    }
+
+    #[test]
+    fn file_log_round_trips_across_reopen() {
+        let path = tmp("roundtrip");
+        std::fs::remove_file(&path).ok();
+        {
+            let mut log = OpLog::open(&path).unwrap();
+            log.append(b"one").unwrap();
+            log.append(b"two words").unwrap();
+            log.append(b"").unwrap(); // empty entries are legal
+            log.sync().unwrap();
+        }
+        let mut log = OpLog::open(&path).unwrap();
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.entry(0), Some(&b"one"[..]));
+        assert_eq!(log.entry(2), Some(&b""[..]));
+        // appending after reopen continues the sequence
+        assert_eq!(log.append(b"four").unwrap(), 3);
+        drop(log);
+        let log = OpLog::open(&path).unwrap();
+        assert_eq!(log.len(), 4);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_not_fatal() {
+        let path = tmp("torn");
+        std::fs::remove_file(&path).ok();
+        {
+            let mut log = OpLog::open(&path).unwrap();
+            log.append(b"keep me").unwrap();
+            log.append(b"doomed").unwrap();
+        }
+        // chop the final entry mid-payload
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        let mut log = OpLog::open(&path).unwrap();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.entry(0), Some(&b"keep me"[..]));
+        // the truncated file accepts appends at the recovered position
+        log.append(b"replacement").unwrap();
+        drop(log);
+        let log = OpLog::open(&path).unwrap();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.entry(1), Some(&b"replacement"[..]));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mid_file_corruption_is_an_error() {
+        let path = tmp("corrupt");
+        std::fs::remove_file(&path).ok();
+        {
+            let mut log = OpLog::open(&path).unwrap();
+            log.append(b"first entry").unwrap();
+            log.append(b"second entry").unwrap();
+        }
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[14] ^= 0x20; // flip a payload byte of entry 0
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(OpLog::open(&path), Err(BdError::Corrupt(_))));
+        std::fs::remove_file(&path).ok();
+    }
+}

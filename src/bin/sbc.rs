@@ -7,6 +7,9 @@
 //! sbc stream  <edgelist> <updates> [--top k]   bootstrap + incremental replay
 //! sbc gn      <edgelist> [--removals k]        Girvan–Newman communities
 //! sbc serve   (--edgelist F | --open DIR) ...  network frontend (README "Serving")
+//! sbc node    --id N [--tcp ADDR] [--wal F]    cluster shard node (DESIGN.md §12)
+//! sbc coord   --edgelist F --leaders L ...     cluster coordinator, batch driver
+//! sbc coord   ... --serve [--tcp ADDR]         coordinator behind the JSON frontend
 //! ```
 //!
 //! Edge lists are whitespace-separated `u v` lines (`#`/`%` comments).
@@ -26,7 +29,7 @@ use streaming_bc::gn::girvan_newman_incremental;
 use streaming_bc::graph::io::load_graph;
 use streaming_bc::graph::stats::GraphStats;
 use streaming_bc::graph::Graph;
-use streaming_bc::serve::{serve_error, ServedSession, Server, ServerConfig};
+use streaming_bc::serve::{serve_error, ServedCluster, ServedSession, Server, ServerConfig};
 use streaming_bc::{Backend, Session, SessionError};
 
 fn main() -> ExitCode {
@@ -44,6 +47,11 @@ fn main() -> ExitCode {
             eprintln!("  sbc gn     <edgelist> [--removals k]");
             eprintln!("  sbc serve  (--edgelist F | --open DIR) [--tcp ADDR] [--unix PATH]");
             eprintln!("             [--workers p] [--dir DIR] [--queue n]");
+            eprintln!("  sbc node   --id N [--tcp ADDR] [--wal FILE]");
+            eprintln!("  sbc coord  --edgelist F --leaders id@addr,.. [--followers id@addr,..]");
+            eprintln!(
+                "             [--updates FILE] [--top k] [--serve [--tcp ADDR] [--unix PATH]]"
+            );
             ExitCode::FAILURE
         }
     }
@@ -126,6 +134,8 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         "serve" => serve(args),
+        "node" => node(args),
+        "coord" => coord(args),
         other => Err(format!("unknown subcommand {other:?}")),
     }
 }
@@ -210,6 +220,180 @@ fn serve(args: &[String]) -> Result<(), String> {
     }
     handle.shutdown();
     handle.join();
+    println!("drained");
+    Ok(())
+}
+
+/// `sbc node`: one cluster shard node over TCP. Prints the same
+/// `listening tcp=` / `ready` handshake as `sbc serve`, then speaks the
+/// DESIGN.md §12 node protocol until a `shutdown` frame drains it.
+fn node(args: &[String]) -> Result<(), String> {
+    use streaming_bc::cluster::{transport, NodeConfig, NodeId, ShardNode, TcpTransport};
+    let id = u32::try_from(flag(args, "--id").ok_or("node needs --id N")?)
+        .map_err(|_| "node id out of range")?;
+    if id == 0 {
+        return Err("node id 0 is reserved for the coordinator".into());
+    }
+    let addr = str_flag(args, "--tcp").unwrap_or("127.0.0.1:0");
+    let listener = std::net::TcpListener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?;
+    let bound = listener.local_addr().map_err(|e| e.to_string())?;
+
+    let (tx, mb) = transport::mailbox();
+    let t = TcpTransport::new(NodeId(id), tx);
+    t.listen(listener);
+
+    println!("listening tcp={bound}");
+    println!("ready");
+    use std::io::Write;
+    let _ = std::io::stdout().flush();
+
+    let cfg = NodeConfig {
+        wal_path: str_flag(args, "--wal").map(Into::into),
+        ..NodeConfig::default()
+    };
+    ShardNode::new(NodeId(id), t, mb, cfg).run();
+    println!("drained");
+    Ok(())
+}
+
+/// Parse `id@addr,id@addr,...` peer lists.
+fn parse_peers(spec: &str) -> Result<Vec<(u32, String)>, String> {
+    spec.split(',')
+        .filter(|s| !s.is_empty())
+        .map(|part| {
+            let (id, addr) = part
+                .split_once('@')
+                .ok_or(format!("bad peer {part:?} (want id@addr)"))?;
+            let id: u32 = id.parse().map_err(|_| format!("bad node id {id:?}"))?;
+            Ok((id, addr.to_string()))
+        })
+        .collect()
+}
+
+/// `sbc coord`: batch cluster driver. Bootstraps the listed shard nodes
+/// over the edge list, streams an update file through the map/reduce
+/// fan-out (failing over to followers if a leader dies), prints the exact
+/// scores with full `f64` round-trip precision, and drains the cluster.
+fn coord(args: &[String]) -> Result<(), String> {
+    use streaming_bc::cluster::{
+        transport, Coordinator, CoordinatorConfig, NodeId, ShardSpec, TcpTransport, COORD,
+    };
+    let g = load(str_flag(args, "--edgelist").map(String::from).as_ref())?;
+    let leaders = parse_peers(str_flag(args, "--leaders").ok_or("coord needs --leaders")?)?;
+    let followers = match str_flag(args, "--followers") {
+        Some(spec) => parse_peers(spec)?,
+        None => Vec::new(),
+    };
+    if leaders.is_empty() {
+        return Err("coord needs at least one leader".into());
+    }
+    if !followers.is_empty() && followers.len() != leaders.len() {
+        return Err("--followers must list one follower per leader".into());
+    }
+    let specs: Vec<ShardSpec> = leaders
+        .iter()
+        .enumerate()
+        .map(|(k, (id, addr))| ShardSpec {
+            leader: NodeId(*id),
+            leader_hint: Some(addr.clone()),
+            follower: followers.get(k).map(|(id, _)| NodeId(*id)),
+            follower_hint: followers.get(k).map(|(_, addr)| addr.clone()),
+        })
+        .collect();
+    let updates = match args.iter().position(|a| a == "--updates") {
+        Some(i) => load_updates(args.get(i + 1))?,
+        None => Vec::new(),
+    };
+
+    let (tx, mb) = transport::mailbox();
+    let t = TcpTransport::new(COORD, tx);
+    let mut coord = Coordinator::new(t, mb, CoordinatorConfig::default());
+    coord
+        .bootstrap(&g, specs)
+        .map_err(|e| format!("bootstrap failed: {e}"))?;
+    let total = updates.len();
+    for u in updates {
+        coord.apply(u).map_err(|e| format!("apply failed: {e}"))?;
+    }
+    if args.iter().any(|a| a == "--serve") {
+        return coord_serve(args, coord, total);
+    }
+    let scores = coord
+        .reduce_exact()
+        .map_err(|e| format!("reduce failed: {e}"))?;
+    println!(
+        "# applied {total} updates across {} shards (failovers={})",
+        coord.num_shards(),
+        coord.failovers()
+    );
+    // `{}` on f64 is shortest-round-trip: these lines parse back bitwise
+    for (v, x) in scores.vbc.iter().enumerate() {
+        println!("v {v} {x}");
+    }
+    for (key, x) in scores.ebc_entries(coord.graph()) {
+        let (u, v) = key.endpoints();
+        println!("e {u} {v} {x}");
+    }
+    if let Some(k) = flag(args, "--top") {
+        print_top(coord.graph(), &scores.vbc, &scores, k);
+    }
+    coord.shutdown();
+    Ok(())
+}
+
+/// `sbc coord --serve`: the bootstrapped cluster behind the same JSON-line
+/// frontend `sbc serve` offers. Clients apply updates and reduce through
+/// the DESIGN.md §11 protocol without knowing a fleet of `sbc node`
+/// processes answers; on drain the coordinator is reclaimed and the whole
+/// fleet is shut down before `drained` is printed.
+fn coord_serve(
+    args: &[String],
+    coord: streaming_bc::cluster::Coordinator<streaming_bc::cluster::TcpTransport>,
+    preloaded: usize,
+) -> Result<(), String> {
+    let cfg = ServerConfig {
+        tcp: match str_flag(args, "--tcp") {
+            Some("none") => None,
+            Some(addr) => Some(addr.to_string()),
+            None => Some("127.0.0.1:7878".to_string()),
+        },
+        unix: str_flag(args, "--unix").map(Into::into),
+        queue_depth: flag(args, "--queue").unwrap_or(64),
+        crash_after: None,
+    };
+    if cfg.tcp.is_none() && cfg.unix.is_none() {
+        return Err("coord --serve needs at least one of --tcp, --unix".into());
+    }
+    if preloaded > 0 {
+        eprintln!("sbc coord: preloaded {preloaded} updates before serving");
+    }
+
+    let served = ServedCluster::new(coord);
+    let keeper = served.clone();
+    let handle = Server::spawn(served, cfg).map_err(|e| format!("bind failed: {e}"))?;
+
+    if let Some(addr) = handle.tcp_addr() {
+        println!("listening tcp={addr}");
+    }
+    if let Some(path) = handle.unix_path() {
+        println!("listening unix={}", path.display());
+    }
+    println!("ready");
+    use std::io::Write;
+    let _ = std::io::stdout().flush();
+
+    if !ebc_serve::signal::install_shutdown_handler() {
+        eprintln!("sbc coord: warning: could not install SIGTERM/SIGINT handler");
+    }
+    while !ebc_serve::signal::shutdown_requested() && !handle.is_shutting_down() {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    handle.shutdown();
+    handle.join();
+    // the frontend is drained; reclaim the coordinator and drain the fleet
+    if let Some(coord) = keeper.take() {
+        coord.shutdown();
+    }
     println!("drained");
     Ok(())
 }

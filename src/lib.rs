@@ -64,10 +64,14 @@
 //! * [`serve`] — the network frontend bridge: [`serve::ServedSession`]
 //!   plugs a [`Session`] into the `ebc-serve` TCP/unix JSON-line server
 //!   (`sbc serve` on the command line, README "Serving" for the wire
-//!   protocol quickstart).
+//!   protocol quickstart);
+//! * [`cluster`] — multi-host shard replication: the node wire protocol,
+//!   the coordinator with its versioned shard map, and leader failover
+//!   (`sbc node` / `sbc coord` on the command line, DESIGN.md §12).
 
 #![deny(missing_docs)]
 
+pub use ebc_cluster as cluster;
 pub use ebc_core as core;
 pub use ebc_engine as engine;
 pub use ebc_gen as gen;

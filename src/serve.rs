@@ -26,8 +26,11 @@
 //! ```
 
 use crate::session::{Session, SessionError};
+use ebc_cluster::coord::ClusterError;
+use ebc_cluster::{Coordinator, Transport};
 use ebc_core::api::EbcError;
 use ebc_core::state::Update;
+use ebc_engine::shardmap::SourceMove;
 use ebc_serve::{EngineInfo, MoveReport, ServeEngine, ServeError};
 use std::time::Duration;
 
@@ -83,6 +86,152 @@ pub fn serve_error(e: &SessionError) -> ServeError {
             ServeError::Unsupported(msg.clone())
         }
         other => ServeError::Engine(other.to_string()),
+    }
+}
+
+/// A cluster [`Coordinator`] wearing the [`ServeEngine`] trait: `sbc
+/// coord --serve` plugs a whole replicated shard cluster into the same
+/// TCP/unix JSON-line frontend a single [`Session`] gets — clients cannot
+/// tell a fleet of `sbc node` processes from one in-process engine, and
+/// `reduce_exact` stays bitwise equal to both.
+///
+/// Clones share the coordinator (the server's writer task is the only
+/// caller, so the mutex is uncontended); keep one clone outside
+/// [`Server::spawn`] and [`ServedCluster::take`] the coordinator back
+/// after the drain to shut the node fleet down.
+pub struct ServedCluster<T: Transport> {
+    coord: std::sync::Arc<std::sync::Mutex<Option<Coordinator<T>>>>,
+}
+
+impl<T: Transport> Clone for ServedCluster<T> {
+    fn clone(&self) -> Self {
+        ServedCluster {
+            coord: self.coord.clone(),
+        }
+    }
+}
+
+impl<T: Transport> ServedCluster<T> {
+    /// Wrap a bootstrapped coordinator for serving.
+    pub fn new(coord: Coordinator<T>) -> Self {
+        ServedCluster {
+            coord: std::sync::Arc::new(std::sync::Mutex::new(Some(coord))),
+        }
+    }
+
+    /// Reclaim the coordinator (e.g. to drain the node fleet after the
+    /// frontend drained). Subsequent engine calls answer `shutting_down`.
+    pub fn take(&self) -> Option<Coordinator<T>> {
+        self.coord.lock().unwrap().take()
+    }
+
+    fn with<R>(
+        &self,
+        f: impl FnOnce(&mut Coordinator<T>) -> Result<R, ServeError>,
+    ) -> Result<R, ServeError> {
+        let mut guard = self.coord.lock().unwrap();
+        let coord = guard.as_mut().ok_or(ServeError::ShuttingDown)?;
+        f(coord)
+    }
+}
+
+/// Map a cluster error onto the wire taxonomy: replica validation
+/// failures leave the cluster usable (`invalid`); anything else — a lost
+/// shard, a fenced or garbled node — is an `engine` error.
+fn cluster_error(e: &ClusterError) -> ServeError {
+    match e {
+        ClusterError::Invalid(m) => ServeError::Invalid(m.clone()),
+        other => ServeError::Engine(other.to_string()),
+    }
+}
+
+impl<T: Transport> ServeEngine for ServedCluster<T> {
+    fn apply_batch(&mut self, updates: &[Update]) -> Result<(), ServeError> {
+        self.with(|coord| {
+            for &u in updates {
+                coord.apply(u).map_err(|e| cluster_error(&e))?;
+            }
+            Ok(())
+        })
+    }
+
+    fn scores_vbc(&mut self) -> Result<Vec<f64>, ServeError> {
+        self.with(|coord| Ok(coord.reduce().map_err(|e| cluster_error(&e))?.vbc))
+    }
+
+    fn reduce_exact(&mut self) -> Result<(Vec<f64>, Vec<f64>, Duration), ServeError> {
+        self.with(|coord| {
+            let t0 = std::time::Instant::now();
+            let s = coord.reduce_exact().map_err(|e| cluster_error(&e))?;
+            Ok((s.vbc, s.ebc, t0.elapsed()))
+        })
+    }
+
+    fn checkpoint(&mut self) -> Result<(), ServeError> {
+        // every node already has the full history in its WAL; there is no
+        // additional at-rest state for the coordinator to flush
+        self.with(|_| Ok(()))
+    }
+
+    fn handoff(&mut self, source: u32, to: usize) -> Result<MoveReport, ServeError> {
+        self.with(|coord| {
+            let from = coord
+                .map()
+                .owner_of(source)
+                .ok_or_else(|| ServeError::Invalid(format!("source {source} is not mapped")))?;
+            if to >= coord.num_shards() {
+                return Err(ServeError::Invalid(format!("no shard {to}")));
+            }
+            let mut moves = Vec::new();
+            if from != to {
+                coord
+                    .handoff(&SourceMove { source, from, to })
+                    .map_err(|e| cluster_error(&e))?;
+                moves.push((source, from, to));
+            }
+            Ok(MoveReport {
+                moves,
+                map_version: coord.version(),
+            })
+        })
+    }
+
+    fn rebalance(&mut self, threshold: usize) -> Result<MoveReport, ServeError> {
+        self.with(|coord| {
+            // execute the map's deterministic plan move by move so the
+            // report carries the same `(source, from, to)` shape the
+            // in-process engines emit
+            let plan = coord.map().plan_rebalance(threshold);
+            let mut moves = Vec::new();
+            for mv in &plan.moves {
+                coord.handoff(mv).map_err(|e| cluster_error(&e))?;
+                moves.push((mv.source, mv.from, mv.to));
+            }
+            Ok(MoveReport {
+                moves,
+                map_version: coord.version(),
+            })
+        })
+    }
+
+    fn info(&self) -> EngineInfo {
+        let guard = self.coord.lock().unwrap();
+        match guard.as_ref() {
+            Some(coord) => EngineInfo {
+                n: coord.graph().n(),
+                m: coord.graph().m(),
+                workers: coord.num_shards(),
+                backend: "cluster".to_string(),
+                map_version: Some(coord.version()),
+            },
+            None => EngineInfo {
+                n: 0,
+                m: 0,
+                workers: 0,
+                backend: "cluster".to_string(),
+                map_version: None,
+            },
+        }
     }
 }
 

@@ -81,6 +81,22 @@ impl Client {
     }
 }
 
+/// The canonical `apply` request line the serve suites send: `id`, the
+/// optional `backend` pin, and the encoded update batch.
+pub fn apply_line(id: u64, backend: Option<&str>, batch: &[streaming_bc::Update]) -> String {
+    let mut fields = std::collections::BTreeMap::new();
+    fields.insert("id".to_string(), Value::from(id));
+    fields.insert("cmd".to_string(), Value::from("apply"));
+    if let Some(b) = backend {
+        fields.insert("backend".to_string(), Value::from(b));
+    }
+    fields.insert(
+        "updates".to_string(),
+        Value::Arr(batch.iter().map(ebc_serve::encode_update).collect()),
+    );
+    Value::Obj(fields).to_json()
+}
+
 /// `"ok":true`?
 pub fn is_ok(v: &Value) -> bool {
     v.get("ok").and_then(Value::as_bool) == Some(true)
@@ -156,19 +172,31 @@ pub fn write_edgelist(g: &streaming_bc::graph::Graph, path: &std::path::Path) {
     std::fs::write(path, text).expect("write edgelist");
 }
 
-/// A spawned `sbc serve` child process, already past its `ready` line.
-pub struct ServeChild {
+/// A spawned `sbc` child process (any line-protocol subcommand: `serve`,
+/// `node`, `coord`), already past its `ready` line.
+pub struct SbcChild {
     pub child: std::process::Child,
     pub addr: SocketAddr,
     pub stdout: BufReader<std::process::ChildStdout>,
 }
 
-impl ServeChild {
+/// The serve suites' historical name for [`SbcChild`].
+pub type ServeChild = SbcChild;
+
+impl SbcChild {
     /// Launch `sbc serve <args>` on an ephemeral TCP port and wait for
     /// the `ready` handshake, capturing the bound address.
-    pub fn spawn(args: &[&str], envs: &[(&str, &str)]) -> ServeChild {
+    pub fn spawn(args: &[&str], envs: &[(&str, &str)]) -> SbcChild {
+        SbcChild::spawn_cmd("serve", args, envs)
+    }
+
+    /// Launch `sbc <subcommand> <args>` on an ephemeral TCP port and wait
+    /// for the `ready` handshake, capturing the bound address. Every
+    /// network-facing subcommand prints the same `listening tcp=<addr>` /
+    /// `ready` lines, so one spawner serves all suites.
+    pub fn spawn_cmd(subcommand: &str, args: &[&str], envs: &[(&str, &str)]) -> SbcChild {
         let mut cmd = std::process::Command::new(env!("CARGO_BIN_EXE_sbc"));
-        cmd.arg("serve")
+        cmd.arg(subcommand)
             .args(args)
             .args(["--tcp", "127.0.0.1:0"])
             .stdout(std::process::Stdio::piped())
@@ -176,13 +204,13 @@ impl ServeChild {
         for (k, v) in envs {
             cmd.env(k, v);
         }
-        let mut child = cmd.spawn().expect("spawn sbc serve");
+        let mut child = cmd.spawn().expect("spawn sbc child");
         let mut stdout = BufReader::new(child.stdout.take().expect("child stdout"));
         let mut addr = None;
         loop {
             let mut line = String::new();
             if stdout.read_line(&mut line).expect("read child stdout") == 0 {
-                panic!("sbc serve exited before becoming ready");
+                panic!("sbc {subcommand} exited before becoming ready");
             }
             if let Some(rest) = line.trim().strip_prefix("listening tcp=") {
                 addr = Some(rest.parse().expect("parse bound address"));
@@ -191,7 +219,7 @@ impl ServeChild {
                 break;
             }
         }
-        ServeChild {
+        SbcChild {
             child,
             addr: addr.expect("child reported no tcp address"),
             stdout,

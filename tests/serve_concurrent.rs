@@ -11,9 +11,9 @@
 
 mod common;
 
-use common::{bits_field, is_ok, tmpdir, to_bits, u64_field, Client};
+use common::{apply_line, bits_field, is_ok, tmpdir, to_bits, u64_field, Client};
 use ebc_serve::json::Value;
-use ebc_serve::{encode_update, Server, ServerConfig};
+use ebc_serve::{Server, ServerConfig};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use streaming_bc::gen::models::holme_kim;
@@ -70,19 +70,6 @@ fn writer_ops(pool: &[(u32, u32)]) -> Vec<Update> {
     ops
 }
 
-fn apply_line(id: usize, batch: &[Update]) -> String {
-    ebc_serve::json::obj([
-        ("id", Value::from(id as u64)),
-        ("cmd", Value::from("apply")),
-        ("backend", Value::from("exact")),
-        (
-            "updates",
-            Value::Arr(batch.iter().map(encode_update).collect()),
-        ),
-    ])
-    .to_json()
-}
-
 /// The full matrix cell: spawn the server, run writers + readers, then
 /// replay the observed serial order through a plain session and demand
 /// bitwise equality; for durable backends, also reopen after the drain.
@@ -137,7 +124,7 @@ fn run_cell(backend: Backend, workers: usize, dir: Option<&std::path::Path>, ctx
                 let mut client = Client::connect(addr);
                 let mut log: Vec<(u64, Vec<Update>)> = Vec::new();
                 for (i, batch) in writer_ops(&pool).chunks(BATCH).enumerate() {
-                    let resp = client.request_ok(&apply_line(i, batch));
+                    let resp = client.request_ok(&apply_line(i as u64, Some("exact"), batch));
                     let first = u64_field(&resp, "seq_first");
                     let last = u64_field(&resp, "seq_last");
                     assert_eq!(
@@ -270,7 +257,7 @@ fn subscriber_sees_ordered_deltas_while_a_writer_streams() {
 
     let mut writer = Client::connect(addr);
     for (i, batch) in writer_ops(&writer_pools(&g)[0]).chunks(BATCH).enumerate() {
-        writer.request_ok(&apply_line(i, batch));
+        writer.request_ok(&apply_line(i as u64, Some("exact"), batch));
     }
 
     // every event for the acked batches is already in the subscriber's

@@ -10,28 +10,15 @@
 mod common;
 
 use common::{
-    bits_field, non_edge_adds, tmpdir, to_bits, u64_field, write_edgelist, Client, ServeChild,
+    apply_line, bits_field, non_edge_adds, tmpdir, to_bits, u64_field, write_edgelist, Client,
+    ServeChild,
 };
-use ebc_serve::encode_update;
-use ebc_serve::json::Value;
 use streaming_bc::gen::models::holme_kim;
 use streaming_bc::graph::io::load_graph;
-use streaming_bc::{Backend, Session, Update};
+use streaming_bc::{Backend, Session};
 
 /// Updates the server is allowed to apply before the injected abort.
 const CRASH_AFTER: u64 = 4;
-
-fn apply_line(batch: &[Update]) -> String {
-    ebc_serve::json::obj([
-        ("id", Value::from(1.0)),
-        ("cmd", Value::from("apply")),
-        (
-            "updates",
-            Value::Arr(batch.iter().map(encode_update).collect()),
-        ),
-    ])
-    .to_json()
-}
 
 /// One matrix cell: serve, crash mid-batch, verify both clients observe a
 /// clean close (never a hang), then recover the directory bitwise.
@@ -68,12 +55,12 @@ fn check_crash_cell(extra_args: &[&str], dir: &std::path::Path, ctx: &str) {
     );
 
     let mut writer = Client::connect(server.addr);
-    let ack = writer.request_ok(&apply_line(batch1));
+    let ack = writer.request_ok(&apply_line(1, None, batch1));
     assert_eq!(u64_field(&ack, "seq_last"), batch1.len() as u64);
 
     // this batch straddles the crash point: the server applies one more
     // update, checkpoints, and aborts without acking
-    writer.send_lossy(&apply_line(batch2));
+    writer.send_lossy(&apply_line(1, None, batch2));
     assert_eq!(
         writer.recv_line(),
         None,

@@ -7,28 +7,16 @@
 mod common;
 
 use common::{
-    error_kind, is_ok, non_edge_adds, tmpdir, to_bits, u64_field, write_edgelist, Client,
-    ServeChild,
+    apply_line, error_kind, is_ok, non_edge_adds, tmpdir, to_bits, u64_field, write_edgelist,
+    Client, ServeChild,
 };
 use ebc_serve::json::Value;
-use ebc_serve::{encode_update, Server, ServerConfig};
+use ebc_serve::{Server, ServerConfig};
 use std::net::TcpStream;
 use streaming_bc::gen::models::holme_kim;
 use streaming_bc::graph::io::load_graph;
 use streaming_bc::serve::ServedSession;
 use streaming_bc::{Backend, Checkpoint, Session, SessionError, Update};
-
-fn apply_line(batch: &[Update]) -> String {
-    ebc_serve::json::obj([
-        ("id", Value::from(1.0)),
-        ("cmd", Value::from("apply")),
-        (
-            "updates",
-            Value::Arr(batch.iter().map(encode_update).collect()),
-        ),
-    ])
-    .to_json()
-}
 
 /// SIGTERM against a live `sbc serve` child: in-flight work drains, the
 /// session checkpoints, the process exits 0 — and the directory reopens
@@ -55,7 +43,7 @@ fn sigterm_drains_checkpoints_and_reopens_bootstrap_free() {
     );
     let addr = server.addr;
     let mut client = Client::connect(addr);
-    let ack = client.request_ok(&apply_line(&batch));
+    let ack = client.request_ok(&apply_line(1, None, &batch));
     assert_eq!(u64_field(&ack, "seq_last"), batch.len() as u64);
 
     server.signal("TERM");
@@ -107,7 +95,7 @@ fn shutdown_command_drains_and_refuses_new_work() {
     let addr = handle.tcp_addr().unwrap();
 
     let mut client = Client::connect(addr);
-    client.request_ok(&apply_line(&batch));
+    client.request_ok(&apply_line(1, None, &batch));
 
     let resp = client.request_ok(r#"{"id":"bye","cmd":"shutdown"}"#);
     assert_eq!(resp.get("draining").and_then(Value::as_bool), Some(true));
@@ -116,7 +104,7 @@ fn shutdown_command_drains_and_refuses_new_work() {
     // the shutdown flag was set before the ack was enqueued, so a batch
     // sent after the ack is never even read: the draining server closes
     // the connection instead of half-applying late work
-    client.send_lossy(&apply_line(&non_edge_adds(&g, 3)[2..]));
+    client.send_lossy(&apply_line(1, None, &non_edge_adds(&g, 3)[2..]));
     assert_eq!(
         client.recv_line(),
         None,
