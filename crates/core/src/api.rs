@@ -24,6 +24,7 @@
 //! scores.
 
 use crate::bd::{BdError, BdStore};
+use crate::rankindex::ScoreDelta;
 use crate::ranking;
 use crate::scores::Scores;
 use crate::state::{BetweennessState, StateError, Update};
@@ -211,6 +212,19 @@ pub trait EbcEngine {
         Ok(ranking::top_k(&reduced.scores.vbc, k))
     }
 
+    /// Drain what changed in the fast-path scores since the last drain, for
+    /// incremental [`crate::rankindex::RankIndex`] maintenance. Applying
+    /// every drained delta in order to one index reproduces the engine's
+    /// current fast-path vector bit for bit.
+    ///
+    /// The default cannot track changes and republishes densely every call;
+    /// embodiments with dirty tracking (the single-machine kernel) or a
+    /// published-vector cache (the cluster reduce) override this with
+    /// sparse deltas.
+    fn take_score_delta(&mut self) -> Result<ScoreDelta, EbcError> {
+        Ok(ScoreDelta::Dense(self.scores()?.scores.vbc))
+    }
+
     /// Compare the engine's exact scores against a fresh Brandes
     /// recomputation on the current graph. Returns the divergence when it is
     /// within `tol`, [`EbcError::Diverged`] otherwise.
@@ -315,6 +329,10 @@ impl<S: BdStore> EbcEngine for BetweennessState<S> {
 
     fn top_k(&mut self, k: usize) -> Result<Vec<VertexId>, EbcError> {
         Ok(ranking::top_k(&BetweennessState::scores(self).vbc, k))
+    }
+
+    fn take_score_delta(&mut self) -> Result<ScoreDelta, EbcError> {
+        Ok(BetweennessState::take_score_delta(self))
     }
 
     fn flush(&mut self) -> Result<(), EbcError> {

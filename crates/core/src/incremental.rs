@@ -149,6 +149,16 @@ pub struct Workspace {
     /// Materialised predecessor lists (only populated under
     /// [`UpdateConfig::maintain_predecessors`]).
     preds: Vec<Vec<u32>>,
+    /// Vertices whose running `vbc` changed since the last
+    /// [`Workspace::drain_dirty`] — the sparse feed for
+    /// [`crate::rankindex::RankIndex`] maintenance. Unlike the per-update
+    /// epoch state above, this survives `begin` and accumulates across
+    /// updates until a publisher drains it.
+    dirty: Vec<u32>,
+    /// `dirty_stamp[v] == dirty_epoch + 1` marks membership in `dirty`,
+    /// so re-marking a vertex is O(1) and the list stays duplicate-free.
+    dirty_stamp: Vec<u32>,
+    dirty_epoch: u32,
     /// Work counters for experiments.
     pub stats: UpdateStats,
 }
@@ -214,6 +224,33 @@ impl Workspace {
             self.touched_list.push(v);
         }
         self.flags[v as usize] |= bit;
+    }
+
+    /// Record that `v`'s running `vbc` changed bits. Idempotent per drain
+    /// window; over-marking is harmless (the index treats a no-op change
+    /// as free), under-marking is not.
+    #[inline]
+    pub(crate) fn mark_dirty(&mut self, v: u32) {
+        let vi = v as usize;
+        if self.dirty_stamp.len() <= vi {
+            self.dirty_stamp.resize(vi + 1, 0);
+        }
+        let tag = self.dirty_epoch.wrapping_add(1);
+        if self.dirty_stamp[vi] != tag {
+            self.dirty_stamp[vi] = tag;
+            self.dirty.push(v);
+        }
+    }
+
+    /// Take the accumulated dirty set and open a fresh drain window.
+    pub(crate) fn drain_dirty(&mut self) -> Vec<u32> {
+        self.dirty_epoch = self.dirty_epoch.wrapping_add(1);
+        if self.dirty_epoch == u32::MAX {
+            // the next membership tag would wrap onto stale stamps
+            self.dirty_stamp.iter_mut().for_each(|s| *s = 0);
+            self.dirty_epoch = 0;
+        }
+        std::mem::take(&mut self.dirty)
     }
 }
 
@@ -634,7 +671,14 @@ impl<'a, G: GraphView> Kernel<'a, G> {
         }
         let delta_old = self.old_del[w as usize];
         if w != self.s {
-            self.scores.vbc[w as usize] += dep - delta_old;
+            let inc = dep - delta_old;
+            self.scores.vbc[w as usize] += inc;
+            // a zero increment cannot change the stored bits (vbc is never
+            // -0.0: it accumulates non-negative dependencies), so only a
+            // nonzero — or NaN — increment dirties the rank index feed
+            if inc != 0.0 {
+                self.ws.mark_dirty(w);
+            }
         }
         self.ws.set_flag(w, F_POP);
         self.ws.ndel[w as usize] = dep;

@@ -35,6 +35,7 @@ pub mod brandes;
 pub mod directed;
 pub mod exact;
 pub mod incremental;
+pub mod rankindex;
 pub mod ranking;
 pub mod scores;
 pub mod scratch;
@@ -47,6 +48,7 @@ pub use bd::{BdStore, MemoryBdStore, SourceViewMut};
 pub use brandes::{brandes, brandes_with_predecessors, single_source_update};
 pub use directed::brandes_directed;
 pub use incremental::{update_source, UpdateConfig, UpdateStats, Workspace};
+pub use rankindex::{RankIndex, ScoreDelta};
 pub use scores::Scores;
 pub use scratch::KernelScratch;
 pub use state::{BetweennessState, StateError, Update};

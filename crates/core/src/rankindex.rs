@@ -1,0 +1,612 @@
+//! Incrementally maintained ordered index over centrality scores.
+//!
+//! The paper's closing application (§7) is online detection of emerging
+//! leaders: consumers read *rankings*, not raw scores, and they read them
+//! far more often than the graph changes shape at the top. [`RankIndex`]
+//! keeps the full score order materialized across updates so
+//! [`RankIndex::top_k`] is `O(k + log n)` and [`RankIndex::rank_of`] /
+//! [`RankIndex::percentile`] are `O(log n)`, instead of the `O(n log n)`
+//! re-sort of [`crate::ranking::top_k`] (which stays as the oracle the
+//! index is property-tested against, bit for bit).
+//!
+//! ## Structure
+//!
+//! The order is a **persistent treap** keyed by one `u128` per vertex:
+//! the high 64 bits are the bitwise *complement* of the IEEE-754
+//! total-order key of the score (so ascending key order is descending
+//! score order, `f64::total_cmp` exactly), the low 32 bits are the vertex
+//! id (so equal scores break toward the smaller id — the same tie rule as
+//! `ranking::top_k`). Heap priorities are `splitmix64(vertex)`: the
+//! finalizer is a bijection on `u64`, so priorities are distinct and the
+//! tree shape is a deterministic function of the key set. Nodes are
+//! `Arc`-shared and every update path-copies `O(log n)` nodes, which makes
+//! cloning the whole index `O(1)` — the serve layer publishes a clone
+//! inside each immutable snapshot without copying `n` scores.
+//!
+//! Scores themselves live in a chunked copy-on-write vector
+//! (`ScoreVec`) so a snapshot clone shares unchanged chunks and a
+//! sparse update copies only the chunks it touches.
+//!
+//! ## Delta maintenance
+//!
+//! Producers publish [`ScoreDelta`]s: `Unchanged` (nothing moved),
+//! `Sparse` (the update kernel's dirty vertices with their new scores) or
+//! `Dense` (a full re-publication, e.g. right after bootstrap).
+//! [`RankIndex::apply`] folds a delta in by deleting the old `(score,
+//! vertex)` key and inserting the new one per changed vertex; a vertex
+//! whose new bits equal its old bits is a no-op, so over-approximate
+//! dirty sets are harmless. Correctness only needs the dirty set to
+//! *cover* every vertex whose score bits changed.
+
+use std::sync::Arc;
+
+/// Chunk size of the copy-on-write score vector. Small enough that a
+/// sparse update copies little, large enough that the `Arc` directory
+/// stays tiny (`n / 512` pointers).
+const CHUNK: usize = 512;
+
+/// What changed in the published score vector since the last drain.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ScoreDelta {
+    /// No score changed bits; the index is already current.
+    Unchanged,
+    /// Exactly these vertices changed (or appeared), with their new
+    /// scores. May over-approximate: unchanged entries are no-ops.
+    Sparse(Vec<(u32, f64)>),
+    /// Full re-publication of every score (bootstrap, resume, or a
+    /// producer that cannot track deltas).
+    Dense(Vec<f64>),
+}
+
+impl ScoreDelta {
+    /// True when applying the delta cannot change the index.
+    pub fn is_empty(&self) -> bool {
+        match self {
+            ScoreDelta::Unchanged => true,
+            ScoreDelta::Sparse(changes) => changes.is_empty(),
+            ScoreDelta::Dense(_) => false,
+        }
+    }
+
+    /// Diff a freshly computed dense vector against the previously
+    /// published one (bitwise), remembering `next` for the next call.
+    ///
+    /// This is the delta producer for engines whose reduce step
+    /// re-materializes the vector (the clustered embodiments): the values
+    /// always come from the true reduce, so the index stays bitwise equal
+    /// to what `scores()` would report, and unchanged entries fold to an
+    /// empty delta.
+    pub fn from_diff(prev: &mut Option<Vec<f64>>, next: Vec<f64>) -> ScoreDelta {
+        let Some(old) = prev else {
+            *prev = Some(next.clone());
+            return ScoreDelta::Dense(next);
+        };
+        let mut changes: Vec<(u32, f64)> = Vec::new();
+        for (v, &x) in next.iter().enumerate() {
+            if old.get(v).map(|o| o.to_bits()) != Some(x.to_bits()) {
+                changes.push((v as u32, x));
+            }
+        }
+        if next.len() < old.len() {
+            // vertices never disappear from the score vector; a shrink
+            // means the producer restarted — fall back to dense
+            *prev = Some(next.clone());
+            return ScoreDelta::Dense(next);
+        }
+        *old = next;
+        if changes.is_empty() {
+            ScoreDelta::Unchanged
+        } else {
+            ScoreDelta::Sparse(changes)
+        }
+    }
+}
+
+/// Monotone map from `f64` to `u64` in `total_cmp` order: `a.total_cmp(&b)
+/// == score_key(a).cmp(&score_key(b))` for all bit patterns, NaNs
+/// included.
+#[inline]
+fn score_key(x: f64) -> u64 {
+    let b = x.to_bits();
+    if b >> 63 == 1 {
+        !b
+    } else {
+        b | (1 << 63)
+    }
+}
+
+/// The treap's BST key: ascending key order is (descending score by
+/// `total_cmp`, ascending vertex id) — exactly the oracle's comparator.
+#[inline]
+fn rank_key(score: f64, v: u32) -> u128 {
+    (((!score_key(score)) as u128) << 32) | v as u128
+}
+
+/// splitmix64 finalizer: a bijection on `u64`, so distinct vertices get
+/// distinct heap priorities and the treap shape is deterministic.
+#[inline]
+fn priority(v: u32) -> u64 {
+    let mut z = (v as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[derive(Debug)]
+struct Node {
+    key: u128,
+    pri: u64,
+    size: usize,
+    score: f64,
+    left: Link,
+    right: Link,
+}
+
+type Link = Option<Arc<Node>>;
+
+impl Node {
+    #[inline]
+    fn vertex(&self) -> u32 {
+        (self.key & 0xFFFF_FFFF) as u32
+    }
+}
+
+#[inline]
+fn size(t: &Link) -> usize {
+    t.as_ref().map_or(0, |n| n.size)
+}
+
+fn mk(key: u128, pri: u64, score: f64, left: Link, right: Link) -> Link {
+    let size = size(&left) + size(&right) + 1;
+    Some(Arc::new(Node {
+        key,
+        pri,
+        size,
+        score,
+        left,
+        right,
+    }))
+}
+
+fn merge(l: Link, r: Link) -> Link {
+    match (l, r) {
+        (None, r) => r,
+        (l, None) => l,
+        (Some(a), Some(b)) => {
+            if a.pri >= b.pri {
+                let right = merge(a.right.clone(), Some(b));
+                mk(a.key, a.pri, a.score, a.left.clone(), right)
+            } else {
+                let left = merge(Some(a), b.left.clone());
+                mk(b.key, b.pri, b.score, left, b.right.clone())
+            }
+        }
+    }
+}
+
+/// Split into (`keys < key`, `keys ≥ key`).
+fn split(t: Link, key: u128) -> (Link, Link) {
+    match t {
+        None => (None, None),
+        Some(n) => {
+            if n.key < key {
+                let (a, b) = split(n.right.clone(), key);
+                (mk(n.key, n.pri, n.score, n.left.clone(), a), b)
+            } else {
+                let (a, b) = split(n.left.clone(), key);
+                (a, mk(n.key, n.pri, n.score, b, n.right.clone()))
+            }
+        }
+    }
+}
+
+fn insert(root: Link, key: u128, pri: u64, score: f64) -> Link {
+    let (l, r) = split(root, key);
+    merge(merge(l, mk(key, pri, score, None, None)), r)
+}
+
+fn remove(root: Link, key: u128) -> Link {
+    let (l, r) = split(root, key);
+    // keys have 32 zero high bits, so `key + 1` cannot overflow
+    let (_mid, r) = split(r, key + 1);
+    merge(l, r)
+}
+
+/// Chunked copy-on-write score vector: a clone shares every chunk, a
+/// point write copies one `CHUNK`-sized chunk.
+#[derive(Clone, Debug, Default)]
+struct ScoreVec {
+    chunks: Vec<Arc<Vec<f64>>>,
+    len: usize,
+}
+
+impl ScoreVec {
+    fn get(&self, i: usize) -> f64 {
+        self.chunks[i / CHUNK][i % CHUNK]
+    }
+
+    fn set(&mut self, i: usize, x: f64) {
+        Arc::make_mut(&mut self.chunks[i / CHUNK])[i % CHUNK] = x;
+    }
+
+    fn push(&mut self, x: f64) {
+        if self.len.is_multiple_of(CHUNK) {
+            self.chunks.push(Arc::new(Vec::with_capacity(CHUNK)));
+        }
+        Arc::make_mut(self.chunks.last_mut().expect("chunk exists")).push(x);
+        self.len += 1;
+    }
+
+    fn iter(&self) -> impl Iterator<Item = f64> + '_ {
+        self.chunks.iter().flat_map(|c| c.iter().copied())
+    }
+}
+
+/// The incrementally maintained score order (module docs for the
+/// structure and the delta-maintenance rules).
+#[derive(Clone, Debug, Default)]
+pub struct RankIndex {
+    root: Link,
+    scores: ScoreVec,
+}
+
+impl RankIndex {
+    /// An empty index; feed it with [`RankIndex::apply`] or
+    /// [`RankIndex::set`].
+    pub fn new() -> Self {
+        RankIndex::default()
+    }
+
+    /// Bulk-build from a dense score vector in `O(n log n)` (sort by
+    /// rank key, then a stack-based treap construction in `O(n)`).
+    pub fn from_scores(scores: &[f64]) -> Self {
+        struct Tmp {
+            key: u128,
+            pri: u64,
+            score: f64,
+            left: Option<usize>,
+            right: Option<usize>,
+        }
+        let mut items: Vec<(u128, u32, f64)> = scores
+            .iter()
+            .enumerate()
+            .map(|(v, &x)| (rank_key(x, v as u32), v as u32, x))
+            .collect();
+        items.sort_unstable_by_key(|&(key, _, _)| key);
+
+        // standard right-spine cartesian-tree build over the key-sorted
+        // items; the spine holds the path from the root to the largest key
+        let mut arena: Vec<Tmp> = Vec::with_capacity(items.len());
+        let mut spine: Vec<usize> = Vec::new();
+        for (key, v, score) in items {
+            let pri = priority(v);
+            let mut last: Option<usize> = None;
+            while let Some(&top) = spine.last() {
+                if arena[top].pri < pri {
+                    last = spine.pop();
+                } else {
+                    break;
+                }
+            }
+            let id = arena.len();
+            arena.push(Tmp {
+                key,
+                pri,
+                score,
+                left: last,
+                right: None,
+            });
+            if let Some(&top) = spine.last() {
+                arena[top].right = Some(id);
+            }
+            spine.push(id);
+        }
+
+        fn freeze(arena: &[Tmp], i: Option<usize>) -> Link {
+            let t = &arena[i?];
+            let left = freeze(arena, t.left);
+            let right = freeze(arena, t.right);
+            mk(t.key, t.pri, t.score, left, right)
+        }
+        let root = freeze(&arena, spine.first().copied());
+
+        let mut sv = ScoreVec::default();
+        for &x in scores {
+            sv.push(x);
+        }
+        RankIndex { root, scores: sv }
+    }
+
+    /// Number of indexed vertices.
+    pub fn len(&self) -> usize {
+        self.scores.len
+    }
+
+    /// True when no vertex is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.scores.len == 0
+    }
+
+    /// The indexed score of `v`, if `v` is indexed.
+    pub fn score(&self, v: u32) -> Option<f64> {
+        ((v as usize) < self.scores.len).then(|| self.scores.get(v as usize))
+    }
+
+    /// Point update: move `v` to `score` (append when `v` is the next
+    /// fresh id; intermediate ids are filled with `0.0`, the score every
+    /// vertex is born with). `O(log n)`; a bitwise no-op change is free.
+    pub fn set(&mut self, v: u32, score: f64) {
+        let vi = v as usize;
+        while self.scores.len < vi {
+            let pad = self.scores.len as u32;
+            self.scores.push(0.0);
+            self.root = insert(self.root.take(), rank_key(0.0, pad), priority(pad), 0.0);
+        }
+        if vi == self.scores.len {
+            self.scores.push(score);
+            self.root = insert(self.root.take(), rank_key(score, v), priority(v), score);
+            return;
+        }
+        let old = self.scores.get(vi);
+        if old.to_bits() == score.to_bits() {
+            return;
+        }
+        self.root = remove(self.root.take(), rank_key(old, v));
+        self.scores.set(vi, score);
+        self.root = insert(self.root.take(), rank_key(score, v), priority(v), score);
+    }
+
+    /// Fold one published delta into the index.
+    pub fn apply(&mut self, delta: &ScoreDelta) {
+        match delta {
+            ScoreDelta::Unchanged => {}
+            ScoreDelta::Sparse(changes) => {
+                for &(v, score) in changes {
+                    self.set(v, score);
+                }
+            }
+            ScoreDelta::Dense(scores) => *self = RankIndex::from_scores(scores),
+        }
+    }
+
+    /// The top `k` vertex ids — bitwise the same list as
+    /// `ranking::top_k(&scores, k)` on the indexed scores. `O(k + log n)`.
+    pub fn top_k(&self, k: usize) -> Vec<u32> {
+        self.top_entries(k).into_iter().map(|(v, _)| v).collect()
+    }
+
+    /// The top `k` as `(vertex, score)` pairs, rank order. `O(k + log n)`.
+    pub fn top_entries(&self, k: usize) -> Vec<(u32, f64)> {
+        let mut out = Vec::with_capacity(k.min(self.len()));
+        let mut stack: Vec<&Arc<Node>> = Vec::new();
+        let mut cur = self.root.as_ref();
+        while out.len() < k {
+            while let Some(n) = cur {
+                stack.push(n);
+                cur = n.left.as_ref();
+            }
+            let Some(n) = stack.pop() else { break };
+            out.push((n.vertex(), n.score));
+            cur = n.right.as_ref();
+        }
+        out
+    }
+
+    /// 1-based rank of `v` (1 = most central, ties toward smaller id),
+    /// `None` when `v` is not indexed. `O(log n)`.
+    pub fn rank_of(&self, v: u32) -> Option<usize> {
+        let score = self.score(v)?;
+        let key = rank_key(score, v);
+        let mut before = 0usize;
+        let mut cur = self.root.as_ref();
+        while let Some(n) = cur {
+            match key.cmp(&n.key) {
+                std::cmp::Ordering::Less => cur = n.left.as_ref(),
+                std::cmp::Ordering::Greater => {
+                    before += size(&n.left) + 1;
+                    cur = n.right.as_ref();
+                }
+                std::cmp::Ordering::Equal => return Some(before + size(&n.left) + 1),
+            }
+        }
+        // the score vector and the tree are maintained in lockstep, so a
+        // scored vertex is always in the tree
+        None
+    }
+
+    /// Fraction of indexed vertices ranked at or below `v` — the top
+    /// vertex answers `1.0`, the bottom `1/n`. `O(log n)`.
+    pub fn percentile(&self, v: u32) -> Option<f64> {
+        let rank = self.rank_of(v)?;
+        let n = self.len();
+        Some((n - (rank - 1)) as f64 / n as f64)
+    }
+
+    /// The entry at 1-based `rank`, `None` when out of range. `O(log n)`.
+    pub fn nth(&self, rank: usize) -> Option<(u32, f64)> {
+        if rank == 0 || rank > self.len() {
+            return None;
+        }
+        let mut remaining = rank;
+        let mut cur = self.root.as_ref();
+        while let Some(n) = cur {
+            let left = size(&n.left);
+            if remaining <= left {
+                cur = n.left.as_ref();
+            } else if remaining == left + 1 {
+                return Some((n.vertex(), n.score));
+            } else {
+                remaining -= left + 1;
+                cur = n.right.as_ref();
+            }
+        }
+        None
+    }
+
+    /// The indexed scores as a dense vector (vertex-id order).
+    pub fn to_scores(&self) -> Vec<f64> {
+        self.scores.iter().collect()
+    }
+
+    /// Iterate the indexed scores in vertex-id order.
+    pub fn scores_iter(&self) -> impl Iterator<Item = f64> + '_ {
+        self.scores.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ranking;
+
+    fn xorshift(state: &mut u64) -> u64 {
+        *state ^= *state << 13;
+        *state ^= *state >> 7;
+        *state ^= *state << 17;
+        *state
+    }
+
+    /// Random scores with deliberate ties, zeros of both signs, infinities
+    /// and NaNs — every class `total_cmp` distinguishes.
+    fn adversarial_scores(n: usize, seed: u64) -> Vec<f64> {
+        let mut s = seed | 1;
+        (0..n)
+            .map(|_| match xorshift(&mut s) % 10 {
+                0 => 0.0,
+                1 => -0.0,
+                2 => f64::INFINITY,
+                3 => f64::NEG_INFINITY,
+                4 => f64::NAN,
+                5 => -f64::NAN,
+                6 | 7 => (xorshift(&mut s) % 5) as f64, // ties
+                _ => (xorshift(&mut s) % 1000) as f64 / 7.0,
+            })
+            .collect()
+    }
+
+    fn assert_matches_oracle(ix: &RankIndex, scores: &[f64]) {
+        assert_eq!(ix.len(), scores.len());
+        let full = ranking::top_k(scores, scores.len());
+        assert_eq!(ix.top_k(scores.len()), full, "full order diverges");
+        for k in [0, 1, 3, scores.len() / 2] {
+            assert_eq!(ix.top_k(k), ranking::top_k(scores, k), "k={k}");
+        }
+        for (pos, &v) in full.iter().enumerate() {
+            assert_eq!(ix.rank_of(v), Some(pos + 1), "rank of {v}");
+            let (nv, ns) = ix.nth(pos + 1).expect("rank in range");
+            assert_eq!(nv, v, "entry at rank {}", pos + 1);
+            assert_eq!(ns.to_bits(), scores[v as usize].to_bits());
+        }
+        let got = ix.to_scores();
+        assert_eq!(got.len(), scores.len());
+        for (v, (&a, &b)) in got.iter().zip(scores).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "score bits of {v}");
+        }
+    }
+
+    #[test]
+    fn score_key_is_total_cmp() {
+        let samples = [
+            f64::NEG_INFINITY,
+            -1.5,
+            -0.0,
+            0.0,
+            1.0,
+            f64::INFINITY,
+            f64::NAN,
+            -f64::NAN,
+            f64::MIN_POSITIVE,
+        ];
+        for &a in &samples {
+            for &b in &samples {
+                assert_eq!(
+                    score_key(a).cmp(&score_key(b)),
+                    a.total_cmp(&b),
+                    "{a:?} vs {b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bulk_build_matches_oracle_on_adversarial_scores() {
+        for seed in 1..6 {
+            let scores = adversarial_scores(97, seed);
+            assert_matches_oracle(&RankIndex::from_scores(&scores), &scores);
+        }
+    }
+
+    #[test]
+    fn incremental_sets_match_rebuild() {
+        let mut s = 42u64;
+        let mut scores = adversarial_scores(50, 7);
+        let mut ix = RankIndex::from_scores(&scores);
+        for step in 0..300 {
+            let v = (xorshift(&mut s) % scores.len() as u64) as u32;
+            let replacement = adversarial_scores(1, s ^ step)[0];
+            scores[v as usize] = replacement;
+            ix.set(v, replacement);
+            if step % 37 == 0 {
+                assert_matches_oracle(&ix, &scores);
+            }
+        }
+        assert_matches_oracle(&ix, &scores);
+    }
+
+    #[test]
+    fn growth_fills_gaps_with_zero() {
+        let mut ix = RankIndex::new();
+        ix.set(0, 3.0);
+        ix.set(4, 1.0); // vertices 1..=3 are born at 0.0
+        assert_eq!(ix.len(), 5);
+        assert_matches_oracle(&ix, &[3.0, 0.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn apply_delta_variants() {
+        let base = [2.0, 9.0, 4.0];
+        let mut ix = RankIndex::new();
+        ix.apply(&ScoreDelta::Dense(base.to_vec()));
+        assert_matches_oracle(&ix, &base);
+        ix.apply(&ScoreDelta::Unchanged);
+        assert_matches_oracle(&ix, &base);
+        ix.apply(&ScoreDelta::Sparse(vec![(0, 10.0), (3, 1.0)]));
+        assert_matches_oracle(&ix, &[10.0, 9.0, 4.0, 1.0]);
+    }
+
+    #[test]
+    fn clone_is_a_stable_snapshot() {
+        let scores = adversarial_scores(64, 3);
+        let mut ix = RankIndex::from_scores(&scores);
+        let snap = ix.clone();
+        for v in 0..64u32 {
+            ix.set(v, f64::from(v));
+        }
+        assert_matches_oracle(&snap, &scores);
+        let now: Vec<f64> = (0..64).map(f64::from).collect();
+        assert_matches_oracle(&ix, &now);
+    }
+
+    #[test]
+    fn diff_produces_minimal_sparse_deltas() {
+        let mut prev = None;
+        let d = ScoreDelta::from_diff(&mut prev, vec![1.0, 2.0]);
+        assert_eq!(d, ScoreDelta::Dense(vec![1.0, 2.0]));
+        let d = ScoreDelta::from_diff(&mut prev, vec![1.0, 2.0]);
+        assert!(d.is_empty());
+        let d = ScoreDelta::from_diff(&mut prev, vec![1.0, 5.0, 7.0]);
+        assert_eq!(d, ScoreDelta::Sparse(vec![(1, 5.0), (2, 7.0)]));
+        // -0.0 vs 0.0 is a bitwise change even though they compare equal
+        let d = ScoreDelta::from_diff(&mut prev, vec![-0.0, 5.0, 7.0]);
+        assert_eq!(d, ScoreDelta::Sparse(vec![(0, -0.0)]));
+    }
+
+    #[test]
+    fn percentile_ends() {
+        let ix = RankIndex::from_scores(&[1.0, 9.0, 5.0, 0.0]);
+        assert_eq!(ix.percentile(1), Some(1.0)); // leader
+        assert_eq!(ix.percentile(3), Some(0.25)); // last of four
+        assert_eq!(ix.percentile(9), None);
+        assert_eq!(ix.rank_of(2), Some(2));
+    }
+}

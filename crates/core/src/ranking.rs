@@ -12,15 +12,28 @@
 //! * [`RankTracker`] — turnover monitoring across updates.
 
 /// Indices of the `k` largest scores, ties broken toward smaller index.
+///
+/// Ordering is [`f64::total_cmp`], so NaN never panics: a positive-bit
+/// NaN ranks above `+∞`, a negative-bit NaN below `-∞`, and `-0.0` below
+/// `+0.0` — deterministic whatever the input. Partial selection keeps
+/// this `O(n + k log k)`; it is the bitwise oracle the incremental
+/// [`crate::rankindex::RankIndex`] is property-tested against.
 pub fn top_k(scores: &[f64], k: usize) -> Vec<u32> {
     let mut idx: Vec<u32> = (0..scores.len() as u32).collect();
-    idx.sort_by(|&a, &b| {
-        scores[b as usize]
-            .partial_cmp(&scores[a as usize])
-            .expect("scores must not be NaN")
-            .then(a.cmp(&b))
-    });
-    idx.truncate(k);
+    let cmp = |a: &u32, b: &u32| {
+        scores[*b as usize]
+            .total_cmp(&scores[*a as usize])
+            .then(a.cmp(b))
+    };
+    if k == 0 {
+        idx.clear();
+        return idx;
+    }
+    if k < idx.len() {
+        idx.select_nth_unstable_by(k - 1, cmp);
+        idx.truncate(k);
+    }
+    idx.sort_unstable_by(cmp);
     idx
 }
 
@@ -88,16 +101,22 @@ impl RankTracker {
     /// Observe a new snapshot; returns `(entered, left)` vertex ids.
     pub fn observe(&mut self, scores: &[f64]) -> (Vec<u32>, Vec<u32>) {
         let next = top_k(scores, self.k);
-        let entered: Vec<u32> = next
-            .iter()
-            .copied()
-            .filter(|v| !self.current.contains(v))
-            .collect();
+        self.observe_ranked(next)
+    }
+
+    /// Observe an already-ranked top-k list — e.g. an `O(k)` walk of the
+    /// incrementally maintained [`crate::rankindex::RankIndex`] — skipping
+    /// the re-sort `observe` would pay. The list must be in rank order
+    /// and at most `k` long.
+    pub fn observe_ranked(&mut self, next: Vec<u32>) -> (Vec<u32>, Vec<u32>) {
+        let prev: std::collections::HashSet<u32> = self.current.iter().copied().collect();
+        let next_set: std::collections::HashSet<u32> = next.iter().copied().collect();
+        let entered: Vec<u32> = next.iter().copied().filter(|v| !prev.contains(v)).collect();
         let left: Vec<u32> = self
             .current
             .iter()
             .copied()
-            .filter(|v| !next.contains(v))
+            .filter(|v| !next_set.contains(v))
             .collect();
         if self.snapshots > 0 {
             self.entries += entered.len();
@@ -149,6 +168,108 @@ mod tests {
         let b = [1.0, 3.0, 2.0]; // one discordant pair of three
         let tau = kendall_tau(&a, &b);
         assert!((tau - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn top_k_handles_nan_without_panicking() {
+        // total_cmp order: +NaN above +inf, -NaN below -inf, -0.0 < +0.0
+        let scores = [f64::NAN, 1.0, f64::INFINITY, -f64::NAN, f64::NEG_INFINITY];
+        assert_eq!(top_k(&scores, 5), vec![0, 2, 1, 4, 3]);
+        assert_eq!(top_k(&scores, 2), vec![0, 2]);
+        let zeros = [-0.0, 0.0, -0.0];
+        assert_eq!(top_k(&zeros, 3), vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn top_k_tie_boundary_prefers_smaller_ids_across_the_cut() {
+        // five equal scores straddling k=3: selection must keep ids 0..3
+        let scores = [7.0; 5];
+        assert_eq!(top_k(&scores, 3), vec![0, 1, 2]);
+        // equal block in the middle of distinct values
+        let scores = [1.0, 5.0, 5.0, 5.0, 9.0, 5.0];
+        assert_eq!(top_k(&scores, 4), vec![4, 1, 2, 3]);
+        assert_eq!(top_k(&scores, 5), vec![4, 1, 2, 3, 5]);
+    }
+
+    #[test]
+    fn top_k_selection_matches_full_sort() {
+        // the O(n + k log k) path must agree with a full comparator sort
+        let mut s = 0x9e3779b97f4a7c15u64;
+        let mut next = || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        let scores: Vec<f64> = (0..200)
+            .map(|_| match next() % 8 {
+                0 => f64::NAN,
+                1 => -0.0,
+                2 => f64::INFINITY,
+                _ => (next() % 7) as f64,
+            })
+            .collect();
+        let mut full: Vec<u32> = (0..scores.len() as u32).collect();
+        full.sort_by(|&a, &b| {
+            scores[b as usize]
+                .total_cmp(&scores[a as usize])
+                .then(a.cmp(&b))
+        });
+        for k in [0, 1, 7, 50, 199, 200, 500] {
+            let mut want = full.clone();
+            want.truncate(k);
+            assert_eq!(top_k(&scores, k), want, "k={k}");
+        }
+    }
+
+    #[test]
+    fn jaccard_top_k_tolerates_nan() {
+        let a = [f64::NAN, 2.0, 1.0];
+        let b = [0.0, 2.0, f64::NAN];
+        // top-2 of a = {0, 1}, of b = {2, 1}: one of three shared
+        assert!((jaccard_top_k(&a, &b, 2) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kendall_tau_treats_nan_pairs_as_ties() {
+        let a = [f64::NAN, 2.0, 3.0];
+        let b = [1.0, 2.0, 3.0];
+        // pairs touching the NaN contribute neither way
+        let tau = kendall_tau(&a, &b);
+        assert!((tau - 1.0 / 3.0).abs() < 1e-12, "tau={tau}");
+    }
+
+    #[test]
+    fn tracker_set_diff_matches_naive_scan() {
+        // the HashSet-based diff must agree with the quadratic scan it
+        // replaced, snapshot for snapshot
+        let mut s = 1234u64;
+        let mut next = || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        let mut fast = RankTracker::new(4);
+        let mut naive_current: Vec<u32> = Vec::new();
+        for _ in 0..40 {
+            let scores: Vec<f64> = (0..12).map(|_| (next() % 9) as f64).collect();
+            let want_next = top_k(&scores, 4);
+            let want_entered: Vec<u32> = want_next
+                .iter()
+                .copied()
+                .filter(|v| !naive_current.contains(v))
+                .collect();
+            let want_left: Vec<u32> = naive_current
+                .iter()
+                .copied()
+                .filter(|v| !want_next.contains(v))
+                .collect();
+            let (entered, left) = fast.observe(&scores);
+            assert_eq!(entered, want_entered);
+            assert_eq!(left, want_left);
+            naive_current = want_next;
+        }
     }
 
     #[test]

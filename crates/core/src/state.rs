@@ -90,6 +90,10 @@ pub struct BetweennessState<S: BdStore = MemoryBdStore> {
     scores: Scores,
     ws: Workspace,
     cfg: UpdateConfig,
+    /// Whether a dense score baseline has been drained by
+    /// [`BetweennessState::take_score_delta`]; until then every drain
+    /// republishes the full vector.
+    published: bool,
 }
 
 impl BetweennessState<MemoryBdStore> {
@@ -127,6 +131,7 @@ impl BetweennessState<MemoryBdStore> {
             scores,
             ws: Workspace::new(n),
             cfg,
+            published: false,
         }
     }
 
@@ -158,6 +163,7 @@ impl<S: BdStore> BetweennessState<S> {
             scores,
             ws: Workspace::new(n),
             cfg,
+            published: false,
         })
     }
 
@@ -189,6 +195,7 @@ impl<S: BdStore> BetweennessState<S> {
             scores,
             ws: Workspace::new(n),
             cfg,
+            published: false,
         }
     }
 
@@ -260,6 +267,8 @@ impl<S: BdStore> BetweennessState<S> {
         d[v as usize] = 0;
         sigma[v as usize] = 1;
         self.store.add_source(v, d, sigma, vec![0.0; n])?;
+        // the score vector grew: the rank index must learn the new entry
+        self.ws.mark_dirty(v);
         Ok(v)
     }
 
@@ -289,8 +298,17 @@ impl<S: BdStore> BetweennessState<S> {
                 self.run_kernel(op, u, v)?;
                 if new_vertex {
                     // The new vertex also becomes a source: one fresh Brandes
-                    // iteration adds its pair dependencies.
+                    // iteration adds its pair dependencies. Its dependency
+                    // vector is exactly the set of vbc entries this pass
+                    // touched outside the kernel's dirty tracking, plus the
+                    // new score slot itself.
                     let r = single_source_update(&self.graph, hi, &mut self.scores);
+                    self.ws.mark_dirty(hi);
+                    for (w, &dep) in r.delta.iter().enumerate() {
+                        if dep != 0.0 && w as u32 != hi {
+                            self.ws.mark_dirty(w as u32);
+                        }
+                    }
                     self.store.add_source(hi, r.d, r.sigma, r.delta)?;
                 }
                 Ok(())
@@ -304,6 +322,36 @@ impl<S: BdStore> BetweennessState<S> {
                 Ok(())
             }
         }
+    }
+
+    /// Drain what changed in the running VBC since the last drain, as a
+    /// [`crate::rankindex::ScoreDelta`] for
+    /// [`crate::rankindex::RankIndex`] maintenance.
+    ///
+    /// The first drain (and the first after a resume) is a dense baseline;
+    /// after that the kernel's dirty tracking yields sparse deltas whose
+    /// values are read from the running scores at drain time, so applying
+    /// the stream of deltas to an index reproduces
+    /// [`BetweennessState::scores`]`.vbc` bit for bit.
+    pub fn take_score_delta(&mut self) -> crate::rankindex::ScoreDelta {
+        use crate::rankindex::ScoreDelta;
+        if !self.published {
+            self.published = true;
+            self.ws.drain_dirty();
+            return ScoreDelta::Dense(self.scores.vbc.clone());
+        }
+        let mut dirty = self.ws.drain_dirty();
+        if dirty.is_empty() {
+            return ScoreDelta::Unchanged;
+        }
+        // ascending id order so fresh vertices extend the index densely
+        dirty.sort_unstable();
+        ScoreDelta::Sparse(
+            dirty
+                .into_iter()
+                .map(|v| (v, self.scores.vbc[v as usize]))
+                .collect(),
+        )
     }
 
     fn run_kernel(&mut self, op: EdgeOp, u: VertexId, v: VertexId) -> Result<(), StateError> {
@@ -403,6 +451,44 @@ mod tests {
         st.apply(Update::remove(0, 1)).unwrap();
         assert_eq!(st.scores().ebc[eid as usize], 0.0);
         check(&st);
+    }
+
+    #[test]
+    fn score_deltas_reconstruct_running_vbc() {
+        use crate::rankindex::{RankIndex, ScoreDelta};
+        let mut g = Graph::with_vertices(5);
+        for (u, v) in [(0, 1), (1, 2), (2, 3), (3, 4)] {
+            g.add_edge(u, v).unwrap();
+        }
+        let mut st = BetweennessState::new(&g);
+        let mut ix = RankIndex::new();
+        // first drain: dense baseline
+        let d = st.take_score_delta();
+        assert!(matches!(d, ScoreDelta::Dense(_)));
+        ix.apply(&d);
+        // quiescent drain: nothing moved
+        assert!(st.take_score_delta().is_empty());
+        // a stream including vertex arrival, an isolated vertex, a removal
+        let updates = [
+            Update::add(0, 2),
+            Update::add(4, 5), // vertex 5 arrives
+            Update::remove(1, 2),
+            Update::add(3, 5),
+        ];
+        for u in updates {
+            st.apply(u).unwrap();
+            ix.apply(&st.take_score_delta());
+            let want = &st.scores().vbc;
+            let got = ix.to_scores();
+            assert_eq!(got.len(), want.len());
+            for (v, (a, b)) in got.iter().zip(want).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "vbc[{v}] after {u:?}");
+            }
+        }
+        let v = st.add_vertex().unwrap();
+        ix.apply(&st.take_score_delta());
+        assert_eq!(ix.len(), st.graph().n());
+        assert_eq!(ix.score(v), Some(0.0));
     }
 
     #[test]

@@ -38,6 +38,7 @@ use ebc_core::api::{EbcEngine, EbcError, RebalanceOutcome, Reduced, ShardAssignm
 use ebc_core::bd::{BdError, BdStore, MemoryBdStore};
 use ebc_core::exact::assemble;
 use ebc_core::incremental::UpdateConfig;
+use ebc_core::rankindex::ScoreDelta;
 use ebc_core::state::Update;
 use ebc_graph::csr::EpochGraph;
 use ebc_graph::{EdgeId, EdgeOp, Graph, GraphError, VertexId};
@@ -184,6 +185,11 @@ pub struct ClusterEngine<S: BdStore = MemoryBdStore> {
     brandes_runs: u64,
     /// First unrecoverable failure; sticky.
     dead: Option<String>,
+    /// The fast-reduce vector as of the last `take_score_delta` drain.
+    /// Cluster deltas are produced by bit-diffing a fresh reduce against
+    /// this cache: the values always come from the true reduce, so a rank
+    /// index fed from the deltas stays bitwise equal to `scores()`.
+    published_vbc: Option<Vec<f64>>,
     _store: PhantomData<fn() -> S>,
 }
 
@@ -238,6 +244,7 @@ impl<S: BdStore + 'static> ClusterEngine<S> {
             map,
             brandes_runs,
             dead: None,
+            published_vbc: None,
             _store: PhantomData,
         })
     }
@@ -319,6 +326,7 @@ impl<S: BdStore + 'static> ClusterEngine<S> {
             map,
             brandes_runs,
             dead: None,
+            published_vbc: None,
             _store: PhantomData,
         })
     }
@@ -873,6 +881,15 @@ impl<S: BdStore + 'static> EbcEngine for ClusterEngine<S> {
 
     fn scores(&mut self) -> Result<Reduced, EbcError> {
         Ok(self.reduce()?)
+    }
+
+    fn take_score_delta(&mut self) -> Result<ScoreDelta, EbcError> {
+        // Per-worker dirty sets cannot feed the index directly: folding
+        // `new - old` into a published vector re-runs the summation in a
+        // different order and drifts in the last bit. Instead diff a fresh
+        // fast reduce against the previously drained one.
+        let vbc = self.reduce()?.scores.vbc;
+        Ok(ScoreDelta::from_diff(&mut self.published_vbc, vbc))
     }
 
     fn reduce_exact(&mut self) -> Result<Reduced, EbcError> {

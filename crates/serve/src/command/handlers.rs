@@ -11,7 +11,7 @@
 use super::{parser, Command, Request, WireError};
 use crate::engine::{MoveReport, ServeError};
 use crate::json::{obj, Value};
-use crate::server::{top_entries, Job, Shared, Snapshot, Subscription};
+use crate::server::{Job, Shared, Snapshot, Subscription};
 use std::sync::atomic::Ordering;
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::Arc;
@@ -74,20 +74,47 @@ impl ConnCtx {
                     vec![
                         ("seq", Value::from(snap.seq)),
                         ("epoch", Value::from(snap.epoch)),
-                        ("vbc", float_array(&snap.vbc)),
+                        (
+                            "vbc",
+                            Value::Arr(snap.index.scores_iter().map(Value::Num).collect()),
+                        ),
                     ],
                 )
             }
             Command::TopK { k } => {
+                // O(k + log n) walk of the published index — no re-sort
                 let snap = self.snapshot();
                 ok_response(
                     id,
                     vec![
                         ("seq", Value::from(snap.seq)),
                         ("epoch", Value::from(snap.epoch)),
-                        ("top", top_array(&top_entries(&snap.vbc, k))),
+                        ("top", top_array(&snap.index.top_entries(k))),
                     ],
                 )
+            }
+            Command::RankOf { v } => {
+                let snap = self.snapshot();
+                match snap.index.rank_of(v) {
+                    Some(rank) => ok_response(
+                        id,
+                        vec![
+                            ("seq", Value::from(snap.seq)),
+                            ("epoch", Value::from(snap.epoch)),
+                            ("v", Value::from(v as u64)),
+                            ("rank", Value::from(rank)),
+                            (
+                                "percentile",
+                                Value::Num(snap.index.percentile(v).unwrap_or(0.0)),
+                            ),
+                            ("score", Value::Num(snap.index.score(v).unwrap_or(f64::NAN))),
+                        ],
+                    ),
+                    None => engine_error_response(
+                        id,
+                        &ServeError::Invalid(format!("vertex {v} is not indexed")),
+                    ),
+                }
             }
             Command::Stats => {
                 let snap = self.snapshot();

@@ -28,6 +28,12 @@ pub enum Command {
         /// How many vertices to rank.
         k: usize,
     },
+    /// Snapshot read of one vertex's rank (1 = most central) and
+    /// percentile under the ranking tie rule.
+    RankOf {
+        /// Vertex to look up.
+        v: u32,
+    },
     /// The partition-invariant exact reduction (runs on the writer task).
     ReduceExact,
     /// Flush stores and rewrite the durable manifest now.

@@ -53,6 +53,9 @@ pub fn parse_request(line: &str) -> Result<Request, WireError> {
         "top_k" => Command::TopK {
             k: required_usize(&value, "k")?,
         },
+        "rank_of" => Command::RankOf {
+            v: required_u32(&value, "v")?,
+        },
         "reduce_exact" => Command::ReduceExact,
         "checkpoint" => Command::Checkpoint,
         "handoff" => Command::Handoff {
@@ -193,6 +196,7 @@ mod tests {
             ),
             (r#"{"cmd":"scores"}"#, Command::Scores),
             (r#"{"cmd":"top_k","k":7}"#, Command::TopK { k: 7 }),
+            (r#"{"cmd":"rank_of","v":9}"#, Command::RankOf { v: 9 }),
             (r#"{"cmd":"reduce_exact"}"#, Command::ReduceExact),
             (r#"{"cmd":"checkpoint"}"#, Command::Checkpoint),
             (
@@ -245,6 +249,8 @@ mod tests {
             (r#"{"cmd":"top_k"}"#, "protocol"),
             (r#"{"cmd":"top_k","k":-1}"#, "protocol"),
             (r#"{"cmd":"top_k","k":1.5}"#, "protocol"),
+            (r#"{"cmd":"rank_of"}"#, "protocol"),
+            (r#"{"cmd":"rank_of","v":4294967296}"#, "protocol"),
             (r#"{"cmd":"apply"}"#, "protocol"),
             (r#"{"cmd":"apply","updates":[]}"#, "protocol"),
             (r#"{"cmd":"apply","updates":[["add",1]]}"#, "protocol"),

@@ -7,6 +7,7 @@
 //! facade implements it for `Session`, and the test suite implements it
 //! with mocks to pin server behavior without a real engine.
 
+use ebc_core::rankindex::ScoreDelta;
 use ebc_core::state::Update;
 use std::fmt;
 use std::time::Duration;
@@ -121,6 +122,19 @@ pub trait ServeEngine: Send {
 
     /// The fast-path maintained scores (the paper's reduce).
     fn scores_vbc(&mut self) -> Result<Vec<f64>, ServeError>;
+
+    /// Drain what changed in the fast-path scores since the last drain —
+    /// the feed for the writer task's incrementally maintained rank index
+    /// (every published [`crate::Snapshot`] carries a clone of it).
+    /// Applying the drained deltas in order reproduces `scores_vbc` bit
+    /// for bit.
+    ///
+    /// The default cannot track changes and republishes densely; engines
+    /// with dirty tracking (the facade's `Session`) override it with
+    /// sparse deltas so publish costs `O(changed)`, not `O(n)`.
+    fn take_score_delta(&mut self) -> Result<ScoreDelta, ServeError> {
+        self.scores_vbc().map(ScoreDelta::Dense)
+    }
 
     /// The partition-invariant exact reduction: `(vbc, ebc, wall)`.
     /// Bitwise identical across embodiments for the same update history.

@@ -30,8 +30,9 @@
 
 use crate::engine::{EngineInfo, MoveReport, ServeEngine, ServeError};
 use crate::frontend;
-use ebc_core::ranking;
+use ebc_core::rankindex::RankIndex;
 use ebc_core::state::Update;
+use std::collections::HashSet;
 use std::net::{SocketAddr, TcpListener};
 use std::os::unix::net::UnixListener;
 use std::path::{Path, PathBuf};
@@ -79,8 +80,12 @@ pub struct Snapshot {
     pub seq: u64,
     /// Batches applied when this snapshot was taken.
     pub epoch: u64,
-    /// Maintained vertex betweenness (fast path).
-    pub vbc: Vec<f64>,
+    /// The maintained fast-path scores *and* their rank order: a clone of
+    /// the writer task's incrementally maintained [`RankIndex`] (clone is
+    /// `O(1)` node sharing, publish is `O(changed · log n)`), so `scores`,
+    /// `top_k`, `rank_of` and subscription diffing all read the same
+    /// structure without re-sorting.
+    pub index: RankIndex,
     /// Engine counters at snapshot time.
     pub info: EngineInfo,
 }
@@ -228,11 +233,14 @@ impl Server {
         cfg: ServerConfig,
     ) -> std::io::Result<ServerHandle> {
         let info = engine.info();
-        let vbc = engine.scores_vbc().unwrap_or_default();
+        let mut rank = RankIndex::new();
+        if let Ok(delta) = engine.take_score_delta() {
+            rank.apply(&delta);
+        }
         let initial = Snapshot {
             seq: 0,
             epoch: 0,
-            vbc,
+            index: rank.clone(),
             info,
         };
         let (tx, rx) = sync_channel::<Job>(cfg.queue_depth.max(1));
@@ -251,7 +259,7 @@ impl Server {
         handle.threads.push(
             std::thread::Builder::new()
                 .name("sbc-serve-writer".into())
-                .spawn(move || writer_loop(&mut engine, rx, &writer_shared, crash_after))
+                .spawn(move || writer_loop(&mut engine, rank, rx, &writer_shared, crash_after))
                 .expect("spawn writer task"),
         );
         Ok(handle)
@@ -268,7 +276,7 @@ impl Server {
         let initial = Snapshot {
             seq: 0,
             epoch: 0,
-            vbc: Vec::new(),
+            index: RankIndex::new(),
             info: EngineInfo {
                 n: 0,
                 m: 0,
@@ -327,8 +335,13 @@ impl Server {
 }
 
 /// The single writer task: the only code that ever touches the engine.
+///
+/// It also owns the live [`RankIndex`]: every publish drains the engine's
+/// score delta into it, so ranked reads never re-sort and snapshots are
+/// `O(1)` clones of the shared structure.
 fn writer_loop<E: ServeEngine>(
     engine: &mut E,
+    mut rank: RankIndex,
     rx: Receiver<Job>,
     shared: &Shared,
     crash_after: Option<u64>,
@@ -366,7 +379,7 @@ fn writer_loop<E: ServeEngine>(
                     // snapshot, and a subscriber has the batch's event
                     // queued before anyone sees the ack (notify never
                     // blocks — slow subscribers are dropped, not awaited)
-                    publish(engine, shared, seq, epoch);
+                    publish(engine, &mut rank, shared, seq, epoch);
                     notify_subscribers(&mut subs, shared, seq, epoch);
                 }
                 let _ = reply.send(result);
@@ -380,12 +393,12 @@ fn writer_loop<E: ServeEngine>(
             Job::Handoff { source, to, reply } => {
                 let result = engine.handoff(source, to);
                 let _ = reply.send(result);
-                publish(engine, shared, seq, epoch);
+                publish(engine, &mut rank, shared, seq, epoch);
             }
             Job::Rebalance { threshold, reply } => {
                 let result = engine.rebalance(threshold);
                 let _ = reply.send(result);
-                publish(engine, shared, seq, epoch);
+                publish(engine, &mut rank, shared, seq, epoch);
             }
             Job::Subscribe { sub, ack, reply } => {
                 let acked = sub.out.try_send(ack).is_ok();
@@ -403,48 +416,61 @@ fn writer_loop<E: ServeEngine>(
     let _ = engine.checkpoint();
 }
 
-/// Recompute the fast-path scores and swap in a fresh snapshot.
-fn publish<E: ServeEngine>(engine: &mut E, shared: &Shared, seq: u64, epoch: u64) {
-    let vbc = match engine.scores_vbc() {
-        Ok(vbc) => vbc,
+/// Drain the engine's score delta into the live index and swap in a fresh
+/// snapshot carrying a clone of it.
+fn publish<E: ServeEngine>(
+    engine: &mut E,
+    rank: &mut RankIndex,
+    shared: &Shared,
+    seq: u64,
+    epoch: u64,
+) {
+    match engine.take_score_delta() {
+        Ok(delta) => rank.apply(&delta),
         Err(_) => return, // keep the previous snapshot rather than poison readers
-    };
+    }
     let snap = Arc::new(Snapshot {
         seq,
         epoch,
-        vbc,
+        index: rank.clone(),
         info: engine.info(),
     });
     *shared.snapshot.write().expect("snapshot lock") = snap;
 }
 
-/// Current top-`k` as `(id, score)` pairs from a score slice, with the
-/// ranking crate's tie rule (ties toward smaller id).
-pub(crate) fn top_entries(vbc: &[f64], k: usize) -> Vec<(u32, f64)> {
-    ranking::top_k(vbc, k)
-        .into_iter()
-        .map(|v| (v, vbc[v as usize]))
-        .collect()
-}
-
 /// Push a `top_k` event to every subscriber whose watched ranking changed
 /// since they last heard (comparing score *bits*, so a same-set
 /// score-value change still notifies).
+///
+/// Each subscriber's entries come from an `O(k + log n)` walk of the
+/// snapshot's rank index — there is no per-subscriber re-sort of the full
+/// score vector — and `entered`/`left` are set-diffed against the
+/// fingerprint of the last event they were sent.
 fn notify_subscribers(subs: &mut Vec<Subscription>, shared: &Shared, seq: u64, epoch: u64) {
     if subs.is_empty() {
         return;
     }
     let snap = Arc::clone(&shared.snapshot.read().expect("snapshot lock"));
     subs.retain_mut(|sub| {
-        let entries = top_entries(&snap.vbc, sub.k);
+        let entries = snap.index.top_entries(sub.k);
         let fingerprint: Vec<(u32, u64)> = entries.iter().map(|&(v, s)| (v, s.to_bits())).collect();
         if fingerprint == sub.last {
             return true;
         }
-        let old: Vec<u32> = sub.last.iter().map(|&(v, _)| v).collect();
-        let new: Vec<u32> = fingerprint.iter().map(|&(v, _)| v).collect();
-        let entered: Vec<u32> = new.iter().copied().filter(|v| !old.contains(v)).collect();
-        let left: Vec<u32> = old.iter().copied().filter(|v| !new.contains(v)).collect();
+        let old: HashSet<u32> = sub.last.iter().map(|&(v, _)| v).collect();
+        let new: HashSet<u32> = fingerprint.iter().map(|&(v, _)| v).collect();
+        // rank order, same as `RankTracker::observe_ranked`
+        let entered: Vec<u32> = fingerprint
+            .iter()
+            .map(|&(v, _)| v)
+            .filter(|v| !old.contains(v))
+            .collect();
+        let left: Vec<u32> = sub
+            .last
+            .iter()
+            .map(|&(v, _)| v)
+            .filter(|v| !new.contains(v))
+            .collect();
         let line = crate::command::handlers::top_k_event(seq, epoch, &entries, &entered, &left);
         sub.last = fingerprint;
         match sub.out.try_send(line) {

@@ -433,7 +433,12 @@ fn print_top(g: &Graph, vbc: &[f64], scores: &streaming_bc::core::Scores, k: usi
         println!("v {v} {:.4}", vbc[v as usize]);
     }
     let mut edges = scores.ebc_entries(g);
-    edges.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    // total_cmp never panics on NaN (unlike partial_cmp), and the endpoint
+    // tie-break makes equal-score output order deterministic
+    edges.sort_by(|a, b| {
+        b.1.total_cmp(&a.1)
+            .then_with(|| a.0.endpoints().cmp(&b.0.endpoints()))
+    });
     println!("# top-{k} edges");
     for (key, score) in edges.into_iter().take(k) {
         let (u, v) = key.endpoints();

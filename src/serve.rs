@@ -29,6 +29,7 @@ use crate::session::{Session, SessionError};
 use ebc_cluster::coord::ClusterError;
 use ebc_cluster::{Coordinator, Transport};
 use ebc_core::api::EbcError;
+use ebc_core::rankindex::ScoreDelta;
 use ebc_core::state::Update;
 use ebc_engine::shardmap::SourceMove;
 use ebc_serve::{EngineInfo, MoveReport, ServeEngine, ServeError};
@@ -101,12 +102,17 @@ pub fn serve_error(e: &SessionError) -> ServeError {
 /// after the drain to shut the node fleet down.
 pub struct ServedCluster<T: Transport> {
     coord: std::sync::Arc<std::sync::Mutex<Option<Coordinator<T>>>>,
+    /// Scores as of the last `take_score_delta` drain, for bit-diffing the
+    /// next reduce into a sparse delta (shared across clones so the writer
+    /// task and the retained outer clone see one publication history).
+    published_vbc: std::sync::Arc<std::sync::Mutex<Option<Vec<f64>>>>,
 }
 
 impl<T: Transport> Clone for ServedCluster<T> {
     fn clone(&self) -> Self {
         ServedCluster {
             coord: self.coord.clone(),
+            published_vbc: self.published_vbc.clone(),
         }
     }
 }
@@ -116,6 +122,7 @@ impl<T: Transport> ServedCluster<T> {
     pub fn new(coord: Coordinator<T>) -> Self {
         ServedCluster {
             coord: std::sync::Arc::new(std::sync::Mutex::new(Some(coord))),
+            published_vbc: std::sync::Arc::new(std::sync::Mutex::new(None)),
         }
     }
 
@@ -157,6 +164,12 @@ impl<T: Transport> ServeEngine for ServedCluster<T> {
 
     fn scores_vbc(&mut self) -> Result<Vec<f64>, ServeError> {
         self.with(|coord| Ok(coord.reduce().map_err(|e| cluster_error(&e))?.vbc))
+    }
+
+    fn take_score_delta(&mut self) -> Result<ScoreDelta, ServeError> {
+        let vbc = self.scores_vbc()?;
+        let mut published = self.published_vbc.lock().unwrap();
+        Ok(ScoreDelta::from_diff(&mut published, vbc))
     }
 
     fn reduce_exact(&mut self) -> Result<(Vec<f64>, Vec<f64>, Duration), ServeError> {
@@ -249,6 +262,10 @@ impl ServeEngine for ServedSession {
             .map_err(|e| serve_error(&e))?
             .scores
             .vbc)
+    }
+
+    fn take_score_delta(&mut self) -> Result<ScoreDelta, ServeError> {
+        self.session.take_score_delta().map_err(|e| serve_error(&e))
     }
 
     fn reduce_exact(&mut self) -> Result<(Vec<f64>, Vec<f64>, Duration), ServeError> {

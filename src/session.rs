@@ -48,6 +48,7 @@
 use ebc_core::api::{EbcEngine, EbcError, RebalanceOutcome, Reduced, ShardAssignment};
 use ebc_core::bd::MemoryBdStore;
 use ebc_core::incremental::UpdateConfig;
+use ebc_core::rankindex::{RankIndex, ScoreDelta};
 use ebc_core::ranking;
 use ebc_core::state::{BetweennessState, Update};
 use ebc_core::verify::Divergence;
@@ -286,6 +287,7 @@ impl SessionBuilder {
                 Ok(Session {
                     engine,
                     durable: None,
+                    rank: RankIndex::new(),
                 })
             }
             Backend::Disk(dir) => {
@@ -315,6 +317,7 @@ impl SessionBuilder {
                 let mut session = Session {
                     engine: Box::new(state),
                     durable: Some(durable),
+                    rank: RankIndex::new(),
                 };
                 session.checkpoint()?;
                 Ok(session)
@@ -345,6 +348,7 @@ impl SessionBuilder {
                 let mut session = Session {
                     engine: Box::new(engine),
                     durable: Some(durable),
+                    rank: RankIndex::new(),
                 };
                 session.checkpoint()?;
                 Ok(session)
@@ -528,6 +532,10 @@ fn decode_manifest(raw: &[u8]) -> Result<Manifest, SessionError> {
 pub struct Session {
     engine: Box<dyn EbcEngine + Send>,
     durable: Option<Durable>,
+    /// Incrementally maintained score order, refreshed lazily from the
+    /// engine's score deltas on ranked reads (`top_k`, `rank_of`,
+    /// `percentile`) — so the write path never pays a reduce for it.
+    rank: RankIndex,
 }
 
 impl fmt::Debug for Session {
@@ -583,6 +591,7 @@ impl Session {
                 let state = BetweennessState::resume(graph, store, manifest.cfg.clone())?;
                 Ok(Session {
                     engine: Box::new(state),
+                    rank: RankIndex::new(),
                     durable: Some(Durable {
                         dir,
                         kind: DurableKind::Disk,
@@ -634,6 +643,7 @@ impl Session {
                 let engine = ClusterEngine::resume(&graph, manifest.cfg.clone(), stores, version)?;
                 Ok(Session {
                     engine: Box::new(engine),
+                    rank: RankIndex::new(),
                     durable: Some(Durable {
                         dir,
                         kind: DurableKind::Sharded,
@@ -708,10 +718,54 @@ impl Session {
         Ok(self.engine.edge_centrality(u, v)?)
     }
 
-    /// The `k` currently most central vertices, ties toward smaller id
-    /// ([`ebc_core::ranking::top_k`] over the fast-path scores).
+    /// The `k` currently most central vertices, ties toward smaller id.
+    ///
+    /// Served from the session's incrementally maintained
+    /// [`RankIndex`] in `O(k + log n)` after an `O(changed)` refresh —
+    /// bitwise the same list [`ebc_core::ranking::top_k`] would produce
+    /// from a fresh [`Session::scores`] read, without the per-query
+    /// re-sort.
     pub fn top_k(&mut self, k: usize) -> Result<Vec<VertexId>, SessionError> {
-        Ok(self.engine.top_k(k)?)
+        self.refresh_rank()?;
+        Ok(self.rank.top_k(k))
+    }
+
+    /// 1-based rank of `v` in the current centrality order (1 = most
+    /// central, ties toward smaller id); `None` for an unknown vertex.
+    /// `O(log n)` after the delta refresh.
+    pub fn rank_of(&mut self, v: VertexId) -> Result<Option<usize>, SessionError> {
+        self.refresh_rank()?;
+        Ok(self.rank.rank_of(v))
+    }
+
+    /// Fraction of vertices ranked at or below `v` — `1.0` for the
+    /// current leader, `1/n` for the last place; `None` for an unknown
+    /// vertex. `O(log n)` after the delta refresh.
+    pub fn percentile(&mut self, v: VertexId) -> Result<Option<f64>, SessionError> {
+        self.refresh_rank()?;
+        Ok(self.rank.percentile(v))
+    }
+
+    /// Drain the engine's score delta since the last drain, keeping the
+    /// session's own [`RankIndex`] in sync before handing the delta to the
+    /// caller (the serve writer feeds its snapshot index from this).
+    pub fn take_score_delta(&mut self) -> Result<ScoreDelta, SessionError> {
+        let delta = self.engine.take_score_delta()?;
+        self.rank.apply(&delta);
+        Ok(delta)
+    }
+
+    /// A read-only view of the session's rank index, refreshed to the
+    /// engine's current scores.
+    pub fn rank_index(&mut self) -> Result<&RankIndex, SessionError> {
+        self.refresh_rank()?;
+        Ok(&self.rank)
+    }
+
+    fn refresh_rank(&mut self) -> Result<(), SessionError> {
+        let delta = self.engine.take_score_delta()?;
+        self.rank.apply(&delta);
+        Ok(())
     }
 
     /// Jaccard similarity between this session's current top-`k` vertex set

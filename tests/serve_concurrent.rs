@@ -16,6 +16,7 @@ use ebc_serve::json::Value;
 use ebc_serve::{Server, ServerConfig};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use streaming_bc::core::ranking;
 use streaming_bc::gen::models::holme_kim;
 use streaming_bc::graph::Graph;
 use streaming_bc::serve::ServedSession;
@@ -231,6 +232,113 @@ fn sharded_backend_serves_consistently_under_contention() {
     let dir = tmpdir("concurrent_sharded");
     run_cell(Backend::Sharded(dir.clone()), 3, Some(&dir), "sharded p=3");
     std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The subscriber's pushed `entered`/`left` deltas are exactly what a
+/// local [`RankTracker`] computes over the same update stream: one
+/// connection subscribes and applies batches, a mirror session feeds a
+/// tracker after every batch, and every event (diffed off the snapshot's
+/// rank index on the server side) must agree element for element.
+#[test]
+fn subscriber_deltas_match_a_local_rank_tracker() {
+    const K: usize = 4;
+    let ids = |line: &Value, key: &str| -> Vec<u32> {
+        line.get(key)
+            .and_then(Value::as_arr)
+            .unwrap_or_else(|| panic!("event missing {key}: {}", line.to_json()))
+            .iter()
+            .map(|v| v.as_u64().unwrap() as u32)
+            .collect()
+    };
+    let top_ids = |line: &Value| -> Vec<u32> {
+        line.get("top")
+            .and_then(Value::as_arr)
+            .unwrap()
+            .iter()
+            .map(|e| e.as_arr().unwrap()[0].as_u64().unwrap() as u32)
+            .collect()
+    };
+
+    let g = base_graph();
+    let session = Session::builder()
+        .backend(Backend::Memory)
+        .build(&g)
+        .unwrap();
+    let handle = Server::spawn(ServedSession::new(session), ServerConfig::default()).unwrap();
+    let addr = handle.tcp_addr().unwrap();
+
+    // the mirror: same graph, same stream, no server in sight
+    let mut mirror = Session::builder()
+        .backend(Backend::Memory)
+        .build(&g)
+        .unwrap();
+    let mut tracker = ranking::RankTracker::new(K);
+
+    let mut client = Client::connect(addr);
+    let ack = client.request(&format!(
+        r#"{{"id":"s","cmd":"subscribe","what":"top_k","k":{K}}}"#
+    ));
+    assert!(is_ok(&ack), "subscribe failed: {}", ack.to_json());
+
+    // the seed event is the first observation on both sides
+    let seed = client.recv();
+    assert_eq!(seed.get("event").and_then(Value::as_str), Some("top_k"));
+    let (entered, left) = tracker.observe(&mirror.scores().unwrap().scores.vbc);
+    assert_eq!(ids(&seed, "entered"), entered, "seed entered diverged");
+    assert_eq!(ids(&seed, "left"), left, "seed left diverged");
+    assert_eq!(top_ids(&seed), tracker.current(), "seed top diverged");
+
+    // one batch at a time on the subscribing connection itself: the
+    // writer task queues the batch's event (if any) before the ack, so
+    // every line up to the ack belongs to this batch
+    for (i, batch) in writer_ops(&writer_pools(&g)[0]).chunks(BATCH).enumerate() {
+        client.send(&apply_line(i as u64, Some("exact"), batch));
+        let mut events = Vec::new();
+        let ack = loop {
+            let line = client.recv();
+            if line.get("event").is_some() {
+                events.push(line);
+            } else {
+                break line;
+            }
+        };
+        assert!(is_ok(&ack), "apply failed: {}", ack.to_json());
+        assert!(events.len() <= 1, "more than one event for one batch");
+
+        mirror.apply_stream(batch).unwrap();
+        let (entered, left) = tracker.observe(&mirror.scores().unwrap().scores.vbc);
+        match events.pop() {
+            Some(event) => {
+                assert_eq!(
+                    u64_field(&event, "seq"),
+                    u64_field(&ack, "seq_last"),
+                    "event not stamped with its batch"
+                );
+                assert_eq!(
+                    ids(&event, "entered"),
+                    entered,
+                    "batch {i}: entered diverged"
+                );
+                assert_eq!(ids(&event, "left"), left, "batch {i}: left diverged");
+                assert_eq!(
+                    top_ids(&event),
+                    tracker.current(),
+                    "batch {i}: top diverged"
+                );
+            }
+            // no event means the watched ranking (ids *and* score bits)
+            // did not move; the tracker must agree there was no turnover
+            None => {
+                assert!(
+                    entered.is_empty() && left.is_empty(),
+                    "batch {i}: tracker saw turnover but no event arrived"
+                );
+            }
+        }
+    }
+
+    handle.shutdown();
+    handle.join();
 }
 
 /// Subscriptions under a concurrent writer: the ack arrives before the
