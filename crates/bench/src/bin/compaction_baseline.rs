@@ -1,0 +1,188 @@
+//! **Compaction & replay baseline** — produces the committed
+//! `BENCH_compaction.json`: what checkpoint-and-truncate compaction
+//! (DESIGN.md §14) costs on the write path, what it saves on disk, and
+//! what the `sbc replay` read path pays to time-travel.
+//!
+//! Per stream length, two disk sessions absorb the **same** toggle
+//! stream under `Checkpoint::EveryApply`:
+//!
+//! * `compacting` — `max_live_wal_bytes = 1 KiB`, so the live WAL is
+//!   sealed into history segments every few dozen updates;
+//! * `unbounded` — `max_live_wal_bytes = u64::MAX`, the append-forever
+//!   control.
+//!
+//! The cell then replays the full history and a mid-history seq through
+//! `Session::replay_dir`. Exactness is asserted **before** any timing:
+//! the replayed scores must be bitwise equal to the live session's
+//! `reduce_exact` — the tentpole acceptance bar, re-proven on every
+//! bench run.
+//!
+//! ```sh
+//! cargo run --release -p ebc-bench --bin compaction_baseline [-- --smoke] [-- --out PATH]
+//! ```
+//!
+//! `--smoke` shrinks the sweep to a seconds-long CI sanity pass.
+
+use std::time::Instant;
+use streaming_bc::core::Update;
+use streaming_bc::gen::models::holme_kim;
+use streaming_bc::graph::Graph;
+use streaming_bc::{Backend, CompactionConfig, Session};
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A valid toggle stream of `len` updates: add when absent, remove when
+/// present, tracked against a mirror graph so every update applies.
+fn toggle_stream(g: &Graph, len: usize, seed: u64) -> Vec<Update> {
+    let mut mirror = g.clone();
+    let mut state = seed;
+    let n = g.n() as u32;
+    let mut out = Vec::with_capacity(len);
+    while out.len() < len {
+        let r = splitmix64(&mut state);
+        let u = (r as u32) % n;
+        let v = ((r >> 32) as u32) % n;
+        if u == v {
+            continue;
+        }
+        let update = if mirror.has_edge(u, v) {
+            mirror.remove_edge(u, v).unwrap();
+            Update::remove(u, v)
+        } else {
+            mirror.add_edge(u, v).unwrap();
+            Update::add(u, v)
+        };
+        out.push(update);
+    }
+    out
+}
+
+fn bits(xs: &[f64]) -> Vec<u64> {
+    xs.iter().map(|x| x.to_bits()).collect()
+}
+
+/// Build a disk session in `dir`, stream every update, return the apply
+/// wall time in seconds.
+fn drive(dir: &std::path::Path, g: &Graph, stream: &[Update], max: u64) -> (Session, f64) {
+    let mut session = Session::builder()
+        .backend(Backend::Disk(dir.to_path_buf()))
+        .compaction(CompactionConfig {
+            keep_history: true,
+            max_live_wal_bytes: max,
+        })
+        .build(g)
+        .expect("build session");
+    let t0 = Instant::now();
+    for &u in stream {
+        session.apply(u).expect("apply");
+    }
+    (session, t0.elapsed().as_secs_f64())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let mut out_path = String::from("BENCH_compaction.json");
+    if let Some(i) = args.iter().position(|a| a == "--out") {
+        out_path = args.get(i + 1).expect("--out requires a path").clone();
+    }
+
+    const MAX: u64 = 1024;
+    let (n, lens): (usize, &[usize]) = if smoke {
+        (48, &[150])
+    } else {
+        (96, &[400, 1600, 6400])
+    };
+    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    let scratch = std::env::temp_dir().join(format!("sbc_bench_compaction_{}", std::process::id()));
+
+    let mut rows = Vec::new();
+    for &len in lens {
+        let g = holme_kim(n, 3, 0.4, 0x5eed ^ len as u64);
+        let stream = toggle_stream(&g, len, 0xc0de ^ len as u64);
+
+        let dir_c = scratch.join(format!("compacting_{len}"));
+        let dir_u = scratch.join(format!("unbounded_{len}"));
+        let (mut session_c, wall_c) = drive(&dir_c, &g, &stream, MAX);
+        let (session_u, wall_u) = drive(&dir_u, &g, &stream, u64::MAX);
+
+        // the bitwise contract first, then the stopwatch: replay over the
+        // sealed segments must reproduce the live scores exactly
+        let live = session_c.reduce_exact().expect("live reduce").scores;
+        let replayed = session_c
+            .replay_to(len as u64)
+            .expect("replay over segments");
+        assert_eq!(
+            bits(&live.vbc),
+            bits(&replayed.scores.vbc),
+            "len={len}: replayed VBC diverged from the live session"
+        );
+        assert_eq!(
+            bits(&live.ebc),
+            bits(&replayed.scores.ebc),
+            "len={len}: replayed EBC diverged from the live session"
+        );
+
+        let stats_c = session_c.history_stats().expect("history stats");
+        let stats_u = session_u.history_stats().expect("history stats");
+        assert!(
+            stats_c.live_wal_bytes <= MAX,
+            "len={len}: live WAL not bounded by the compaction threshold"
+        );
+        drop(session_c);
+        drop(session_u);
+
+        let t0 = Instant::now();
+        let full = Session::replay_dir(&dir_c, None).expect("replay all");
+        let replay_all_ms = t0.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(full.seq, len as u64);
+        let t0 = Instant::now();
+        Session::replay_dir(&dir_c, Some(len as u64 / 2)).expect("replay mid");
+        let replay_mid_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        let us_c = wall_c / len as f64 * 1e6;
+        let us_u = wall_u / len as f64 * 1e6;
+        eprintln!(
+            "updates={len:>5}: apply {us_u:.1}us -> {us_c:.1}us/update (x{:.2} with compaction), \
+             live WAL {} -> {} bytes, {} segments ({} sealed bytes), \
+             replay all {replay_all_ms:.1}ms / mid {replay_mid_ms:.1}ms",
+            us_c / us_u,
+            stats_u.live_wal_bytes,
+            stats_c.live_wal_bytes,
+            stats_c.segments,
+            stats_c.sealed_bytes,
+        );
+        rows.push(format!(
+            "    {{\"updates\": {len}, \"n\": {n}, \
+             \"apply_compacting_us\": {us_c:.3}, \"apply_unbounded_us\": {us_u:.3}, \
+             \"compaction_overhead\": {:.3}, \
+             \"live_wal_bytes_compacting\": {}, \"live_wal_bytes_unbounded\": {}, \
+             \"segments\": {}, \"sealed_bytes\": {}, \
+             \"replay_all_ms\": {replay_all_ms:.3}, \"replay_mid_ms\": {replay_mid_ms:.3}}}",
+            us_c / us_u,
+            stats_c.live_wal_bytes,
+            stats_u.live_wal_bytes,
+            stats_c.segments,
+            stats_c.sealed_bytes,
+        ));
+        let _ = std::fs::remove_dir_all(&dir_c);
+        let _ = std::fs::remove_dir_all(&dir_u);
+    }
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    let json = format!(
+        "{{\n  \"bench\": \"compaction\",\n  \"max_live_wal_bytes\": {MAX},\n  \
+         \"host_cores\": {cores},\n  \
+         \"metric\": \"per-update apply wall time under Checkpoint::EveryApply on the disk backend with checkpoint-and-truncate compaction (1 KiB live-WAL bound) vs an append-forever control, final live-WAL/sealed-segment byte accounting, and the sbc replay read path (full history and mid-history seq); every cell asserts replay-vs-live bitwise equality before timing\",\n  \
+         \"rows\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    std::fs::write(&out_path, json).expect("write baseline json");
+    eprintln!("wrote {out_path}");
+}

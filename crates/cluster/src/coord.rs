@@ -26,6 +26,7 @@
 //! tree segments, which is bitwise invariant to the partitioning *and* to
 //! how many failovers rewrote the groups.
 
+use crate::journal::{CoordJournal, CoordSnapshot, JournalEntry, JournalRecord};
 use crate::transport::{Mailbox, SendError, Transport};
 use crate::wire::{self, ErrKind, NodeId, NodeMsg, Reply, ReplyBody, Request};
 use ebc_core::exact::assemble;
@@ -34,6 +35,7 @@ use ebc_core::state::Update;
 use ebc_engine::shardmap::{ShardMap, SourceMove};
 use ebc_graph::{EdgeOp, Graph};
 use std::fmt;
+use std::path::Path;
 use std::time::{Duration, Instant};
 
 /// Timing and retry policy.
@@ -138,6 +140,8 @@ pub enum ClusterError {
     },
     /// The protocol broke down (unexpected reply shape).
     Protocol(String),
+    /// The coordinator's durable journal (`--dir`) failed or is corrupt.
+    Durability(String),
 }
 
 impl fmt::Display for ClusterError {
@@ -149,6 +153,7 @@ impl fmt::Display for ClusterError {
             }
             ClusterError::Node { kind, msg } => write!(f, "node error ({kind:?}): {msg}"),
             ClusterError::Protocol(m) => write!(f, "protocol: {m}"),
+            ClusterError::Durability(m) => write!(f, "durability: {m}"),
         }
     }
 }
@@ -192,6 +197,9 @@ pub struct Coordinator<T: Transport> {
     /// (or that the transport never dialed).
     known: std::collections::BTreeMap<NodeId, Option<String>>,
     events: Option<EventHook>,
+    /// Durable control state, when [`Coordinator::persist_to`] armed it
+    /// (or [`Coordinator::resume`] reopened it).
+    journal: Option<CoordJournal>,
 }
 
 impl<T: Transport> Coordinator<T> {
@@ -211,7 +219,151 @@ impl<T: Transport> Coordinator<T> {
             stale: Vec::new(),
             known: std::collections::BTreeMap::new(),
             events: None,
+            journal: None,
         }
+    }
+
+    /// Arm durable control state at `dir`: every map-changing event
+    /// (bootstrap, failover, handoff) rewrites a checksummed snapshot
+    /// there, and every applied update is write-ahead journaled, so
+    /// [`Coordinator::resume`] can restart this coordinator over the
+    /// running fleet. Call before [`bootstrap`](Coordinator::bootstrap);
+    /// calling later snapshots the current state immediately.
+    pub fn persist_to(&mut self, dir: impl AsRef<Path>) -> Result<(), ClusterError> {
+        self.journal = Some(CoordJournal::create(dir).map_err(ClusterError::Durability)?);
+        if !self.groups.is_empty() {
+            self.snapshot_now(false)?;
+        }
+        Ok(())
+    }
+
+    /// Rewrite the durable snapshot from the live state. `in_flight`
+    /// marks the newest journal record as possibly part-dispatched so
+    /// [`Coordinator::resume`] re-drives it. No-op without a journal.
+    fn snapshot_now(&mut self, in_flight: bool) -> Result<(), ClusterError> {
+        let Some(applied) = self.journal.as_ref().map(CoordJournal::len) else {
+            return Ok(());
+        };
+        let owned = (0..self.map.num_shards())
+            .map(|k| self.map.sources_of(k).to_vec())
+            .collect();
+        let snap = CoordSnapshot {
+            version: self.map.version(),
+            applied,
+            failovers: self.failovers,
+            groups: self
+                .groups
+                .iter()
+                .map(|g| {
+                    (
+                        g.leader.0,
+                        g.follower.map(|f| f.0),
+                        g.leader_hint.clone(),
+                        g.follower_hint.clone(),
+                    )
+                })
+                .collect(),
+            owned,
+            known: self.known.iter().map(|(n, h)| (n.0, h.clone())).collect(),
+            stale: self.stale.iter().map(|n| n.0).collect(),
+            next_index: self.next_index.clone(),
+            graph: self.replica.snapshot_bytes(),
+        };
+        self.journal
+            .as_mut()
+            .expect("journal checked above")
+            .write_snapshot(&snap, in_flight)
+            .map_err(ClusterError::Durability)
+    }
+
+    /// Restart a coordinator from the durable state a previous
+    /// incarnation left in `dir`, resuming command of the running node
+    /// fleet: reload the snapshot, re-fold the journaled update suffix
+    /// into the replica and map, re-drive the last journaled update at
+    /// its recorded WAL indices (the nodes' index dedup makes the retry
+    /// exactly-once in every crash window), and continue the RPC
+    /// sequence past the persisted reservation so nodes do not drop the
+    /// new incarnation's requests as stale.
+    ///
+    /// A crash *mid-handoff* is the one window this does not cover: the
+    /// donor may have retired a source the snapshot still assigns to it.
+    /// Re-bootstrap the cluster in that case.
+    pub fn resume(
+        transport: T,
+        mailbox: Mailbox,
+        cfg: CoordinatorConfig,
+        dir: impl AsRef<Path>,
+    ) -> Result<Self, ClusterError> {
+        let (journal, snap, base, records) =
+            CoordJournal::open(dir).map_err(ClusterError::Durability)?;
+        let replica = Graph::from_snapshot_bytes(&snap.graph)
+            .map_err(|e| ClusterError::Durability(format!("graph replica: {e}")))?;
+        let map = ShardMap::from_assignment_versioned(snap.owned.clone(), snap.version)
+            .map_err(|e| ClusterError::Durability(format!("shard map: {e}")))?;
+        let groups = snap
+            .groups
+            .iter()
+            .map(|(leader, follower, lh, fh)| ShardSpec {
+                leader: NodeId(*leader),
+                follower: follower.map(NodeId),
+                leader_hint: lh.clone(),
+                follower_hint: fh.clone(),
+            })
+            .collect();
+        let seq = journal.reserved_seq();
+        let mut coord = Coordinator {
+            transport,
+            mailbox,
+            cfg,
+            replica,
+            map,
+            groups,
+            next_index: snap.next_index.clone(),
+            seq,
+            failovers: snap.failovers,
+            stale: snap.stale.iter().copied().map(NodeId).collect(),
+            known: snap
+                .known
+                .iter()
+                .map(|(n, h)| (NodeId(*n), h.clone()))
+                .collect(),
+            events: None,
+            journal: Some(journal),
+        };
+        // re-fold the journal suffix the snapshot predates
+        for (i, rec) in records.iter().enumerate() {
+            if base + i as u64 >= snap.applied {
+                let adopter =
+                    Self::fold_update(&mut coord.replica, &mut coord.map, rec.entry.update)?;
+                debug_assert_eq!(adopter.map(|k| k as u32), rec.entry.adopter);
+            }
+        }
+        // re-drive the newest journaled update: shards that executed it
+        // answer from their dedup window, shards the crash cut off
+        // append it now — and every reply resyncs `next_index`
+        if let Some(last) = records.last().cloned() {
+            for k in 0..coord.groups.len() {
+                let adopt = (last.entry.adopter == Some(k as u32))
+                    .then(|| last.entry.update.u.max(last.entry.update.v));
+                match coord.shard_rpc(
+                    k,
+                    Request::Apply {
+                        index: last.indices[k],
+                        update: last.entry.update,
+                        adopt,
+                    },
+                )? {
+                    ReplyBody::Done { wal_len, .. } => coord.next_index[k] = wal_len,
+                    other => {
+                        return Err(ClusterError::Protocol(format!(
+                            "unexpected resume reply: {other:?}"
+                        )))
+                    }
+                }
+            }
+        }
+        coord.snapshot_now(false)?;
+        Ok(coord)
     }
 
     /// Install an observer for control-plane transitions.
@@ -268,6 +420,12 @@ impl<T: Transport> Coordinator<T> {
     ) -> Result<ReplyBody, RpcFail> {
         self.seq += 1;
         let seq = self.seq;
+        if let Some(j) = self.journal.as_mut() {
+            // extend the persisted seq ceiling so a resumed incarnation
+            // starts past every seq this one ever used (best-effort: a
+            // failed rewrite retries on the next RPC)
+            let _ = j.reserve_seq(seq);
+        }
         let frame = wire::encode(&NodeMsg::Request {
             seq,
             version: self.map.version(),
@@ -372,6 +530,10 @@ impl<T: Transport> Coordinator<T> {
                     leader: follower,
                     wal_len,
                 });
+                // the promotion bumped the fencing version: make it
+                // durable before anything is served under it (the
+                // newest journal record may still be part-dispatched)
+                self.snapshot_now(true)?;
                 Ok(())
             }
             _ => Err(ClusterError::ShardLost(k as u32)),
@@ -429,15 +591,19 @@ impl<T: Transport> Coordinator<T> {
                 Err(RpcFail::Dead) => return Err(ClusterError::ShardLost(k as u32)),
             }
         }
+        self.snapshot_now(false)?;
         Ok(())
     }
 
-    /// Replicate one edge update across every shard (the paper's map
-    /// phase, over the wire): validate against the replica, assign
-    /// adoption if the graph grew, then fan the WAL-indexed op to each
-    /// leader — failing over and retrying the same index when a lease
-    /// expires.
-    pub fn apply(&mut self, update: Update) -> Result<ApplyReport, ClusterError> {
+    /// Validate one update against the replica and fold it in (growing
+    /// the graph adopts the new vertex in the map). Deterministic, so a
+    /// resumed coordinator re-derives identical state by re-folding the
+    /// journaled update suffix. Returns the adopting shard, if any.
+    fn fold_update(
+        replica: &mut Graph,
+        map: &mut ShardMap,
+        update: Update,
+    ) -> Result<Option<usize>, ClusterError> {
         let Update { op, u, v } = update;
         if u == v {
             return Err(ClusterError::Invalid(format!("self loop at {u}")));
@@ -446,34 +612,57 @@ impl<T: Transport> Coordinator<T> {
         match op {
             EdgeOp::Add => {
                 let hi = u.max(v);
-                let n = self.replica.n();
+                let n = replica.n();
                 if (hi as usize) > n {
                     return Err(ClusterError::Invalid(format!(
                         "vertex {hi} arrives sparsely (graph has {n})"
                     )));
                 }
                 if (hi as usize) == n {
-                    self.replica.add_vertex();
+                    replica.add_vertex();
                     adopter = Some(
-                        self.map
-                            .adopt(hi)
+                        map.adopt(hi)
                             .map_err(|e| ClusterError::Invalid(e.to_string()))?,
                     );
                 }
-                if let Err(e) = self.replica.add_edge(u, v) {
+                if let Err(e) = replica.add_edge(u, v) {
                     return Err(ClusterError::Invalid(e.to_string()));
                 }
             }
             EdgeOp::Remove => {
-                self.replica
+                replica
                     .remove_edge(u, v)
                     .map_err(|e| ClusterError::Invalid(e.to_string()))?;
             }
         }
+        Ok(adopter)
+    }
+
+    /// Replicate one edge update across every shard (the paper's map
+    /// phase, over the wire): validate against the replica, assign
+    /// adoption if the graph grew, then fan the WAL-indexed op to each
+    /// leader — failing over and retrying the same index when a lease
+    /// expires.
+    pub fn apply(&mut self, update: Update) -> Result<ApplyReport, ClusterError> {
+        let adopter = Self::fold_update(&mut self.replica, &mut self.map, update)?;
+        if let Some(journal) = self.journal.as_mut() {
+            // write-ahead: journal the update and its dispatch indices
+            // before any shard sees it, so a resumed coordinator can
+            // re-drive exactly this entry at exactly these indices
+            journal
+                .append(&JournalRecord {
+                    entry: JournalEntry {
+                        update,
+                        adopter: adopter.map(|k| k as u32),
+                    },
+                    indices: self.next_index.clone(),
+                })
+                .map_err(ClusterError::Durability)?;
+        }
         let before = self.failovers;
         let mut degraded = Vec::new();
         for k in 0..self.groups.len() {
-            let adopt = (adopter == Some(k)).then(|| u.max(v));
+            let adopt = (adopter == Some(k)).then(|| update.u.max(update.v));
             let index = self.next_index[k];
             match self.shard_rpc(
                 k,
@@ -573,6 +762,7 @@ impl<T: Transport> Coordinator<T> {
         self.map
             .apply_move(mv)
             .map_err(|e| ClusterError::Protocol(e.to_string()))?;
+        self.snapshot_now(false)?;
         Ok(())
     }
 
@@ -621,6 +811,7 @@ impl<T: Transport> Coordinator<T> {
     /// Drain the cluster: best-effort `Shutdown` to every known node
     /// (leaders, followers, and fenced stragglers).
     pub fn shutdown(mut self) {
+        let _ = self.snapshot_now(false); // park a clean resume point
         let mut targets: Vec<NodeId> = self.known.keys().copied().collect();
         for g in &self.groups {
             targets.push(g.leader);

@@ -14,13 +14,15 @@
 #![deny(missing_docs)]
 
 pub mod coord;
+pub mod journal;
 pub mod node;
 pub mod sim;
 pub mod transport;
 pub mod wire;
 
 pub use coord::{ApplyReport, ClusterError, CoordEvent, Coordinator, CoordinatorConfig, ShardSpec};
+pub use journal::{CoordJournal, CoordSnapshot};
 pub use node::{KillSpec, KillWindow, NodeConfig, ShardNode};
-pub use sim::{SimBuilder, SimCluster};
+pub use sim::{HeadlessSim, SimBuilder, SimCluster};
 pub use transport::{FaultSpec, Mailbox, TcpTransport, TestNet, Transport};
 pub use wire::{NodeId, Role, COORD};

@@ -52,6 +52,13 @@ pub struct NodeConfig {
     /// When set, the WAL writes through to this file (torn tails are
     /// truncated on reopen; see [`OpLog::open`]).
     pub wal_path: Option<PathBuf>,
+    /// When set, compact the op log once its retained frames exceed this
+    /// many bytes — but only **behind the replication watermark**: a
+    /// leader never truncates an entry its follower has not acknowledged
+    /// (it may still have to re-ship it), so a lost follower freezes
+    /// compaction at the last acked index. `None` (the default) keeps the
+    /// log append-forever.
+    pub wal_compact_bytes: Option<u64>,
 }
 
 impl Default for NodeConfig {
@@ -61,6 +68,7 @@ impl Default for NodeConfig {
             rep_timeout: Duration::from_millis(200),
             update_cfg: UpdateConfig::default(),
             wal_path: None,
+            wal_compact_bytes: None,
         }
     }
 }
@@ -96,6 +104,10 @@ struct ShardRuntime {
     follower: Option<NodeId>,
     follower_hint: Option<String>,
     follower_lost: bool,
+    /// Replication watermark: the follower's last acknowledged log length
+    /// (entries `< acked` are durable on the follower too). Frozen when
+    /// the follower is lost.
+    acked: u64,
 }
 
 impl ShardRuntime {
@@ -126,6 +138,7 @@ impl ShardRuntime {
                 follower: None,
                 follower_hint: None,
                 follower_lost: false,
+                acked: 0,
             },
             brandes,
         ))
@@ -518,6 +531,7 @@ impl<T: Transport> ShardNode<T> {
         if self.killed_at(KillWindow::MidShip, index) {
             return Flow::Die; // follower has the entry: the coordinator doesn't know
         }
+        Self::maybe_compact(&self.cfg, &mut rt);
         let wal_len = rt.wal.len();
         let degraded = rt.degraded();
         self.rt = Some(rt);
@@ -567,6 +581,9 @@ impl<T: Transport> ShardNode<T> {
                 if env.from == f {
                     if let Ok(NodeMsg::RepAck { wal_len }) = wire::decode(&env.frame) {
                         if wal_len > index {
+                            // everything below the acked length is durable
+                            // on the follower: the compaction watermark
+                            rt.acked = rt.acked.max(wal_len);
                             return;
                         }
                     }
@@ -634,10 +651,34 @@ impl<T: Transport> ShardNode<T> {
         if rt.apply_entry(index, op).is_err() {
             return; // diverged replica is worse than a dead one: stop acking
         }
+        Self::maybe_compact(&self.cfg, rt);
         let wal_len = rt.wal.len();
         let _ = self
             .transport
             .send(from, None, &wire::encode(&NodeMsg::RepAck { wal_len }));
+    }
+
+    /// Drop WAL entries that are durable everywhere they need to be. A
+    /// leader compacts strictly behind the replication watermark (frozen
+    /// at the last acked index once the follower is lost); a follower —
+    /// or a leader running without a replica — compacts behind its own
+    /// log length. A failed rewrite is never fatal: the old file stays
+    /// intact and dedup-by-index absorbs the resurrected prefix on reopen.
+    fn maybe_compact(cfg: &NodeConfig, rt: &mut ShardRuntime) {
+        let Some(threshold) = cfg.wal_compact_bytes else {
+            return;
+        };
+        if rt.wal.byte_len() < threshold {
+            return;
+        }
+        let watermark = if rt.follower.is_none() && !rt.follower_lost {
+            rt.wal.len()
+        } else {
+            rt.acked
+        };
+        if watermark > rt.wal.base() {
+            let _ = rt.wal.truncate_prefix(watermark);
+        }
     }
 
     fn open_wal(&self) -> Result<OpLog, String> {
@@ -966,5 +1007,146 @@ mod tests {
         }
         lh.join().unwrap();
         fh.join().unwrap();
+    }
+
+    /// With an aggressive `wal_compact_bytes` the log compacts behind the
+    /// watermark on every op, yet indices stay globally stable: `wal_len`
+    /// keeps counting, dedup-by-index still absorbs re-sent ops, and a
+    /// promoted follower reports the full log length with bitwise-equal
+    /// partials.
+    #[test]
+    fn wal_compaction_preserves_indices_and_replication() {
+        let net = TestNet::new();
+        let coord_mb = net.add_node(COORD);
+        let (lid, fid) = (NodeId(1), NodeId(2));
+        let lmb = net.add_node(lid);
+        let fmb = net.add_node(fid);
+        let dir = std::env::temp_dir().join(format!("sbc-node-compact-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let cfg = |wal: PathBuf| NodeConfig {
+            wal_path: Some(wal),
+            wal_compact_bytes: Some(1),
+            ..NodeConfig::default()
+        };
+        let leader = ShardNode::new(lid, net.transport(lid), lmb, cfg(dir.join("leader.wal")));
+        let follower = ShardNode::new(fid, net.transport(fid), fmb, cfg(dir.join("follower.wal")));
+        let lh = std::thread::spawn(move || leader.run());
+        let fh = std::thread::spawn(move || follower.run());
+
+        let g = line_graph(5);
+        let r = rpc(
+            &net,
+            &coord_mb,
+            lid,
+            1,
+            0,
+            Request::Bootstrap {
+                shard: 0,
+                snapshot: g.snapshot_bytes(),
+                sources: vec![0, 1, 2, 3, 4],
+                follower: Some(fid),
+                follower_hint: None,
+            },
+        );
+        assert!(
+            matches!(r, Reply::Ok(ReplyBody::Bootstrapped { wal_len: 1, .. })),
+            "{r:?}"
+        );
+        for (i, (u, v)) in [(0u32, 2u32), (1, 3), (0, 4)].iter().enumerate() {
+            let r = rpc(
+                &net,
+                &coord_mb,
+                lid,
+                2 + i as u64,
+                0,
+                Request::Apply {
+                    index: 1 + i as u64,
+                    update: Update::add(*u, *v),
+                    adopt: None,
+                },
+            );
+            let want = 2 + i as u64;
+            assert!(
+                matches!(
+                    r,
+                    Reply::Ok(ReplyBody::Done {
+                        wal_len,
+                        deduped: false,
+                        degraded: false,
+                    }) if wal_len == want
+                ),
+                "apply {i}: {r:?}"
+            );
+        }
+
+        // an already-compacted index still dedups (index < global len)
+        let r = rpc(
+            &net,
+            &coord_mb,
+            lid,
+            5,
+            0,
+            Request::Apply {
+                index: 1,
+                update: Update::add(0, 2),
+                adopt: None,
+            },
+        );
+        assert!(
+            matches!(
+                r,
+                Reply::Ok(ReplyBody::Done {
+                    wal_len: 4,
+                    deduped: true,
+                    ..
+                })
+            ),
+            "compacted-index dedup: {r:?}"
+        );
+
+        let Reply::Ok(ReplyBody::Partials { scores: on_leader }) =
+            rpc(&net, &coord_mb, lid, 6, 0, Request::Partials)
+        else {
+            panic!("leader partials")
+        };
+        let r = rpc(&net, &coord_mb, fid, 1, 1, Request::Promote);
+        assert!(
+            matches!(r, Reply::Ok(ReplyBody::Done { wal_len: 4, .. })),
+            "{r:?}"
+        );
+        let Reply::Ok(ReplyBody::Partials {
+            scores: on_follower,
+        }) = rpc(&net, &coord_mb, fid, 2, 1, Request::Partials)
+        else {
+            panic!("follower partials")
+        };
+        let bits = |xs: &[f64]| xs.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&on_leader.vbc), bits(&on_follower.vbc));
+        assert_eq!(bits(&on_leader.ebc), bits(&on_follower.ebc));
+
+        for (id, seq) in [(lid, 7), (fid, 3)] {
+            rpc(&net, &coord_mb, id, seq, 1, Request::Shutdown);
+        }
+        lh.join().unwrap();
+        fh.join().unwrap();
+
+        // the on-disk logs really compacted: global length survives, but
+        // only the unacked suffix (leader) / nothing (follower keeps its
+        // own tail) is retained
+        let leader_log = OpLog::open(dir.join("leader.wal")).unwrap();
+        assert_eq!(leader_log.len(), 4, "global length is stable");
+        assert!(
+            leader_log.base() >= 3,
+            "leader compacted behind the watermark (base {})",
+            leader_log.base()
+        );
+        let follower_log = OpLog::open(dir.join("follower.wal")).unwrap();
+        assert_eq!(follower_log.len(), 4);
+        assert_eq!(
+            follower_log.base(),
+            4,
+            "follower compacts behind its own length"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -19,6 +19,7 @@ use crate::transport::{TestNet, TestTransport};
 use crate::wire::{NodeId, COORD};
 use ebc_graph::Graph;
 use std::collections::HashMap;
+use std::path::{Path, PathBuf};
 use std::thread::JoinHandle;
 
 /// Configures and launches a [`SimCluster`].
@@ -28,6 +29,7 @@ pub struct SimBuilder {
     node_cfg: NodeConfig,
     coord_cfg: CoordinatorConfig,
     kills: HashMap<NodeId, KillSpec>,
+    persist: Option<PathBuf>,
 }
 
 impl SimBuilder {
@@ -39,7 +41,17 @@ impl SimBuilder {
             node_cfg: NodeConfig::default(),
             coord_cfg: CoordinatorConfig::default(),
             kills: HashMap::new(),
+            persist: None,
         }
+    }
+
+    /// Arm coordinator durability at `dir` (see
+    /// [`Coordinator::persist_to`]): the launched control plane can then
+    /// be crashed with [`SimCluster::crash_coord`] and restarted with
+    /// [`HeadlessSim::resume_coord`].
+    pub fn persist_to(mut self, dir: impl AsRef<Path>) -> Self {
+        self.persist = Some(dir.as_ref().to_path_buf());
+        self
     }
 
     /// Run without followers (no replication, failover impossible).
@@ -86,6 +98,9 @@ impl SimBuilder {
             }
         }
         let mut coord = Coordinator::new(net.transport(COORD), coord_mb, self.coord_cfg);
+        if let Some(dir) = &self.persist {
+            coord.persist_to(dir)?;
+        }
         coord.bootstrap(g, specs)?;
         Ok(SimCluster {
             net,
@@ -131,6 +146,47 @@ impl SimCluster {
         for h in self.handles {
             let _ = h.join();
         }
+    }
+
+    /// Kill the control plane only: the coordinator is dropped (its
+    /// mailbox closes, as a crash would) while every node thread keeps
+    /// serving. Restart it from its durable directory with
+    /// [`HeadlessSim::resume_coord`].
+    pub fn crash_coord(self) -> HeadlessSim {
+        drop(self.coord);
+        HeadlessSim {
+            net: self.net,
+            handles: self.handles,
+            p: self.p,
+        }
+    }
+}
+
+/// A simulated cluster whose coordinator has crashed — the node fleet is
+/// still running and owns all the shard state.
+pub struct HeadlessSim {
+    /// The shared fabric.
+    pub net: TestNet,
+    handles: Vec<JoinHandle<()>>,
+    p: usize,
+}
+
+impl HeadlessSim {
+    /// Restart the control plane from the durable state at `dir` (see
+    /// [`Coordinator::resume`]) and hand back the running harness.
+    pub fn resume_coord(
+        self,
+        cfg: CoordinatorConfig,
+        dir: impl AsRef<Path>,
+    ) -> Result<SimCluster, ClusterError> {
+        let mb = self.net.add_node(COORD);
+        let coord = Coordinator::resume(self.net.transport(COORD), mb, cfg, dir)?;
+        Ok(SimCluster {
+            net: self.net,
+            coord,
+            handles: self.handles,
+            p: self.p,
+        })
     }
 }
 

@@ -189,6 +189,20 @@ pub trait EbcEngine {
     /// dispatched prefix still completes and the error is returned.
     fn apply_stream(&mut self, updates: &[Update]) -> Result<(), EbcError>;
 
+    /// [`EbcEngine::apply_stream`], also reporting how many updates were
+    /// actually applied — on a mid-batch validation error the applied
+    /// prefix is durable state, and history/journaling layers must record
+    /// exactly that prefix. The count is meaningful for validation
+    /// errors; an engine-poisoning failure leaves it a lower bound.
+    fn apply_stream_counted(&mut self, updates: &[Update]) -> (usize, Result<(), EbcError>) {
+        for (i, &u) in updates.iter().enumerate() {
+            if let Err(e) = self.apply(u) {
+                return (i, Err(e));
+            }
+        }
+        (updates.len(), Ok(()))
+    }
+
     /// The fast query path: the incrementally maintained scores (cluster
     /// embodiments fold per-worker partials — the paper's reduce, bitwise
     /// dependent on the worker count).

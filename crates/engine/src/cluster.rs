@@ -543,7 +543,24 @@ impl<S: BdStore + 'static> ClusterEngine<S> {
     /// usable) and the error is returned. Worker-side failures poison the
     /// engine.
     pub fn apply_stream(&mut self, updates: &[Update]) -> Result<Vec<ApplyReport>, EngineError> {
-        Ok(self.stream_inner(updates, 0)?.0)
+        let (reports, _, first_err) = self.stream_inner(updates, 0)?;
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(reports),
+        }
+    }
+
+    /// [`ClusterEngine::apply_stream`], but on a mid-stream validation
+    /// error the reports of the applied prefix are returned alongside the
+    /// error instead of being discarded — journaling layers need to know
+    /// exactly which prefix became durable state. Worker-side failures
+    /// still poison the engine and surface as the outer `Err`.
+    pub fn apply_stream_reported(
+        &mut self,
+        updates: &[Update],
+    ) -> Result<(Vec<ApplyReport>, Option<EngineError>), EngineError> {
+        let (reports, _, first_err) = self.stream_inner(updates, 0)?;
+        Ok((reports, first_err))
     }
 
     /// [`ClusterEngine::apply_stream`] with overlapped tree reduces: after
@@ -566,16 +583,25 @@ impl<S: BdStore + 'static> ClusterEngine<S> {
         updates: &[Update],
         reduce_every: usize,
     ) -> Result<(Vec<ApplyReport>, Vec<Reduced>), EngineError> {
-        self.stream_inner(updates, reduce_every.max(1))
+        let (reports, reduces, first_err) = self.stream_inner(updates, reduce_every.max(1))?;
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok((reports, reduces)),
+        }
     }
 
     /// Shared pipelined loop: dispatch up to `window` events ahead of
-    /// collection; `reduce_every == 0` disables interleaved reduces.
+    /// collection; `reduce_every == 0` disables interleaved reduces. The
+    /// outer `Err` is an engine-poisoning worker failure; a validation
+    /// error travels in the third slot with the applied prefix's reports
+    /// intact (on validation errors every dispatched op completes, so
+    /// `reports.len()` is exactly the applied count).
+    #[allow(clippy::type_complexity)]
     fn stream_inner(
         &mut self,
         updates: &[Update],
         reduce_every: usize,
-    ) -> Result<(Vec<ApplyReport>, Vec<Reduced>), EngineError> {
+    ) -> Result<(Vec<ApplyReport>, Vec<Reduced>, Option<EngineError>), EngineError> {
         self.ensure_live()?;
         let window = (2 * self.pool.len()).max(4);
         let mut reports = Vec::with_capacity(updates.len());
@@ -635,10 +661,7 @@ impl<S: BdStore + 'static> ClusterEngine<S> {
                 }
             }
         }
-        match first_err {
-            Some(e) => Err(e),
-            None => Ok((reports, reduces)),
-        }
+        Ok((reports, reduces, first_err))
     }
 
     /// Queue one non-blocking tree reduce on all workers, recording the
@@ -877,6 +900,16 @@ impl<S: BdStore + 'static> EbcEngine for ClusterEngine<S> {
     fn apply_stream(&mut self, updates: &[Update]) -> Result<(), EbcError> {
         ClusterEngine::apply_stream(self, updates)?;
         Ok(())
+    }
+
+    fn apply_stream_counted(&mut self, updates: &[Update]) -> (usize, Result<(), EbcError>) {
+        match ClusterEngine::apply_stream_reported(self, updates) {
+            Ok((reports, None)) => (reports.len(), Ok(())),
+            Ok((reports, Some(e))) => (reports.len(), Err(e.into())),
+            // poisoned: the count is a lower bound, but the engine is
+            // unusable and the session must be reopened anyway
+            Err(e) => (0, Err(e.into())),
+        }
     }
 
     fn scores(&mut self) -> Result<Reduced, EbcError> {

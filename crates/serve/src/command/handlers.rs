@@ -142,6 +142,15 @@ impl ConnCtx {
                 if let Some(v) = snap.info.map_version {
                     fields.push(("map_version", Value::from(v)));
                 }
+                if let Some(v) = snap.info.live_wal_bytes {
+                    fields.push(("live_wal_bytes", Value::from(v)));
+                }
+                if let Some(v) = snap.info.sealed_history_bytes {
+                    fields.push(("sealed_history_bytes", Value::from(v)));
+                }
+                if let Some(v) = snap.info.last_compaction_seq {
+                    fields.push(("last_compaction_seq", Value::from(v)));
+                }
                 ok_response(id, fields)
             }
             Command::Apply { updates } => {
@@ -281,6 +290,14 @@ fn engine_error_response(id: Value, err: &ServeError) -> String {
         detail.push(("store_version", Value::from(*store_version)));
         detail.push(("manifest_sources", Value::from(*manifest_sources)));
         detail.push(("record_sources", Value::from(*record_sources)));
+    }
+    if let ServeError::HistoryGap {
+        missing_first,
+        missing_last,
+    } = err
+    {
+        detail.push(("missing_first", Value::from(*missing_first)));
+        detail.push(("missing_last", Value::from(*missing_last)));
     }
     obj([
         ("id", id),

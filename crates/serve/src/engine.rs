@@ -39,6 +39,16 @@ pub enum ServeError {
     /// The operation needs an embodiment this session does not have
     /// (e.g. `rebalance` on a single-machine backend).
     Unsupported(String),
+    /// A replay (or open) reached for history records that no sealed
+    /// segment holds — a deleted segment file, or a seek below a
+    /// `keep_history = false` truncation point. Carried field-for-field
+    /// from `SessionError::HistoryGap` so clients see the missing range.
+    HistoryGap {
+        /// First missing seq.
+        missing_first: u64,
+        /// Last missing seq.
+        missing_last: u64,
+    },
     /// The server is draining for shutdown and refuses new work.
     ShuttingDown,
 }
@@ -60,6 +70,13 @@ impl fmt::Display for ServeError {
                  (map v{manifest_map_version})"
             ),
             ServeError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+            ServeError::HistoryGap {
+                missing_first,
+                missing_last,
+            } => write!(
+                f,
+                "history has a gap: records {missing_first}..={missing_last} are missing"
+            ),
             ServeError::ShuttingDown => write!(f, "server is shutting down"),
         }
     }
@@ -76,6 +93,7 @@ impl ServeError {
             ServeError::Engine(_) => "engine",
             ServeError::RecordsAhead { .. } => "records_ahead",
             ServeError::Unsupported(_) => "unsupported",
+            ServeError::HistoryGap { .. } => "history_gap",
             ServeError::ShuttingDown => "shutting_down",
         }
     }
@@ -105,6 +123,14 @@ pub struct EngineInfo {
     pub backend: String,
     /// Ownership-map version for partitioned embodiments.
     pub map_version: Option<u64>,
+    /// Bytes of live (not yet compacted) journal frames, for durable
+    /// sessions with a history directory.
+    pub live_wal_bytes: Option<u64>,
+    /// Total bytes across sealed history segments.
+    pub sealed_history_bytes: Option<u64>,
+    /// Highest seq folded into a compaction (sealed or discarded);
+    /// 0 before the first compaction.
+    pub last_compaction_seq: Option<u64>,
 }
 
 /// What the server needs from a session. One instance is owned by the

@@ -283,6 +283,9 @@ impl Server {
                 workers: 0,
                 backend: "unavailable".to_string(),
                 map_version: None,
+                live_wal_bytes: None,
+                sealed_history_bytes: None,
+                last_compaction_seq: None,
             },
         };
         let shared = Arc::new(Shared {

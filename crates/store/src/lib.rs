@@ -77,12 +77,16 @@
 
 pub mod codec;
 pub mod disk;
+pub mod history;
 pub mod oplog;
 pub mod recovery;
 pub mod shard;
 
 pub use codec::CodecKind;
 pub use disk::{BatchPlan, DiskBdStore, ExportJournal, FormatVersion, SlotRun};
+pub use history::{
+    read_sealed, write_sealed, HistoryError, HistoryLog, HistoryRecord, HistoryStats,
+};
 pub use oplog::OpLog;
 pub use recovery::{fnv1a64, IntentOp, RecoveryAction};
 pub use shard::{HandoffRecovery, ShardSet};

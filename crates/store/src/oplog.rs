@@ -20,34 +20,55 @@
 use crate::recovery::fnv1a64;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use crate::BdError;
 
+/// Magic header of a compacted (format v2) op-log file: the 8-byte tag
+/// followed by the base index (`u64` LE) of the first retained entry.
+/// Headerless files are legacy format v1 with base 0.
+const OPLOG_V2_MAGIC: &[u8; 8] = b"EBCOPLG2";
+
 /// Append-only log of opaque entries, optionally file-backed.
 ///
-/// Entries are kept resident in both modes (the log doubles as the
-/// replication send buffer: a leader re-ships any suffix on demand), so
-/// `entry(i)` is always O(1).
+/// Retained entries are kept resident in both modes (the log doubles as
+/// the replication send buffer: a leader re-ships any suffix on demand),
+/// so `entry(i)` is always O(1). [`OpLog::truncate_prefix`] discards a
+/// durable prefix — e.g. cluster entries already acknowledged by the
+/// follower — without renumbering: indices are forever, `len()` keeps
+/// counting from 0, and a truncated index simply reads as `None`.
 pub struct OpLog {
+    /// Index of the first retained entry (entries `0..base` were
+    /// compacted away).
+    base: u64,
     entries: Vec<Vec<u8>>,
+    /// Total frame bytes of retained entries (excluding any v2 header).
+    byte_len: u64,
     file: Option<File>,
+    path: Option<PathBuf>,
 }
 
 impl OpLog {
     /// A purely in-memory log.
     pub fn memory() -> Self {
         OpLog {
+            base: 0,
             entries: Vec::new(),
+            byte_len: 0,
             file: None,
+            path: None,
         }
     }
 
     /// Open (or create) a file-backed log at `path`, recovering every
     /// complete entry and truncating a torn tail. A checksum mismatch
     /// anywhere before the tail is corruption, not a crash artifact, and
-    /// is reported as an error.
+    /// is reported as an error. Both legacy headerless files and
+    /// compacted files (v2 header carrying the base index) are readable.
     pub fn open<P: AsRef<Path>>(path: P) -> Result<Self, BdError> {
+        // A leftover `.tmp` is a compaction that died pre-rename; the
+        // real file is intact, so the tmp is garbage.
+        std::fs::remove_file(tmp_path(path.as_ref())).ok();
         let mut file = OpenOptions::new()
             .read(true)
             .write(true)
@@ -57,9 +78,14 @@ impl OpLog {
             .map_err(BdError::Io)?;
         let mut bytes = Vec::new();
         file.read_to_end(&mut bytes).map_err(BdError::Io)?;
-        let mut entries = Vec::new();
         let mut pos = 0usize;
-        let mut durable = 0usize;
+        let mut base = 0u64;
+        if bytes.len() >= 16 && &bytes[..8] == OPLOG_V2_MAGIC {
+            base = u64::from_le_bytes(bytes[8..16].try_into().expect("8"));
+            pos = 16;
+        }
+        let mut entries = Vec::new();
+        let mut durable = pos;
         while bytes.len() - pos >= 12 {
             let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4")) as usize;
             let ck = u64::from_le_bytes(bytes[pos + 4..pos + 12].try_into().expect("8"));
@@ -86,8 +112,11 @@ impl OpLog {
         file.seek(SeekFrom::Start(durable as u64))
             .map_err(BdError::Io)?;
         Ok(OpLog {
+            base,
+            byte_len: entries.iter().map(|e| 12 + e.len() as u64).sum(),
             entries,
             file: Some(file),
+            path: Some(path.as_ref().to_path_buf()),
         })
     }
 
@@ -102,28 +131,87 @@ impl OpLog {
             frame.extend_from_slice(entry);
             file.write_all(&frame).map_err(BdError::Io)?;
         }
+        self.byte_len += 12 + entry.len() as u64;
         self.entries.push(entry.to_vec());
-        Ok(self.entries.len() as u64 - 1)
+        Ok(self.base + self.entries.len() as u64 - 1)
     }
 
-    /// Number of entries.
+    /// Number of entries ever appended (compacted entries still count:
+    /// indices are never renumbered).
     pub fn len(&self) -> u64 {
-        self.entries.len() as u64
+        self.base + self.entries.len() as u64
     }
 
-    /// True when no entry has been appended.
+    /// True when no entry has ever been appended.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len() == 0
     }
 
-    /// Entry `index`, if present.
+    /// Index of the first retained entry; entries below it were
+    /// compacted away and read as `None`.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Total frame bytes of retained entries — the live on-disk weight a
+    /// `stats` surface reports.
+    pub fn byte_len(&self) -> u64 {
+        self.byte_len
+    }
+
+    /// Entry `index`, if present and not compacted away.
     pub fn entry(&self, index: u64) -> Option<&[u8]> {
-        self.entries.get(index as usize).map(Vec::as_slice)
+        index
+            .checked_sub(self.base)
+            .and_then(|i| self.entries.get(i as usize))
+            .map(Vec::as_slice)
     }
 
-    /// All entries in append order.
+    /// All retained entries in append order.
     pub fn entries(&self) -> impl Iterator<Item = &[u8]> {
         self.entries.iter().map(Vec::as_slice)
+    }
+
+    /// Discard every entry with index `< upto` (keeping indices stable).
+    /// File-backed logs rewrite themselves as a compacted v2 file via
+    /// tmp+rename: a crash mid-compaction leaves the original intact (the
+    /// stale tmp is swept on the next open). Returns the number of
+    /// entries discarded.
+    pub fn truncate_prefix(&mut self, upto: u64) -> Result<u64, BdError> {
+        let upto = upto.min(self.len());
+        if upto <= self.base {
+            return Ok(0);
+        }
+        let drop = (upto - self.base) as usize;
+        self.entries.drain(..drop);
+        self.base = upto;
+        self.byte_len = self.entries.iter().map(|e| 12 + e.len() as u64).sum();
+        if let (Some(path), Some(_)) = (&self.path, &self.file) {
+            let path = path.clone();
+            let tmp = tmp_path(&path);
+            let mut bytes = Vec::with_capacity(16 + self.byte_len as usize);
+            bytes.extend_from_slice(OPLOG_V2_MAGIC);
+            bytes.extend_from_slice(&self.base.to_le_bytes());
+            for entry in &self.entries {
+                bytes.extend_from_slice(&(entry.len() as u32).to_le_bytes());
+                bytes.extend_from_slice(&fnv1a64(entry).to_le_bytes());
+                bytes.extend_from_slice(entry);
+            }
+            {
+                let mut f = File::create(&tmp).map_err(BdError::Io)?;
+                f.write_all(&bytes).map_err(BdError::Io)?;
+                f.sync_data().map_err(BdError::Io)?;
+            }
+            std::fs::rename(&tmp, &path).map_err(BdError::Io)?;
+            let mut file = OpenOptions::new()
+                .read(true)
+                .write(true)
+                .open(&path)
+                .map_err(BdError::Io)?;
+            file.seek(SeekFrom::End(0)).map_err(BdError::Io)?;
+            self.file = Some(file);
+        }
+        Ok(drop as u64)
     }
 
     /// Sync the file backing (no-op in memory mode).
@@ -133,6 +221,15 @@ impl OpLog {
         }
         Ok(())
     }
+}
+
+fn tmp_path(path: &Path) -> PathBuf {
+    let mut name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_default();
+    name.push_str(".tmp");
+    path.with_file_name(name)
 }
 
 #[cfg(test)]
@@ -202,6 +299,71 @@ mod tests {
         let log = OpLog::open(&path).unwrap();
         assert_eq!(log.len(), 2);
         assert_eq!(log.entry(1), Some(&b"replacement"[..]));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncate_prefix_keeps_indices_stable_across_reopen() {
+        let path = tmp("compact");
+        std::fs::remove_file(&path).ok();
+        {
+            let mut log = OpLog::open(&path).unwrap();
+            for i in 0..6u64 {
+                log.append(format!("op{i}").as_bytes()).unwrap();
+            }
+            assert_eq!(log.truncate_prefix(4).unwrap(), 4);
+            assert_eq!(log.len(), 6);
+            assert_eq!(log.base(), 4);
+            assert_eq!(log.entry(3), None);
+            assert_eq!(log.entry(4), Some(&b"op4"[..]));
+            // appends continue the global numbering
+            assert_eq!(log.append(b"op6").unwrap(), 6);
+            // truncating below the base is a no-op
+            assert_eq!(log.truncate_prefix(2).unwrap(), 0);
+        }
+        let mut log = OpLog::open(&path).unwrap();
+        assert_eq!(log.len(), 7);
+        assert_eq!(log.base(), 4);
+        assert_eq!(log.entry(5), Some(&b"op5"[..]));
+        assert_eq!(log.entry(0), None);
+        assert!(log.byte_len() > 0);
+        // a second compaction over a compacted file
+        log.truncate_prefix(7).unwrap();
+        assert!(log.entries().next().is_none());
+        assert_eq!(log.append(b"op7").unwrap(), 7);
+        drop(log);
+        let log = OpLog::open(&path).unwrap();
+        assert_eq!(log.len(), 8);
+        assert_eq!(log.entry(7), Some(&b"op7"[..]));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn memory_log_truncates_prefix_too() {
+        let mut log = OpLog::memory();
+        log.append(b"a").unwrap();
+        log.append(b"b").unwrap();
+        log.truncate_prefix(1).unwrap();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.entry(0), None);
+        assert_eq!(log.entry(1), Some(&b"b"[..]));
+        assert!(!log.is_empty());
+    }
+
+    #[test]
+    fn stale_compaction_tmp_is_swept_on_open() {
+        let path = tmp("stale_tmp");
+        std::fs::remove_file(&path).ok();
+        {
+            let mut log = OpLog::open(&path).unwrap();
+            log.append(b"survivor").unwrap();
+        }
+        // a compaction that died pre-rename leaves a tmp next door
+        std::fs::write(super::tmp_path(&path), b"half written").unwrap();
+        let log = OpLog::open(&path).unwrap();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.entry(0), Some(&b"survivor"[..]));
+        assert!(!super::tmp_path(&path).exists());
         std::fs::remove_file(&path).ok();
     }
 

@@ -6,11 +6,18 @@
 //! sbc approx  <edgelist> --samples k [--top k] sampled approximation
 //! sbc stream  <edgelist> <updates> [--top k]   bootstrap + incremental replay
 //! sbc gn      <edgelist> [--removals k]        Girvan–Newman communities
+//! sbc replay  --dir D [--at seq|all] [--top k] scores-as-of-seq from history
 //! sbc serve   (--edgelist F | --open DIR) ...  network frontend (README "Serving")
 //! sbc node    --id N [--tcp ADDR] [--wal F]    cluster shard node (DESIGN.md §12)
 //! sbc coord   --edgelist F --leaders L ...     cluster coordinator, batch driver
 //! sbc coord   ... --serve [--tcp ADDR]         coordinator behind the JSON frontend
+//! sbc coord   ... --dir D                      durable control plane (restartable)
 //! ```
+//!
+//! `sbc replay` reconstructs the exact scores a session reported at any
+//! history seq by replaying its sealed history segments (README "Replay &
+//! retention"); `sbc coord --dir` persists the coordinator's shard map and
+//! journal so a killed coordinator resumes command of its running fleet.
 //!
 //! Edge lists are whitespace-separated `u v` lines (`#`/`%` comments).
 //! Update files contain `+ u v` / `- u v` lines applied in order.
@@ -45,13 +52,15 @@ fn main() -> ExitCode {
             eprintln!("  sbc approx <edgelist> --samples k [--top k]");
             eprintln!("  sbc stream <edgelist> <updates-file> [--top k]");
             eprintln!("  sbc gn     <edgelist> [--removals k]");
+            eprintln!("  sbc replay --dir DIR [--at seq|all] [--top k]");
             eprintln!("  sbc serve  (--edgelist F | --open DIR) [--tcp ADDR] [--unix PATH]");
             eprintln!("             [--workers p] [--dir DIR] [--queue n]");
-            eprintln!("  sbc node   --id N [--tcp ADDR] [--wal FILE]");
+            eprintln!("  sbc node   --id N [--tcp ADDR] [--wal FILE] [--wal-compact BYTES]");
             eprintln!("  sbc coord  --edgelist F --leaders id@addr,.. [--followers id@addr,..]");
             eprintln!(
                 "             [--updates FILE] [--top k] [--serve [--tcp ADDR] [--unix PATH]]"
             );
+            eprintln!("             [--dir DIR]   (resumes from DIR when a snapshot exists)");
             ExitCode::FAILURE
         }
     }
@@ -133,6 +142,7 @@ fn run(args: &[String]) -> Result<(), String> {
             }
             Ok(())
         }
+        "replay" => replay(args),
         "serve" => serve(args),
         "node" => node(args),
         "coord" => coord(args),
@@ -145,6 +155,42 @@ fn str_flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
         .position(|a| a == name)
         .and_then(|i| args.get(i + 1))
         .map(String::as_str)
+}
+
+/// `sbc replay`: temporal analytics over a session directory's sealed
+/// history — reconstruct the exact scores the session reported at seq
+/// `--at` (or the newest seq with `--at all`, the default) and print them
+/// with full `f64` round-trip precision, like `sbc coord` batch output.
+/// A directory with a sealed-segment gap is refused with the typed
+/// missing range.
+fn replay(args: &[String]) -> Result<(), String> {
+    let dir = str_flag(args, "--dir").ok_or("replay needs --dir DIR")?;
+    let at = match str_flag(args, "--at") {
+        None | Some("all") => None,
+        Some(s) => Some(
+            s.parse::<u64>()
+                .map_err(|_| format!("bad --at {s:?} (want a seq or 'all')"))?,
+        ),
+    };
+    let replayed = Session::replay_dir(dir, at).map_err(|e| format!("replay {dir}: {e}"))?;
+    let scores = &replayed.reduced.scores;
+    println!(
+        "# replayed {dir} to seq={} in {:.3}s",
+        replayed.seq,
+        replayed.reduced.wall.as_secs_f64()
+    );
+    // `{}` on f64 is shortest-round-trip: these lines parse back bitwise
+    for (v, x) in scores.vbc.iter().enumerate() {
+        println!("v {v} {x}");
+    }
+    for (key, x) in scores.ebc_entries(&replayed.graph) {
+        let (u, v) = key.endpoints();
+        println!("e {u} {v} {x}");
+    }
+    if let Some(k) = flag(args, "--top") {
+        print_top(&replayed.graph, &scores.vbc, scores, k);
+    }
+    Ok(())
 }
 
 /// `sbc serve`: build or reopen a session, then hand it to the frontend.
@@ -249,6 +295,9 @@ fn node(args: &[String]) -> Result<(), String> {
 
     let cfg = NodeConfig {
         wal_path: str_flag(args, "--wal").map(Into::into),
+        // compact the op log behind the replication watermark once it
+        // retains this many bytes (omit to keep it append-forever)
+        wal_compact_bytes: flag(args, "--wal-compact").map(|b| b as u64),
         ..NodeConfig::default()
     };
     ShardNode::new(NodeId(id), t, mb, cfg).run();
@@ -276,30 +325,10 @@ fn parse_peers(spec: &str) -> Result<Vec<(u32, String)>, String> {
 /// scores with full `f64` round-trip precision, and drains the cluster.
 fn coord(args: &[String]) -> Result<(), String> {
     use streaming_bc::cluster::{
-        transport, Coordinator, CoordinatorConfig, NodeId, ShardSpec, TcpTransport, COORD,
+        transport, CoordJournal, Coordinator, CoordinatorConfig, NodeId, ShardSpec, TcpTransport,
+        COORD,
     };
-    let g = load(str_flag(args, "--edgelist").map(String::from).as_ref())?;
-    let leaders = parse_peers(str_flag(args, "--leaders").ok_or("coord needs --leaders")?)?;
-    let followers = match str_flag(args, "--followers") {
-        Some(spec) => parse_peers(spec)?,
-        None => Vec::new(),
-    };
-    if leaders.is_empty() {
-        return Err("coord needs at least one leader".into());
-    }
-    if !followers.is_empty() && followers.len() != leaders.len() {
-        return Err("--followers must list one follower per leader".into());
-    }
-    let specs: Vec<ShardSpec> = leaders
-        .iter()
-        .enumerate()
-        .map(|(k, (id, addr))| ShardSpec {
-            leader: NodeId(*id),
-            leader_hint: Some(addr.clone()),
-            follower: followers.get(k).map(|(id, _)| NodeId(*id)),
-            follower_hint: followers.get(k).map(|(_, addr)| addr.clone()),
-        })
-        .collect();
+    let dir = str_flag(args, "--dir");
     let updates = match args.iter().position(|a| a == "--updates") {
         Some(i) => load_updates(args.get(i + 1))?,
         None => Vec::new(),
@@ -307,10 +336,46 @@ fn coord(args: &[String]) -> Result<(), String> {
 
     let (tx, mb) = transport::mailbox();
     let t = TcpTransport::new(COORD, tx);
-    let mut coord = Coordinator::new(t, mb, CoordinatorConfig::default());
-    coord
-        .bootstrap(&g, specs)
-        .map_err(|e| format!("bootstrap failed: {e}"))?;
+    let mut coord = if let Some(dir) = dir.filter(|d| CoordJournal::exists(d)) {
+        // a previous incarnation left durable control state: resume
+        // command of the running fleet instead of re-bootstrapping
+        eprintln!("sbc coord: resuming from {dir}");
+        Coordinator::resume(t, mb, CoordinatorConfig::default(), dir)
+            .map_err(|e| format!("resume {dir}: {e}"))?
+    } else {
+        let g = load(str_flag(args, "--edgelist").map(String::from).as_ref())?;
+        let leaders = parse_peers(str_flag(args, "--leaders").ok_or("coord needs --leaders")?)?;
+        let followers = match str_flag(args, "--followers") {
+            Some(spec) => parse_peers(spec)?,
+            None => Vec::new(),
+        };
+        if leaders.is_empty() {
+            return Err("coord needs at least one leader".into());
+        }
+        if !followers.is_empty() && followers.len() != leaders.len() {
+            return Err("--followers must list one follower per leader".into());
+        }
+        let specs: Vec<ShardSpec> = leaders
+            .iter()
+            .enumerate()
+            .map(|(k, (id, addr))| ShardSpec {
+                leader: NodeId(*id),
+                leader_hint: Some(addr.clone()),
+                follower: followers.get(k).map(|(id, _)| NodeId(*id)),
+                follower_hint: followers.get(k).map(|(_, addr)| addr.clone()),
+            })
+            .collect();
+        let mut coord = Coordinator::new(t, mb, CoordinatorConfig::default());
+        if let Some(dir) = dir {
+            coord
+                .persist_to(dir)
+                .map_err(|e| format!("persist to {dir}: {e}"))?;
+        }
+        coord
+            .bootstrap(&g, specs)
+            .map_err(|e| format!("bootstrap failed: {e}"))?;
+        coord
+    };
     let total = updates.len();
     for u in updates {
         coord.apply(u).map_err(|e| format!("apply failed: {e}"))?;

@@ -85,4 +85,7 @@ mod session;
 pub use ebc_core::api::{EbcEngine, EbcError, RebalanceOutcome, Reduced, ShardAssignment};
 pub use ebc_core::ranking;
 pub use ebc_core::state::Update;
-pub use session::{Backend, Checkpoint, Session, SessionBuilder, SessionError};
+pub use ebc_store::HistoryStats;
+pub use session::{
+    Backend, Checkpoint, CompactionConfig, Replayed, Session, SessionBuilder, SessionError,
+};

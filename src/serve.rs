@@ -86,6 +86,13 @@ pub fn serve_error(e: &SessionError) -> ServeError {
         SessionError::Engine(EbcError::Engine(msg)) if msg.contains("requires a sharded") => {
             ServeError::Unsupported(msg.clone())
         }
+        SessionError::HistoryGap {
+            missing_first,
+            missing_last,
+        } => ServeError::HistoryGap {
+            missing_first: *missing_first,
+            missing_last: *missing_last,
+        },
         other => ServeError::Engine(other.to_string()),
     }
 }
@@ -236,6 +243,9 @@ impl<T: Transport> ServeEngine for ServedCluster<T> {
                 workers: coord.num_shards(),
                 backend: "cluster".to_string(),
                 map_version: Some(coord.version()),
+                live_wal_bytes: None,
+                sealed_history_bytes: None,
+                last_compaction_seq: None,
             },
             None => EngineInfo {
                 n: 0,
@@ -243,6 +253,9 @@ impl<T: Transport> ServeEngine for ServedCluster<T> {
                 workers: 0,
                 backend: "cluster".to_string(),
                 map_version: None,
+                live_wal_bytes: None,
+                sealed_history_bytes: None,
+                last_compaction_seq: None,
             },
         }
     }
@@ -300,12 +313,16 @@ impl ServeEngine for ServedSession {
     }
 
     fn info(&self) -> EngineInfo {
+        let history = self.session.history_stats();
         EngineInfo {
             n: self.session.graph().n(),
             m: self.session.graph().m(),
             workers: self.session.workers(),
             backend: self.backend_label().to_string(),
             map_version: self.session.shard_map().map(|m| m.version),
+            live_wal_bytes: history.as_ref().map(|h| h.live_wal_bytes),
+            sealed_history_bytes: history.as_ref().map(|h| h.sealed_bytes),
+            last_compaction_seq: history.as_ref().map(|h| h.last_compaction_seq),
         }
     }
 }

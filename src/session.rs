@@ -54,7 +54,9 @@ use ebc_core::state::{BetweennessState, Update};
 use ebc_core::verify::Divergence;
 use ebc_engine::{ClusterEngine, EngineError};
 use ebc_graph::snapshot::SnapshotError;
+use ebc_graph::stream::EdgeOp;
 use ebc_graph::{Graph, VertexId};
+use ebc_store::history::{read_sealed, write_sealed, HistoryError, HistoryLog, HistoryStats};
 use ebc_store::{fnv1a64, BdStore, CodecKind, DiskBdStore, ShardSet};
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -67,6 +69,11 @@ const MANIFEST_MAGIC: &str = "EBCSESSION v1";
 const DISK_STORE_NAME: &str = "bd.ebc";
 /// Identity stamp of a single-machine disk session (see [`write_stamp`]).
 const STAMP_NAME: &str = "session.stamp";
+/// Sealed copy of the bootstrap graph snapshot — the replay engine's
+/// genesis state (see [`Session::replay_to`]).
+const GENESIS_NAME: &str = "genesis.snap";
+/// Magic of the sealed genesis file.
+const GENESIS_MAGIC: &[u8; 8] = b"EBCGNSS1";
 
 /// Where a session keeps its `BD[·]` records — the paper's MO vs. DO axis
 /// plus the single-machine vs. partitioned axis.
@@ -96,6 +103,35 @@ pub enum Checkpoint {
     /// Only on explicit [`Session::checkpoint`] (and at build time). Fastest
     /// streaming; a kill loses updates since the last checkpoint.
     Manual,
+}
+
+/// Retention policy of a durable session's update history (DESIGN.md §14).
+///
+/// Every applied update is journaled into the session directory's history
+/// WAL. At checkpoint time, once the live WAL outgrows
+/// `max_live_wal_bytes`, the checkpointed prefix is **compacted**: sealed
+/// into an immutable checksummed segment when `keep_history` is `true`
+/// (enabling [`Session::replay_to`] back to seq 1), or discarded outright
+/// when it is `false` (bounded disk, no time travel). Either way the live
+/// WAL stays bounded by roughly `max_live_wal_bytes` plus one
+/// checkpoint interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactionConfig {
+    /// Seal compacted prefixes into replayable history segments (`true`,
+    /// the default) instead of discarding them (`false`).
+    pub keep_history: bool,
+    /// Compact at the first checkpoint after the live history WAL exceeds
+    /// this many bytes. `0` compacts at every checkpoint.
+    pub max_live_wal_bytes: u64,
+}
+
+impl Default for CompactionConfig {
+    fn default() -> Self {
+        CompactionConfig {
+            keep_history: true,
+            max_live_wal_bytes: 1 << 20,
+        }
+    }
 }
 
 /// Errors from building, driving, or reopening a [`Session`].
@@ -129,6 +165,18 @@ pub enum SessionError {
         /// Sources the recovered record files actually own.
         record_sources: usize,
     },
+    /// The session's history segments do not tile the update sequence:
+    /// records `missing_first ..= missing_last` are gone (a segment file
+    /// was deleted, or a replay was asked to reach below a
+    /// `keep_history = false` truncation point). Replaying across the
+    /// hole would silently reconstruct a different graph, so the gap is
+    /// typed and named instead.
+    HistoryGap {
+        /// First missing seq.
+        missing_first: u64,
+        /// Last missing seq.
+        missing_last: u64,
+    },
 }
 
 impl fmt::Display for SessionError {
@@ -149,6 +197,14 @@ impl fmt::Display for SessionError {
                  (map v{store_version}), manifest snapshot has {manifest_sources} \
                  (map v{manifest_map_version}) — a Checkpoint::Manual session died \
                  after un-checkpointed growth"
+            ),
+            SessionError::HistoryGap {
+                missing_first,
+                missing_last,
+            } => write!(
+                f,
+                "history has a gap: records {missing_first}..={missing_last} are missing \
+                 (deleted segment, or replay below a keep_history=false truncation point)"
             ),
         }
     }
@@ -195,6 +251,22 @@ impl From<SnapshotError> for SessionError {
     }
 }
 
+impl From<HistoryError> for SessionError {
+    fn from(e: HistoryError) -> Self {
+        match e {
+            HistoryError::Io(io) => SessionError::Io(io),
+            HistoryError::Corrupt(msg) => SessionError::Corrupt(format!("history: {msg}")),
+            HistoryError::Gap {
+                missing_first,
+                missing_last,
+            } => SessionError::HistoryGap {
+                missing_first,
+                missing_last,
+            },
+        }
+    }
+}
+
 /// Configures and builds a [`Session`] — the one constructor for every
 /// embodiment (see the module docs and the README migration table).
 #[derive(Debug, Clone)]
@@ -204,6 +276,7 @@ pub struct SessionBuilder {
     cfg: UpdateConfig,
     codec: CodecKind,
     checkpoint: Checkpoint,
+    compaction: CompactionConfig,
 }
 
 impl Default for SessionBuilder {
@@ -214,6 +287,7 @@ impl Default for SessionBuilder {
             cfg: UpdateConfig::default(),
             codec: CodecKind::Wide,
             checkpoint: Checkpoint::default(),
+            compaction: CompactionConfig::default(),
         }
     }
 }
@@ -257,6 +331,14 @@ impl SessionBuilder {
         self
     }
 
+    /// History retention and compaction policy for disk-backed backends
+    /// (see [`CompactionConfig`]; ignored by [`Backend::Memory`], which
+    /// keeps no history).
+    pub fn compaction(mut self, cfg: CompactionConfig) -> Self {
+        self.compaction = cfg;
+        self
+    }
+
     /// Bootstrap a session over `graph`: one Brandes pass over every source
     /// (step 1 of the framework), records landing in the configured
     /// backend. For durable backends the session directory is created and
@@ -269,6 +351,7 @@ impl SessionBuilder {
             cfg,
             codec,
             checkpoint,
+            compaction,
         } = self;
         if workers == 0 {
             return Err(SessionError::Config(
@@ -288,6 +371,8 @@ impl SessionBuilder {
                     engine,
                     durable: None,
                     rank: RankIndex::new(),
+                    history: None,
+                    seq: 0,
                 })
             }
             Backend::Disk(dir) => {
@@ -300,11 +385,16 @@ impl SessionBuilder {
                 std::fs::create_dir_all(&dir)?;
                 let store = DiskBdStore::create(dir.join(DISK_STORE_NAME), graph.n(), codec)?;
                 let state = BetweennessState::new_into_store(graph.clone(), store, cfg.clone())?;
-                let session_id = fnv1a64(&graph.snapshot_bytes());
+                let snapshot = graph.snapshot_bytes();
+                let session_id = fnv1a64(&snapshot);
                 // bind the store directory to this session (the disk
                 // analogue of the shard manifest's graph stamp): a foreign
                 // manifest grafted onto this directory is rejected at open
                 write_stamp(&dir, session_id)?;
+                // seal the genesis snapshot and start the update history:
+                // replay reconstructs scores-at-seq from exactly these two
+                write_sealed(&dir.join(GENESIS_NAME), GENESIS_MAGIC, &snapshot)?;
+                let history = HistoryLog::create(&dir, compaction.keep_history)?;
                 let durable = Durable {
                     dir,
                     kind: DurableKind::Disk,
@@ -312,12 +402,15 @@ impl SessionBuilder {
                     cfg,
                     codec,
                     checkpoint,
+                    compaction,
                     session_id,
                 };
                 let mut session = Session {
                     engine: Box::new(state),
                     durable: Some(durable),
                     rank: RankIndex::new(),
+                    history: Some(history),
+                    seq: 0,
                 };
                 session.checkpoint()?;
                 Ok(session)
@@ -336,6 +429,8 @@ impl SessionBuilder {
                         .next()
                         .ok_or_else(|| EngineError::Poisoned("shard/worker count mismatch".into()))
                 })?;
+                write_sealed(&dir.join(GENESIS_NAME), GENESIS_MAGIC, &snapshot)?;
+                let history = HistoryLog::create(&dir, compaction.keep_history)?;
                 let durable = Durable {
                     dir,
                     kind: DurableKind::Sharded,
@@ -343,12 +438,15 @@ impl SessionBuilder {
                     cfg,
                     codec,
                     checkpoint,
+                    compaction,
                     session_id,
                 };
                 let mut session = Session {
                     engine: Box::new(engine),
                     durable: Some(durable),
                     rank: RankIndex::new(),
+                    history: Some(history),
+                    seq: 0,
                 };
                 session.checkpoint()?;
                 Ok(session)
@@ -382,6 +480,7 @@ struct Durable {
     cfg: UpdateConfig,
     codec: CodecKind,
     checkpoint: Checkpoint,
+    compaction: CompactionConfig,
     /// Checksum of the *bootstrap* graph snapshot — the session's identity,
     /// also stamped into the shard manifest so a foreign manifest cannot be
     /// combined with this directory's stores.
@@ -396,6 +495,9 @@ struct Manifest {
     codec: CodecKind,
     session_id: u64,
     map_version: u64,
+    /// Updates applied when the manifest was written; 0 in manifests that
+    /// predate the history subsystem.
+    seq: u64,
     snapshot: Vec<u8>,
 }
 
@@ -427,7 +529,7 @@ fn read_stamp(dir: &Path) -> Result<u64, SessionError> {
     u64::from_str_radix(hex, 16).map_err(|_| corrupt("bad session stamp value"))
 }
 
-fn encode_manifest(d: &Durable, graph: &Graph, map_version: u64) -> Vec<u8> {
+fn encode_manifest(d: &Durable, graph: &Graph, map_version: u64, seq: u64) -> Vec<u8> {
     let snapshot = graph.snapshot_bytes();
     let mut buf = Vec::with_capacity(snapshot.len() + 256);
     buf.extend_from_slice(MANIFEST_MAGIC.as_bytes());
@@ -438,7 +540,7 @@ fn encode_manifest(d: &Durable, graph: &Graph, map_version: u64) -> Vec<u8> {
     };
     let header = format!(
         "backend={}\nworkers={}\ncodec={codec}\nprune={}\npreds={}\n\
-         session={:016x}\nmap_version={map_version}\nsnapshot_len={}\n",
+         session={:016x}\nmap_version={map_version}\nseq={seq}\nsnapshot_len={}\n",
         d.kind.as_str(),
         d.workers,
         u8::from(d.cfg.prune_unchanged),
@@ -462,10 +564,16 @@ fn decode_manifest(raw: &[u8]) -> Result<Manifest, SessionError> {
     if ck != fnv1a64(body) {
         return Err(corrupt("session manifest checksum mismatch"));
     }
-    // 9 header lines (magic + 8 fields), then the embedded snapshot bytes
+    // Header lines (magic + key=value fields, `snapshot_len` always last),
+    // then the embedded snapshot bytes. Manifests that predate the history
+    // subsystem have no `seq=` line — 9 lines instead of 10 — so the
+    // header is read until `snapshot_len` rather than by a fixed count.
     let mut pos = 0usize;
-    let mut lines = Vec::with_capacity(9);
-    for _ in 0..9 {
+    let mut lines = Vec::with_capacity(10);
+    loop {
+        if lines.len() > 16 {
+            return Err(corrupt("session manifest header never ends"));
+        }
         let nl = body[pos..]
             .iter()
             .position(|&b| b == b'\n')
@@ -474,6 +582,9 @@ fn decode_manifest(raw: &[u8]) -> Result<Manifest, SessionError> {
             .map_err(|_| corrupt("session manifest header not utf-8"))?;
         lines.push(line);
         pos += nl + 1;
+        if line.starts_with("snapshot_len=") {
+            break;
+        }
     }
     if lines[0] != MANIFEST_MAGIC {
         return Err(corrupt(format!("unknown manifest magic {:?}", lines[0])));
@@ -507,7 +618,15 @@ fn decode_manifest(raw: &[u8]) -> Result<Manifest, SessionError> {
     let map_version: u64 = field(7, "map_version")?
         .parse()
         .map_err(|_| corrupt("bad map_version field"))?;
-    let snapshot_len: usize = field(8, "snapshot_len")?
+    let (seq, snap_idx) = if lines.len() == 10 {
+        let seq: u64 = field(8, "seq")?
+            .parse()
+            .map_err(|_| corrupt("bad seq field"))?;
+        (seq, 9)
+    } else {
+        (0, 8) // legacy pre-history manifest
+    };
+    let snapshot_len: usize = field(snap_idx, "snapshot_len")?
         .parse()
         .map_err(|_| corrupt("bad snapshot_len field"))?;
     if body.len() - pos != snapshot_len {
@@ -523,7 +642,32 @@ fn decode_manifest(raw: &[u8]) -> Result<Manifest, SessionError> {
         codec,
         session_id,
         map_version,
+        seq,
         snapshot: body[pos..].to_vec(),
+    })
+}
+
+/// Serialize one update for a history record: `[op u8][u u32][v u32]` LE.
+fn encode_update(u: &Update) -> [u8; 9] {
+    let mut buf = [0u8; 9];
+    buf[0] = match u.op {
+        EdgeOp::Add => 0,
+        EdgeOp::Remove => 1,
+    };
+    buf[1..5].copy_from_slice(&u.u.to_le_bytes());
+    buf[5..9].copy_from_slice(&u.v.to_le_bytes());
+    buf
+}
+
+fn decode_update(payload: &[u8]) -> Result<Update, SessionError> {
+    if payload.len() != 9 || payload[0] > 1 {
+        return Err(corrupt("history record is not an encoded edge update"));
+    }
+    let u = u32::from_le_bytes(payload[1..5].try_into().expect("4"));
+    let v = u32::from_le_bytes(payload[5..9].try_into().expect("4"));
+    Ok(match payload[0] {
+        0 => Update::add(u, v),
+        _ => Update::remove(u, v),
     })
 }
 
@@ -536,6 +680,11 @@ pub struct Session {
     /// engine's score deltas on ranked reads (`top_k`, `rank_of`,
     /// `percentile`) — so the write path never pays a reduce for it.
     rank: RankIndex,
+    /// The update history journal of a durable session; `None` for memory
+    /// sessions and directories that predate the history subsystem.
+    history: Option<HistoryLog>,
+    /// Updates applied over this session's lifetime (sealed + live).
+    seq: u64,
 }
 
 impl fmt::Debug for Session {
@@ -570,6 +719,21 @@ impl Session {
             .map_err(|e| corrupt(format!("no session manifest in {}: {e}", dir.display())))?;
         let manifest = decode_manifest(&raw)?;
         let graph = Graph::from_snapshot_bytes(&manifest.snapshot)?;
+        // Recover the update history first: a gap (deleted segment) is a
+        // typed refusal before any store is touched, and an interrupted
+        // seal/truncate is finished here. Directories from before the
+        // history subsystem simply have none.
+        let history = if HistoryLog::exists(&dir) {
+            Some(HistoryLog::open(&dir)?)
+        } else {
+            None
+        };
+        // Under Checkpoint::Manual a kill can land updates in the history
+        // WAL after the last manifest rewrite; the history is the longer
+        // (and durable) record, so the larger count wins.
+        let seq = history
+            .as_ref()
+            .map_or(manifest.seq, |h| h.last_seq().max(manifest.seq));
         match manifest.kind {
             DurableKind::Disk => {
                 let stamp = read_stamp(&dir)?;
@@ -599,8 +763,14 @@ impl Session {
                         cfg: manifest.cfg,
                         codec: manifest.codec,
                         checkpoint: Checkpoint::EveryApply,
+                        compaction: CompactionConfig {
+                            keep_history: history.as_ref().is_some_and(HistoryLog::keep_history),
+                            ..CompactionConfig::default()
+                        },
                         session_id: manifest.session_id,
                     }),
+                    history,
+                    seq,
                 })
             }
             DurableKind::Sharded => {
@@ -651,8 +821,14 @@ impl Session {
                         cfg: manifest.cfg,
                         codec: manifest.codec,
                         checkpoint: Checkpoint::EveryApply,
+                        compaction: CompactionConfig {
+                            keep_history: history.as_ref().is_some_and(HistoryLog::keep_history),
+                            ..CompactionConfig::default()
+                        },
                         session_id: manifest.session_id,
                     }),
+                    history,
+                    seq,
                 })
             }
         }
@@ -674,27 +850,51 @@ impl Session {
         self.durable.as_ref().map(|d| d.dir.as_path())
     }
 
-    /// Apply one edge update; durable sessions under
-    /// [`Checkpoint::EveryApply`] checkpoint afterwards.
+    /// Apply one edge update; durable sessions journal it into the update
+    /// history and, under [`Checkpoint::EveryApply`], checkpoint
+    /// afterwards.
     pub fn apply(&mut self, update: Update) -> Result<(), SessionError> {
         self.engine.apply(update)?;
-        self.auto_checkpoint()
+        let recorded = self.record_applied(&[update]);
+        let checkpointed = self.auto_checkpoint();
+        recorded?;
+        checkpointed
     }
 
     /// Apply a batch of updates in order (partitioned embodiments pipeline
-    /// the dispatch); durable sessions under [`Checkpoint::EveryApply`]
-    /// checkpoint once at the end of the batch.
+    /// the dispatch); durable sessions journal the applied prefix into the
+    /// update history and, under [`Checkpoint::EveryApply`], checkpoint
+    /// once at the end of the batch.
     ///
     /// On a mid-batch validation error the already-applied prefix still
-    /// completed (and its record writes are durable), so the checkpoint
-    /// runs *before* the error is returned — the manifest always covers
-    /// what the stores hold. A worker-side failure poisons the engine; the
-    /// checkpoint then fails too and the original error wins.
+    /// completed (and its record writes are durable), so exactly that
+    /// prefix is journaled and the checkpoint runs *before* the error is
+    /// returned — the manifest always covers what the stores hold. A
+    /// worker-side failure poisons the engine; the checkpoint then fails
+    /// too and the original error wins.
     pub fn apply_stream(&mut self, updates: &[Update]) -> Result<(), SessionError> {
-        let result = self.engine.apply_stream(updates);
+        let (applied, result) = self.engine.apply_stream_counted(updates);
+        let recorded = self.record_applied(&updates[..applied]);
         let checkpointed = self.auto_checkpoint();
         result?;
+        recorded?;
         checkpointed
+    }
+
+    /// Journal `updates` (already applied by the engine) into the history
+    /// WAL, advancing the session seq.
+    fn record_applied(&mut self, updates: &[Update]) -> Result<(), SessionError> {
+        if self.history.is_none() {
+            self.seq += updates.len() as u64;
+            return Ok(());
+        }
+        let map_version = self.engine.shard_map_version().unwrap_or(0);
+        let history = self.history.as_mut().expect("history checked above");
+        for update in updates {
+            self.seq += 1;
+            history.append(self.seq, map_version, &encode_update(update))?;
+        }
+        Ok(())
     }
 
     /// The fast query path: incrementally maintained scores (cluster
@@ -868,20 +1068,35 @@ impl Session {
         }
     }
 
-    /// Checkpoint a durable session now: flush every store, then atomically
-    /// rewrite the manifest with the current graph snapshot and ownership
-    /// map version. No-op for memory sessions.
+    /// Checkpoint a durable session now: flush every store, sync the
+    /// history WAL, atomically rewrite the manifest with the current graph
+    /// snapshot, ownership map version and seq — then, if the live history
+    /// WAL has outgrown [`CompactionConfig::max_live_wal_bytes`], compact
+    /// the freshly checkpointed prefix (seal it into a history segment, or
+    /// discard it under `keep_history = false`) and truncate the live WAL.
+    /// No-op for memory sessions.
     pub fn checkpoint(&mut self) -> Result<(), SessionError> {
         let Some(durable) = &self.durable else {
             return Ok(());
         };
         self.engine.flush()?;
+        if let Some(history) = &mut self.history {
+            history.sync()?;
+        }
         let map_version = self.engine.shard_map_version().unwrap_or(0);
-        let bytes = encode_manifest(durable, self.engine.graph(), map_version);
+        let bytes = encode_manifest(durable, self.engine.graph(), map_version, self.seq);
         let path = durable.dir.join(MANIFEST_NAME);
         let tmp = path.with_extension("tmp");
         std::fs::write(&tmp, bytes)?;
         std::fs::rename(&tmp, &path)?;
+        // Compaction rides the checkpoint: everything ≤ self.seq is now
+        // covered by the manifest, so the prefix is sealed exactly at the
+        // checkpoint boundary — never past it.
+        if let Some(history) = &mut self.history {
+            if history.live_bytes() >= durable.compaction.max_live_wal_bytes {
+                history.seal_upto(self.seq)?;
+            }
+        }
         Ok(())
     }
 
@@ -891,4 +1106,110 @@ impl Session {
             _ => Ok(()),
         }
     }
+
+    /// Updates applied over this session's lifetime — the seq the next
+    /// update will extend. Survives restarts of durable sessions.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Byte accounting of the session's update history — live WAL bytes,
+    /// sealed segment bytes, segment count, last compaction seq. `None`
+    /// for memory sessions and pre-history directories.
+    pub fn history_stats(&self) -> Option<HistoryStats> {
+        self.history.as_ref().map(HistoryLog::stats)
+    }
+
+    /// Adjust the compaction threshold of a durable session (the retention
+    /// mode is fixed when the directory is created; only
+    /// `max_live_wal_bytes` takes effect here).
+    pub fn set_compaction(&mut self, cfg: CompactionConfig) {
+        if let Some(d) = &mut self.durable {
+            d.compaction.max_live_wal_bytes = cfg.max_live_wal_bytes;
+        }
+    }
+
+    /// Reconstruct the exact scores this session reported at history seq
+    /// `seq` — the temporal-analytics read path.
+    ///
+    /// Replays records `1..=seq` (sealed segments + live WAL) through a
+    /// fresh single-machine [`BetweennessState`] bootstrapped from the
+    /// sealed genesis snapshot, then runs the partition-invariant exact
+    /// reduction. Because `reduce_exact` is bitwise identical across
+    /// embodiments, worker counts and restarts for the same update
+    /// history, the returned scores are **bitwise equal** to what
+    /// [`Session::reduce_exact`] returned live at that seq — regardless of
+    /// backend, shard count, or how many compactions have run since.
+    ///
+    /// Errors with [`SessionError::HistoryGap`] when the requested range
+    /// reaches below a `keep_history = false` truncation point, and with
+    /// [`SessionError::Config`] on memory sessions / pre-history
+    /// directories.
+    pub fn replay_to(&self, seq: u64) -> Result<Reduced, SessionError> {
+        let durable = self.durable.as_ref().ok_or_else(|| {
+            SessionError::Config("memory sessions keep no history to replay".into())
+        })?;
+        let history = self.history.as_ref().ok_or_else(|| {
+            SessionError::Config(
+                "this session directory predates the history subsystem (no history.meta)".into(),
+            )
+        })?;
+        let records = history.records_upto(seq)?;
+        Ok(replay_records(&durable.dir, durable.cfg.clone(), &records)?.1)
+    }
+
+    /// [`Session::replay_to`] against a session directory on disk, without
+    /// opening (or locking) the stores — what `sbc replay` runs. `at =
+    /// None` replays the full history. Returns the replayed seq alongside
+    /// the reduction.
+    pub fn replay_dir<P: AsRef<Path>>(dir: P, at: Option<u64>) -> Result<Replayed, SessionError> {
+        let dir = dir.as_ref();
+        let raw = std::fs::read(dir.join(MANIFEST_NAME))
+            .map_err(|e| corrupt(format!("no session manifest in {}: {e}", dir.display())))?;
+        let manifest = decode_manifest(&raw)?;
+        if !HistoryLog::exists(dir) {
+            return Err(SessionError::Config(
+                "this session directory predates the history subsystem (no history.meta)".into(),
+            ));
+        }
+        let history = HistoryLog::open(dir)?;
+        let seq = at.unwrap_or_else(|| history.last_seq());
+        let records = history.records_upto(seq)?;
+        let (graph, reduced) = replay_records(dir, manifest.cfg, &records)?;
+        Ok(Replayed {
+            seq,
+            graph,
+            reduced,
+        })
+    }
+}
+
+/// Outcome of [`Session::replay_dir`]: the seq the replay reached, the
+/// reconstructed graph at that seq, and the exact reduction over it.
+#[derive(Debug)]
+pub struct Replayed {
+    /// The history seq the replay stopped at.
+    pub seq: u64,
+    /// The graph as it stood at that seq.
+    pub graph: Graph,
+    /// The exact scores at that seq (bitwise equal to the live session's).
+    pub reduced: Reduced,
+}
+
+/// Replay decoded history records over the sealed genesis snapshot and
+/// reduce exactly (see [`Session::replay_to`] for the bitwise argument).
+fn replay_records(
+    dir: &Path,
+    cfg: UpdateConfig,
+    records: &[ebc_store::HistoryRecord],
+) -> Result<(Graph, Reduced), SessionError> {
+    let genesis = read_sealed(&dir.join(GENESIS_NAME), GENESIS_MAGIC)?;
+    let graph = Graph::from_snapshot_bytes(&genesis)?;
+    let mut state = BetweennessState::new_with(graph, cfg);
+    for rec in records {
+        let update = decode_update(&rec.payload)?;
+        state.apply(update)?;
+    }
+    let reduced = EbcEngine::reduce_exact(&mut state)?;
+    Ok((state.graph().clone(), reduced))
 }
